@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+One default-scale campus dataset is built per session and shared by every
+benchmark; each benchmark times its experiment's *analysis* stage (the
+paper's pipeline), not the workload generation, and writes its rendered
+paper-vs-measured table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campus.dataset import cached_campus_dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmarks run at the calibrated default scale unless overridden.
+BENCH_SEED = os.environ.get("REPRO_BENCH_SEED", "0")
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return cached_campus_dataset(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def analysis(dataset):
+    """The analyzed dataset (Figure 2 pipeline output), shared."""
+    return dataset.analyze()
+
+
+def record_result(result) -> None:
+    """Persist an experiment's rendered table for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.exp_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.rendered + "\n")
+
+
+@pytest.fixture()
+def record():
+    return record_result

@@ -1,0 +1,90 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from repro.core.categorization import ChainCategory
+from repro.core.matching import analyze_structure
+from repro.experiments import run_experiment
+from repro.validation import build_validation_corpus, compare_validators
+
+
+def test_ablation_crosssign(benchmark, dataset, analysis, record):
+    """Matching without cross-sign disclosures must not create false
+    mismatches on the campus corpus — and the disclosure table must repair
+    pairs when cross-signed material appears."""
+    hybrid = analysis.categorized.chains(ChainCategory.HYBRID)
+
+    def run_naive():
+        return [analyze_structure(c.certificates, disclosures=None)
+                for c in hybrid]
+
+    benchmark.pedantic(run_naive, rounds=3, iterations=1)
+
+    exp = run_experiment("ablation-crosssign", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+    assert exp.measured["flipped"] == 0
+
+
+def test_ablation_truststores(benchmark, dataset, record):
+    """NSS-only classification (Zeek's default) reassigns the chains whose
+    anchors live only in the Microsoft/Apple stores — quantifying why the
+    paper expanded Zeek's validation (§3.2.1)."""
+    def run_ablation():
+        return run_experiment("ablation-truststores", dataset)
+
+    exp = benchmark.pedantic(run_ablation, rounds=2, iterations=1)
+    record(exp)
+    print("\n" + exp.rendered)
+    # Microsoft-only anchored hybrids (Federal PKI, KISA, ICP-Brasil)
+    # change category under the narrow view.
+    assert exp.measured["moved"] > 0
+
+
+def test_ablation_blindspot(benchmark, dataset, record):
+    """Impersonated chains (names chain, wrong key) quantify Appendix D's
+    stated limitation of issuer–subject validation."""
+    corpus = build_validation_corpus(total=320, seed=dataset.seed,
+                                     impersonated=16)
+
+    def compare():
+        return compare_validators(corpus, disclosures=dataset.disclosures)
+
+    result = benchmark.pedantic(compare, rounds=3, iterations=1)
+
+    exp = run_experiment("ablation-blindspot", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+    # The issuer–subject method misses every impersonation; the
+    # key–signature method catches them all.
+    assert result.ks_broken - result.is_broken >= 16
+
+
+def test_ablation_leafrule(benchmark, dataset, analysis, record):
+    """Removing §4.2's valid-leaf requirement collapses the no-path group:
+    matched-but-leafless runs start counting as complete paths."""
+    from repro.core.categorization import ChainCategory
+    from repro.core.hybrid import HybridAnalyzer, HybridCategory
+
+    hybrid = analysis.categorized.chains(ChainCategory.HYBRID)
+    relaxed_analyzer = HybridAnalyzer(analysis.classifier,
+                                      dataset.disclosures,
+                                      require_leaf=False)
+
+    def run_relaxed():
+        return relaxed_analyzer.analyze(hybrid)
+
+    relaxed = benchmark.pedantic(run_relaxed, rounds=3, iterations=1)
+
+    exp = run_experiment("ablation-leafrule", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    strict_no_path = len(analysis.hybrid.by_category(
+        HybridCategory.NO_COMPLETE_PATH))
+    relaxed_no_path = len(relaxed.by_category(
+        HybridCategory.NO_COMPLETE_PATH))
+    # The rule is load-bearing: a large bloc of no-path chains would be
+    # misfiled as contains-complete without it.
+    assert relaxed_no_path < strict_no_path
+    assert exp.measured["moved"] > 50

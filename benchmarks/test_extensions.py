@@ -1,0 +1,125 @@
+"""Extension experiments: §6.1 overhead, §6.3 survey, issuer statistics."""
+
+from __future__ import annotations
+
+from repro.core.categorization import ChainCategory
+from repro.core.issuers import issuer_statistics
+from repro.core.overhead import estimate_overhead
+from repro.experiments import run_experiment
+from repro.scan import run_survey
+
+
+def test_section6_overhead(benchmark, dataset, analysis, record):
+    hybrid = analysis.categorized.chains(ChainCategory.HYBRID)
+
+    def estimate():
+        return estimate_overhead(hybrid, disclosures=dataset.disclosures)
+
+    report = benchmark.pedantic(estimate, rounds=3, iterations=1)
+
+    exp = run_experiment("section6-overhead", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # Every contains-complete chain (plus none of the clean/no-path ones)
+    # pays the unnecessary-certificate cost.
+    assert report.chains_with_unnecessary == 70
+    assert report.total_wasted_bytes > 0
+    # The heavy appended-root servers overflow the initial congestion
+    # window, costing their connections an extra round trip.
+    assert report.extra_round_trips > 0
+    # A realistic per-handshake cost: roughly one to a few certificates.
+    assert 500 < report.wasted_bytes_per_affected_handshake < 20_000
+
+
+def test_extension_survey(benchmark, dataset, record):
+    def survey():
+        return run_survey(dataset, seed=dataset.seed)
+
+    report = benchmark.pedantic(survey, rounds=2, iterations=1)
+
+    exp = run_experiment("extension-survey", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    assert report.endpoints == len(dataset.specs)
+    flat = report.share_by_mix()
+    weighted = report.share_by_mix(weighted=True)
+    # Hybrid chains are rare by endpoint count but the usage weighting
+    # shifts every share (the §6.3 motivation).
+    assert flat["hybrid"] < 20.0
+    drift = sum(abs(flat.get(m, 0) - weighted.get(m, 0))
+                for m in set(flat) | set(weighted))
+    assert drift > 3.0
+
+
+def test_extension_issuers(benchmark, dataset, analysis, record):
+    nonpub = analysis.categorized.chains(ChainCategory.NON_PUBLIC_ONLY)
+
+    def pivot():
+        return issuer_statistics(nonpub, analysis.classifier, leaf_only=True)
+
+    stats = benchmark.pedantic(pivot, rounds=3, iterations=1)
+
+    exp = run_experiment("extension-issuers", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # The non-public issuer world is extremely fragmented: almost one
+    # distinct issuer per chain (the self-signed long tail).
+    assert len(stats) > len(nonpub) * 0.5
+    measured = exp.measured
+    assert measured["non-public-db-only"]["hhi"] < 0.05
+    # Interception is more concentrated: 80 vendors cover everything.
+    assert measured["tls-interception"]["hhi"] > \
+        measured["non-public-db-only"]["hhi"]
+
+
+def test_extension_multichain(benchmark, dataset, analysis, record):
+    from repro.core.categorization import ChainCategory
+    from repro.core.serverchains import (
+        ChainChangeKind,
+        analyze_multi_chain_servers,
+    )
+    hybrid = analysis.categorized.chains(ChainCategory.HYBRID)
+
+    def analyze():
+        return analyze_multi_chain_servers(hybrid,
+                                           disclosures=dataset.disclosures)
+
+    report = benchmark.pedantic(analyze, rounds=3, iterations=1)
+
+    exp = run_experiment("extension-multichain", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # §4.2's finding, recovered from logs: 19 multi-chain servers whose
+    # changes split exactly into the paper's two factors.
+    assert report.multi_chain_servers == 19
+    counts = report.change_counts()
+    assert counts.get(ChainChangeKind.LEAF_REPLACEMENT, 0) == 9
+    assert counts.get(ChainChangeKind.DIFFERENT_UNNECESSARY, 0) == 10
+    assert counts.get(ChainChangeKind.RESTRUCTURED, 0) == 0
+
+
+def test_extension_timeline(benchmark, dataset, analysis, record):
+    from repro.core.timeline import monthly_activity
+    chains = list(analysis.chains.values())
+
+    def activity():
+        return monthly_activity(chains)
+
+    buckets = benchmark.pedantic(activity, rounds=3, iterations=1)
+
+    exp = run_experiment("extension-timeline", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # The full 12-month window is covered end to end.
+    assert buckets[0].label == "2020-09"
+    assert buckets[-1].label == "2021-08"
+    assert len(buckets) == 12
+    # Most chains persist (long-lived services dominate the population).
+    assert max(b.active_chains for b in buckets) > len(chains) * 0.5
+    assert sum(b.new_chains for b in buckets) == len(
+        [c for c in chains if c.usage.first_seen is not None])

@@ -1,0 +1,49 @@
+"""Figure 1 — chain length CDFs per category."""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER
+from repro.core.categorization import ChainCategory
+from repro.core.lengths import length_distributions
+from repro.experiments import run_experiment
+
+
+def test_figure1_lengths(benchmark, dataset, analysis, record):
+    def distributions():
+        return length_distributions(analysis.categorized)
+
+    dists = benchmark.pedantic(distributions, rounds=5, iterations=1)
+
+    exp = run_experiment("figure1", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    public = dists[ChainCategory.PUBLIC_ONLY]
+    nonpub = dists[ChainCategory.NON_PUBLIC_ONLY]
+    hybrid = dists[ChainCategory.HYBRID]
+    interception = dists[ChainCategory.INTERCEPTION]
+
+    # Paper shapes: >60 % of public chains advertise length 2 (root
+    # omitted); ~80 % of non-public chains are single; >80 % of
+    # interception chains have 3 certificates; hybrid has no dominant
+    # length.
+    assert public.fraction_at(2) > 0.55
+    assert public.dominant_length() == 2
+    assert abs(nonpub.fraction_at(1) - PAPER.nonpub_len1_share_pct / 100) < 0.05
+    assert interception.fraction_at(3) > 0.70
+    assert interception.dominant_length() == 3
+    dominant = hybrid.dominant_length()
+    assert dominant is not None
+    assert hybrid.fraction_at(dominant) < 0.50
+
+    # The three monster chains are excluded by the paper's rule.
+    assert nonpub.max_length() <= 40
+    assert exp.measured["excluded"] == sorted(PAPER.outlier_lengths,
+                                              reverse=True)
+
+    # CDFs are monotone and end at 1.
+    for dist in dists.values():
+        fractions = [f for _, f in dist.cdf()]
+        assert fractions == sorted(fractions)
+        if fractions:
+            assert abs(fractions[-1] - 1.0) < 1e-9

@@ -1,0 +1,40 @@
+"""Figure 4 — per-position structure grid of the 70 contains-complete
+hybrid chains."""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER
+from repro.core.categorization import ChainCategory
+from repro.core.hybrid import CellLabel, HybridAnalyzer
+from repro.experiments import run_experiment
+
+
+def test_figure4_grid(benchmark, dataset, analysis, record):
+    chains = analysis.categorized.chains(ChainCategory.HYBRID)
+    analyzer = HybridAnalyzer(analysis.classifier, dataset.disclosures)
+
+    def build_grid():
+        return analyzer.analyze(chains).figure4_grid()
+
+    grid = benchmark.pedantic(build_grid, rounds=3, iterations=1)
+
+    exp = run_experiment("figure4", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    assert len(grid) == PAPER.hybrid_contains_complete
+    counts = exp.measured["label_counts"]
+    # Every chain contributes a public complete-path cell (the valid core).
+    assert counts.get(CellLabel.PUB_COMPLETE.value, 0) >= 3 * 50
+    # Unnecessary certificates appear as singleton cells.
+    singles = (counts.get(CellLabel.NON_PUB_SINGLE.value, 0)
+               + counts.get(CellLabel.PUB_SINGLE.value, 0)
+               + counts.get(CellLabel.SINGLE_LEAF.value, 0))
+    assert singles >= PAPER.hybrid_contains_complete
+    # Columns are sorted tallest-first for rendering, like the figure.
+    heights = [len(column) for column in grid]
+    assert heights == sorted(heights, reverse=True)
+    # Every cell label is from the figure's legend.
+    legend = {label.value for label in CellLabel}
+    for column in exp.measured["grid"]:
+        assert set(column) <= legend

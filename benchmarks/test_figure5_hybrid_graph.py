@@ -1,0 +1,38 @@
+"""Figure 5 — certificate co-occurrence graph of hybrid chains."""
+
+from __future__ import annotations
+
+from repro.core.categorization import ChainCategory
+from repro.core.structures import build_cooccurrence_graph, summarize_graph
+from repro.experiments import run_experiment
+
+
+def test_figure5_hybrid_graph(benchmark, dataset, analysis, record):
+    chains = analysis.categorized.chains(ChainCategory.HYBRID)
+
+    def build():
+        graph = build_cooccurrence_graph(chains, analysis.classifier)
+        return graph, summarize_graph(graph)
+
+    graph, summary = benchmark.pedantic(build, rounds=3, iterations=1)
+
+    exp = run_experiment("figure5", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    classes = dict(summary.nodes_by_class)
+    # Both node colours present (public-DB blue / non-public-DB red).
+    assert classes.get("public-db", 0) > 0
+    assert classes.get("non-public-db", 0) > 0
+    roles = dict(summary.nodes_by_role)
+    # All three node sizes: leaves, intermediates (the broken-chain
+    # ladders make these the most numerous), and roots.
+    assert roles.get("leaf", 0) > 0
+    assert roles.get("intermediate", 0) > 0
+    assert roles.get("root", 0) > 0
+    # Shared public intermediates create hubs: max degree far above the
+    # within-chain clique size.
+    assert summary.max_degree > 10
+    # Chains sharing no certificates form separate components; hub sharing
+    # keeps the count well below the number of chains.
+    assert 1 <= summary.components < len(chains)

@@ -1,0 +1,32 @@
+"""Figure 6 / Appendix G — mismatch-ratio distribution of no-path chains."""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER
+from repro.core.categorization import ChainCategory
+from repro.core.hybrid import HybridAnalyzer
+from repro.experiments import run_experiment
+
+
+def test_figure6_mismatch(benchmark, dataset, analysis, record):
+    chains = analysis.categorized.chains(ChainCategory.HYBRID)
+    analyzer = HybridAnalyzer(analysis.classifier, dataset.disclosures)
+
+    def histogram():
+        report = analyzer.analyze(chains)
+        return report.figure6_histogram(), report.high_mismatch_share(0.5)
+
+    hist, high_share = benchmark.pedantic(histogram, rounds=3, iterations=1)
+
+    exp = run_experiment("figure6", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # All 215 no-path chains are binned.
+    assert sum(count for _, count in hist) == PAPER.hybrid_no_path
+    # Ratios span the paper's reported 0.1–1.0 range.
+    non_empty = [upper for upper, count in hist if count]
+    assert min(non_empty) <= 0.4
+    assert max(non_empty) == 1.0
+    # 56.74 % of chains sit at ratio >= 0.5 in the paper.
+    assert abs(high_share - PAPER.no_path_high_mismatch_share_pct) < 15.0

@@ -1,0 +1,31 @@
+"""Figure 8 / Appendix I — complex PKI structures in interception chains."""
+
+from __future__ import annotations
+
+from repro.core.categorization import ChainCategory
+from repro.core.structures import build_issuance_graph, complex_intermediates
+from repro.experiments import run_experiment
+
+
+def test_figure8_interception_graph(benchmark, dataset, analysis, record):
+    chains = analysis.categorized.chains(ChainCategory.INTERCEPTION)
+
+    def build():
+        graph = build_issuance_graph(chains)
+        return graph, complex_intermediates(graph)
+
+    graph, complex_nodes = benchmark.pedantic(build, rounds=3, iterations=1)
+
+    exp = run_experiment("figure8", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # The regional-hub vendors (Zscaler, Fortinet) create complex
+    # structures: a hub intermediate linked to >= 3 other intermediates.
+    assert len(complex_nodes) >= 1
+    labels = {graph.nodes[n]["label"] for n in complex_nodes}
+    assert any("Hub" in label for label in labels)
+    # Interception graphs are larger than the hybrid one: per-host minted
+    # leaves hang off a few appliance intermediates (high fan-out).
+    fan_out = max((graph.out_degree(n) for n in graph), default=0)
+    assert fan_out >= 5

@@ -1,0 +1,46 @@
+"""§4.3 — single-certificate chains and the DGA cluster."""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER
+from repro.core.categorization import ChainCategory
+from repro.core.dga import DGADetector
+from repro.experiments import run_experiment
+
+
+def test_section43_single(benchmark, dataset, analysis, record):
+    nonpub_chains = analysis.categorized.chains(ChainCategory.NON_PUBLIC_ONLY)
+
+    def single_and_dga():
+        stats = analysis.single_cert_stats(ChainCategory.NON_PUBLIC_ONLY)
+        clusters = DGADetector().detect(nonpub_chains)
+        return stats, clusters
+
+    stats, clusters = benchmark.pedantic(single_and_dga, rounds=3,
+                                         iterations=1)
+
+    exp = run_experiment("section4.3", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # 78.10 % of non-public chains are single-certificate; 94.19 % of
+    # those are self-signed; 86.70 % of their connections lack SNI.
+    assert abs(stats.share_of_category - PAPER.nonpub_len1_share_pct) < 5.0
+    assert abs(stats.self_signed_pct
+               - PAPER.nonpub_single_self_signed_pct) < 5.0
+    assert abs(stats.no_sni_connection_pct
+               - PAPER.nonpub_single_no_sni_pct) < 8.0
+
+    # Interception singles: a minority share, overwhelmingly self-signed.
+    intercept = analysis.single_cert_stats(ChainCategory.INTERCEPTION)
+    assert intercept.share_of_category < 30.0
+    assert intercept.self_signed_pct > 80.0
+
+    # Exactly one DGA cluster with the paper's template and validity range.
+    assert len(clusters) == 1
+    cluster = clusters[0]
+    assert cluster.template == "www.<rand>.com"
+    low, high = cluster.validity_range_days()
+    assert low >= PAPER.dga_validity_days[0]
+    assert high <= PAPER.dga_validity_days[1]
+    assert cluster.client_ips >= 1

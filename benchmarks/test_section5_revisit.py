@@ -1,0 +1,55 @@
+"""§5 — the November-2024 revisit of hybrid and non-public servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campus.profiles import PAPER
+from repro.experiments import run_experiment
+from repro.scan import evolve_fleet, run_revisit
+
+
+@pytest.fixture(scope="module")
+def fleet(dataset):
+    return evolve_fleet(dataset, seed=dataset.seed)
+
+
+def test_section5_revisit(benchmark, dataset, fleet, record):
+    def revisit():
+        return run_revisit(dataset, seed=dataset.seed, fleet=fleet)
+
+    report = benchmark.pedantic(revisit, rounds=3, iterations=1)
+
+    exp = run_experiment("section5", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # Reachability near the paper's 270/321.
+    assert abs(report.hybrid_reachable_pct
+               - PAPER.revisit_hybrid_reachable_pct) < 3.0
+    # The dominant outcome is migration to public-DB issuers, mostly LE.
+    assert report.hybrid_to_public > report.hybrid_still_hybrid
+    assert (report.hybrid_to_public_lets_encrypt
+            > report.hybrid_to_public * 0.6)
+    # The small cells hold: 4 to non-public; 9/3 still-hybrid complete.
+    assert report.hybrid_to_nonpub == PAPER.revisit_hybrid_to_nonpub
+    assert report.still_complete_clean == \
+        PAPER.revisit_still_hybrid_complete_clean
+    assert report.still_complete_unnecessary == \
+        PAPER.revisit_still_hybrid_complete_unnecessary
+
+    # The Chrome-vs-OpenSSL divergence: browser validates every
+    # complete-with-unnecessary chain, strict validation rejects them all.
+    assert report.divergent_chains >= 1
+    assert report.divergent_browser_ok == report.divergent_chains
+    assert report.divergent_strict_ok == 0
+
+    # Non-public side: everyone stays non-public; most now deliver
+    # multi-certificate chains, overwhelmingly complete matched paths.
+    assert report.nonpub_still_nonpub == report.nonpub_scanned
+    assert abs(report.nonpub_now_multi_pct
+               - PAPER.revisit_nonpub_now_multi_pct) < 12.0
+    assert report.nonpub_multi_complete_pct > 93.0
+    shares = report.prev_state_shares()
+    # Previously single self-signed servers dominate the converts.
+    assert shares["prev_single_self_signed_pct"] > shares["prev_multi_pct"]

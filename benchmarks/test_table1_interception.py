@@ -1,0 +1,36 @@
+"""Table 1 — TLS interception issuer categories.
+
+Regenerates the paper's Table 1 rows (issuers / % connections / client IPs
+per category) and times the interception-detection stage.
+"""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER, build_vendor_directory
+from repro.core.classification import CertificateClassifier
+from repro.core.interception import InterceptionDetector
+from repro.experiments import run_experiment
+
+
+def test_table1_interception(benchmark, dataset, analysis, record):
+    def detect():
+        detector = InterceptionDetector(
+            CertificateClassifier(dataset.registry), dataset.ct_index,
+            build_vendor_directory())
+        return detector.detect(analysis.chains.values())
+
+    report = benchmark.pedantic(detect, rounds=3, iterations=1)
+
+    result = run_experiment("table1", dataset)
+    record(result)
+    print("\n" + result.rendered)
+
+    # Shape assertions: all 80 vendors found, category counts exact,
+    # Security & Network dominates connections like the paper's 94.74 %.
+    assert report.vendor_count() == PAPER.interception_issuers
+    rows = {r["category"]: r for r in report.category_table(analysis.chains)}
+    for category, issuers, _pct, _ips in PAPER.interception_issuer_categories:
+        assert rows[category]["issuers"] == issuers, category
+    assert rows["Security & Network"]["pct_connections"] > 80.0
+    assert rows["Security & Network"]["client_ips"] > \
+        rows["Business & Corporate"]["client_ips"]

@@ -1,0 +1,42 @@
+"""Table 2 — chain category statistics (full Figure 2 pipeline timing)."""
+
+from __future__ import annotations
+
+from repro.core.categorization import ChainCategory
+from repro.experiments import run_experiment
+
+
+def test_table2_categories(benchmark, dataset, record):
+    def full_pipeline():
+        return dataset.analyzer().analyze_connections(dataset.joined())
+
+    result = benchmark.pedantic(full_pipeline, rounds=3, iterations=1)
+
+    exp = run_experiment("table2", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    cat = result.categorized
+    # The hybrid population is unscaled: 321 chains exactly, like the paper.
+    assert cat.chain_count(ChainCategory.HYBRID) == 321
+    # Relative ordering of the scaled populations matches Table 2:
+    # public > non-public-only > interception > hybrid (chain counts).
+    assert (cat.chain_count(ChainCategory.PUBLIC_ONLY)
+            > cat.chain_count(ChainCategory.NON_PUBLIC_ONLY)
+            > cat.chain_count(ChainCategory.INTERCEPTION)
+            > cat.chain_count(ChainCategory.HYBRID))
+    # Non-public categories carry far more connections per chain than
+    # public ones (216M vs hybrid's 78K in the paper).
+    assert (cat.connection_count(ChainCategory.NON_PUBLIC_ONLY)
+            > cat.connection_count(ChainCategory.HYBRID))
+    # Every category observed clients.
+    for category in ChainCategory:
+        assert cat.client_ip_count(category) > 0
+    # De-scaled chain shares land on the paper's percentages.
+    from repro.campus.profiles import PAPER
+    shares = exp.measured["descaled_shares"]
+    assert abs(shares["non-public-db-only"]
+               - PAPER.nonpub_chain_share_pct) < 2.5
+    assert abs(shares["tls-interception"]
+               - PAPER.interception_chain_share_pct) < 2.5
+    assert shares["hybrid"] < 0.1

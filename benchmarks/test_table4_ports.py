@@ -1,0 +1,40 @@
+"""Table 4 — port distribution per chain category."""
+
+from __future__ import annotations
+
+from repro.core.categorization import ChainCategory
+from repro.experiments import run_experiment
+
+
+def test_table4_ports(benchmark, dataset, analysis, record):
+    def port_distributions():
+        cat = analysis.categorized
+        return {
+            "hybrid": cat.port_distribution(ChainCategory.HYBRID),
+            "interception": cat.port_distribution(ChainCategory.INTERCEPTION),
+            "nonpub": cat.port_distribution(ChainCategory.NON_PUBLIC_ONLY),
+        }
+
+    ports = benchmark.pedantic(port_distributions, rounds=5, iterations=1)
+
+    exp = run_experiment("table4", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # Hybrid traffic is overwhelmingly 443 (97.21 % in the paper).
+    hybrid = ports["hybrid"]
+    assert hybrid.most_common(1)[0][0] == 443
+    assert hybrid[443] / sum(hybrid.values()) > 0.90
+
+    # Interception leads with Fortinet's 8013 and uses 443 for a minority.
+    interception = ports["interception"]
+    assert interception.most_common(1)[0][0] == 8013
+    assert interception[443] / sum(interception.values()) < 0.40
+
+    # Non-public traffic is diverse: 443 under half for single-cert-heavy mix.
+    measured = exp.measured["ports"]
+    single_top = dict(measured["nonpub-single"])
+    assert single_top.get(443, 0.0) < 60.0
+    assert 8888 in single_top or 33854 in single_top
+    multi_top = dict(measured["nonpub-multi"])
+    assert multi_top.get(443, 0.0) > 70.0

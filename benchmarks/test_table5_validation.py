@@ -1,0 +1,42 @@
+"""Table 5 — issuer–subject vs key–signature validation comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campus.profiles import PAPER
+from repro.experiments import run_experiment
+from repro.experiments.table5 import DEFAULT_CORPUS_SIZE
+from repro.validation import build_validation_corpus, compare_validators
+
+
+@pytest.fixture(scope="module")
+def corpus(dataset):
+    return build_validation_corpus(DEFAULT_CORPUS_SIZE, seed=dataset.seed)
+
+
+def test_table5_validation(benchmark, dataset, corpus, record):
+    def compare():
+        return compare_validators(corpus, disclosures=dataset.disclosures)
+
+    result = benchmark.pedantic(compare, rounds=3, iterations=1)
+
+    exp = run_experiment("table5", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    # Both methods agree on singles.
+    assert result.is_single == result.ks_single
+    # The paper's structural relationships between the two columns:
+    #   IS valid = KS valid + unrecognized + malformed (9,825 vs 9,821 + 3 + 1)
+    assert result.is_valid == (result.ks_valid + result.ks_unrecognized
+                               + (result.ks_broken - result.is_broken))
+    #   KS broken = IS broken + the ASN.1-error chain (284 vs 283)
+    assert result.ks_broken == result.is_broken + 1
+    #   exactly 3 unrecognized-key chains, as in the paper
+    assert result.ks_unrecognized == PAPER.validation_unrecognized
+    # Mismatch positions align on every commonly-broken chain.
+    assert result.position_agreements == result.position_comparisons
+    # Broken share near the paper's 283/12,676 ~ 2.23 %.
+    broken_share = 100.0 * result.is_broken / result.total
+    assert 1.0 < broken_share < 4.0

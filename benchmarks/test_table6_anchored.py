@@ -1,0 +1,53 @@
+"""Table 6 — non-public leaves anchored to public trust roots."""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER
+from repro.core.categorization import ChainCategory
+from repro.core.hybrid import (
+    CompletePathKind,
+    EntityKind,
+    HybridAnalyzer,
+    HybridCategory,
+)
+from repro.experiments import run_experiment
+
+
+def test_table6_anchored(benchmark, dataset, analysis, record):
+    chains = analysis.categorized.chains(ChainCategory.HYBRID)
+    analyzer = HybridAnalyzer(analysis.classifier, dataset.disclosures)
+
+    def classify_entities():
+        report = analyzer.analyze(chains)
+        return report.table6_rows()
+
+    rows = benchmark.pedantic(classify_entities, rounds=3, iterations=1)
+
+    exp = run_experiment("table6", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    counts = {r["category"]: r["chains"] for r in rows}
+    assert counts["Corporate"] == PAPER.anchored_corporate
+    assert counts["Government"] == PAPER.anchored_government
+
+    # CT-logging check (§4.2): every anchored non-public leaf is logged.
+    report = analyzer.analyze(chains)
+    anchored = [a for a in report.by_category(HybridCategory.COMPLETE_PATH_ONLY)
+                if a.complete_kind is CompletePathKind.NON_PUBLIC_CHAINED_TO_PUBLIC]
+    assert len(anchored) == PAPER.hybrid_nonpub_to_pub
+    logged = sum(1 for a in anchored
+                 if dataset.ct_index.contains_certificate(
+                     a.chain.certificates[0]))
+    assert logged == len(anchored), "all anchored leaves must be in CT"
+
+    # 3 of the 26 carry expired leaves, the worst past 5 years (§4.2).
+    from repro.scan.scanner import REVISIT_TIME
+    from repro.campus.workload import STUDY_START
+    expired = [a for a in anchored
+               if a.chain.certificates[0].validity.is_expired(STUDY_START)]
+    assert len(expired) == 3
+    worst_gap_days = max(
+        (STUDY_START - a.chain.certificates[0].validity.not_after).days
+        for a in expired)
+    assert worst_gap_days > 5 * 365

@@ -1,0 +1,34 @@
+"""Table 7 — taxonomy of hybrid chains without a complete matched path."""
+
+from __future__ import annotations
+
+from repro.campus.profiles import PAPER
+from repro.core.categorization import ChainCategory
+from repro.core.hybrid import HybridAnalyzer
+from repro.experiments import run_experiment
+
+
+def test_table7_nopath(benchmark, dataset, analysis, record):
+    chains = analysis.categorized.chains(ChainCategory.HYBRID)
+    analyzer = HybridAnalyzer(analysis.classifier, dataset.disclosures)
+
+    def taxonomy():
+        return analyzer.analyze(chains).table7_rows()
+
+    rows = benchmark.pedantic(taxonomy, rounds=3, iterations=1)
+
+    exp = run_experiment("table7", dataset)
+    record(exp)
+    print("\n" + exp.rendered)
+
+    measured = {r["category"]: r["chains"] for r in rows}
+    for category, count in PAPER.no_path_taxonomy:
+        assert measured[category] == count, category
+    assert sum(measured.values()) == PAPER.hybrid_no_path
+
+    # The 56-chain sub-finding: public leaves missing their intermediate.
+    report = analyzer.analyze(chains)
+    missing = report.missing_issuer_stats()
+    assert missing["chains"] == PAPER.no_path_public_leaf_missing_issuer
+    # Their connections establish at roughly the category's ~56 % rate.
+    assert 45.0 < missing["established_pct"] < 70.0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Interception audit: detect a TLS-intercepting middlebox from traffic.
+
+Demonstrates §3.2.1's detection method in isolation: a corporate appliance
+re-signs connections to a public site; the monitor compares the observed
+issuer against CT's record for the domain and flags the mismatch.
+
+Run:  python examples/interception_audit.py
+"""
+
+from datetime import datetime, timezone
+
+from repro.core import (
+    CertificateClassifier,
+    InterceptionDetector,
+    ObservedChain,
+    VendorDirectory,
+)
+from repro.ct import CTLog, CrtShIndex
+from repro.tls import build_middlebox
+from repro.truststores import build_public_pki
+from repro.x509 import CertificateFactory, name
+
+
+def main() -> None:
+    pki = build_public_pki(seed=1)
+    factory = CertificateFactory(seed=9)
+
+    # The genuine site: a Let's Encrypt chain, logged in CT as required.
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    real_leaf = factory.leaf(r3, name("payroll.example.com"),
+                             dns_names=["payroll.example.com"])
+    ct_log = CTLog("demo-log",
+                   accepted_roots=[ca.root.certificate
+                                   for ca in pki.cas.values()])
+    ct_log.add_chain([real_leaf, r3.certificate,
+                      pki.ca("lets_encrypt").root.certificate])
+    ct_index = CrtShIndex([ct_log])
+    print(f"CT log holds {len(ct_log)} entry for payroll.example.com "
+          f"(issuer: {real_leaf.issuer.common_name})")
+
+    # The appliance in the corporate network substitutes its own chain.
+    appliance = build_middlebox("AcmeSec Gateway", "Business & Corporate",
+                                seed=3)
+    substitute = appliance.intercept((real_leaf,), "payroll.example.com")
+    print("\nChain observed at the monitor (substitute):")
+    for cert in substitute:
+        print(f"  s={cert.subject.rfc4514()}")
+        print(f"  i={cert.issuer.rfc4514()}")
+
+    # What the campus monitor aggregates for this server.
+    observed = ObservedChain(substitute)
+    for i in range(25):
+        observed.usage.record(
+            established=True, client_ip=f"10.1.0.{i % 7}",
+            server_ip="203.0.113.50", port=443,
+            sni="payroll.example.com",
+            ts=datetime(2021, 1, 1, tzinfo=timezone.utc).timestamp() + i)
+
+    # Detection: non-public leaf issuer + CT disagreement = interception.
+    directory = VendorDirectory([("acmesec", "AcmeSec",
+                                  "Business & Corporate")])
+    detector = InterceptionDetector(CertificateClassifier(pki.registry),
+                                    ct_index, directory)
+    report = detector.detect([observed])
+
+    print(f"\nflagged issuers: {report.issuer_count}")
+    for issuer in report.issuers:
+        print(f"  vendor={issuer.vendor!r} category={issuer.category!r}")
+        print(f"  issuer DN: {issuer.issuer.rfc4514()}")
+    table = report.category_table({observed.key: observed})
+    for row in table:
+        if row["issuers"]:
+            print(f"  {row['category']}: {row['issuers']} issuer(s), "
+                  f"{row['pct_connections']:.0f}% of flagged connections, "
+                  f"{row['client_ips']} client IPs")
+
+
+if __name__ == "__main__":
+    main()

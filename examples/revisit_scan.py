@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The §5 retrospective: evolve the 2021 fleet to 2024, rescan, compare.
+
+Run:  python examples/revisit_scan.py
+"""
+
+from repro.campus import build_campus_dataset
+from repro.core import render_table
+from repro.scan import evolve_fleet, render_showcerts, run_revisit
+from repro.scan.evolution import DISPOSITION_TO_PUBLIC_LE
+
+
+def main() -> None:
+    dataset = build_campus_dataset(seed=11, scale="small")
+    fleet = evolve_fleet(dataset, seed=11)
+
+    # Peek at one migrated server through the scanner's eyes.
+    migrated = next(s for s in fleet.hybrid
+                    if s.disposition == DISPOSITION_TO_PUBLIC_LE)
+    print(f"server {migrated.server_id} ({migrated.hostname}) in 2021 "
+          f"delivered a {len(migrated.previous_specs[0].chain)}-certificate "
+          f"hybrid chain; in 2024 the scanner sees:\n")
+    print(render_showcerts(migrated.new_chain, sni=migrated.hostname or ""))
+
+    report = run_revisit(dataset, seed=11, fleet=fleet)
+    rows = [
+        ["hybrid servers reachable",
+         f"{report.hybrid_reachable}/{report.hybrid_total} "
+         f"({report.hybrid_reachable_pct:.1f}%)"],
+        ["→ now public-DB-only",
+         f"{report.hybrid_to_public} "
+         f"(Let's Encrypt: {report.hybrid_to_public_lets_encrypt})"],
+        ["→ now non-public-only", report.hybrid_to_nonpub],
+        ["→ still hybrid",
+         f"{report.hybrid_still_hybrid} "
+         f"({report.still_complete_clean} clean / "
+         f"{report.still_complete_unnecessary} with junk / "
+         f"{report.still_no_path} no path)"],
+        ["divergent chains (Chrome ok / OpenSSL ok)",
+         f"{report.divergent_browser_ok} / {report.divergent_strict_ok} "
+         f"of {report.divergent_chains}"],
+        ["non-public servers scanned", report.nonpub_scanned],
+        ["→ still non-public", report.nonpub_still_nonpub],
+        ["→ now multi-certificate",
+         f"{report.nonpub_now_multi} ({report.nonpub_now_multi_pct:.1f}%)"],
+        ["→ new multi chains complete",
+         f"{report.nonpub_multi_complete_pct:.1f}%"],
+    ]
+    print("\n" + render_table(["metric", "value"], rows,
+                              title="§5 revisit (November 2024)"))
+
+
+if __name__ == "__main__":
+    main()

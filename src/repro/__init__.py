@@ -1,0 +1,30 @@
+"""repro — reproduction of "Inside Certificate Chains Beyond Public Issuers:
+Structure and Usage Analysis from a Campus Network" (IMC '25).
+
+Subpackages
+-----------
+``repro.x509``
+    Certificate records, distinguished names, synthetic hierarchy
+    generation, crypto-backed PEM chains.
+``repro.truststores``
+    Root stores (Mozilla/Apple/Microsoft), CCADB, public-DB registry.
+``repro.ct``
+    RFC 6962 Merkle tree, CT logs, crt.sh-style query index.
+``repro.tls``
+    Simulated handshakes, client validation policies, interception
+    middleboxes.
+``repro.zeek``
+    SSL/X509 log records, Zeek ASCII format, DPD, monitoring tap.
+``repro.campus``
+    Synthetic campus population and the 12-month workload generator.
+``repro.core``
+    The paper's contribution: the certificate chain structure analyzer.
+``repro.scan``
+    Active scanning and the §5 2024 revisit.
+``repro.validation``
+    Issuer–subject vs key–signature validation comparison (Appendix D).
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

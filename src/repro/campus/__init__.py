@@ -1,0 +1,55 @@
+"""Synthetic campus network: calibrated populations, a 12-month workload,
+and the assembled dataset (the substitute for the paper's IRB-gated logs)."""
+
+from .dataset import (
+    CampusDataset,
+    build_campus_dataset,
+    cached_campus_dataset,
+    resolve_scale,
+)
+from .hybrid_population import build_hybrid_population
+from .population import (
+    PUBLIC_DOMAINS,
+    build_interception_population,
+    build_nonpublic_population,
+    build_public_population,
+)
+from .profiles import (
+    DEFAULT_SCALE,
+    INTERCEPTION_FLEET,
+    PAPER,
+    PORT_MODELS,
+    PaperTargets,
+    SMALL_SCALE,
+    ScaleConfig,
+    build_vendor_directory,
+)
+from .spec import ChainSpec, ClientMix, MIX_PRESETS
+from .workload import STUDY_DAYS, STUDY_START, ClientPools, WorkloadGenerator
+
+__all__ = [
+    "CampusDataset",
+    "ChainSpec",
+    "ClientMix",
+    "ClientPools",
+    "DEFAULT_SCALE",
+    "INTERCEPTION_FLEET",
+    "MIX_PRESETS",
+    "PAPER",
+    "PORT_MODELS",
+    "PUBLIC_DOMAINS",
+    "PaperTargets",
+    "SMALL_SCALE",
+    "STUDY_DAYS",
+    "STUDY_START",
+    "ScaleConfig",
+    "WorkloadGenerator",
+    "build_campus_dataset",
+    "cached_campus_dataset",
+    "build_hybrid_population",
+    "build_interception_population",
+    "build_nonpublic_population",
+    "build_public_population",
+    "build_vendor_directory",
+    "resolve_scale",
+]

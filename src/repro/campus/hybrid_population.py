@@ -1,0 +1,538 @@
+"""Generation of the 321 hybrid chains (§4.2; Tables 3, 6, 7).
+
+The hybrid population is small and fully structural, so it is generated at
+full fidelity at every scale, with ground-truth labels for every chain:
+
+* 36 chains that *are* complete matched paths — 26 non-public leaves
+  anchored to public roots (16 government / 10 corporate, 3 with expired
+  leaves) and 10 public paths chained to a private re-issue (Scalyr /
+  Canal+ pattern);
+* 70 chains *containing* a complete matched path plus unnecessary
+  certificates (14 Fake-LE staging, enterprise/Athenz appendages, extra
+  roots, stray leading leaves);
+* 215 chains with *no* complete matched path, following Table 7's taxonomy
+  exactly (108/13/61/27/5/1), of which 56 carry a public leaf whose issuing
+  intermediate is missing.
+
+19 servers present two distinct chains over the year (10 in the
+contains-complete group via different unnecessary certificates, 9 in the
+no-path group via leaf replacement).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import timedelta
+from typing import List, Optional, Sequence
+
+from ..ct.log import CTLog
+from ..truststores.builtin import PublicPKI
+from ..x509.certificate import Certificate
+from ..x509.dn import DistinguishedName
+from ..x509.generation import CertificateFactory, IssuingAuthority, name
+from .spec import ChainSpec, ClientMix, MIX_PRESETS
+
+__all__ = ["build_hybrid_population"]
+
+#: Certificates are minted two months before the observation window so
+#: every non-expired leaf is valid for the whole year of connections.
+_CERT_EPOCH = CertificateFactory().epoch - timedelta(days=60)
+#: Leaf lifetime covering mint jitter + the full 12-month window.
+_LEAF_DAYS = 460
+
+_LOCALHOST_DN = DistinguishedName.parse(
+    "emailAddress=webmaster@localhost,CN=localhost,OU=none,O=none,"
+    "L=Sometown,ST=Someprovince,C=US")
+
+
+@dataclass
+class _Ctx:
+    pki: PublicPKI
+    factory: CertificateFactory
+    rng: random.Random
+    mean_connections: float
+    ct_log: Optional[CTLog]
+    specs: List[ChainSpec]
+    server_counter: int = 0
+
+    def next_server(self) -> str:
+        self.server_counter += 1
+        return f"hybrid-srv-{self.server_counter:04d}"
+
+    def add(self, chain: Sequence[Certificate], hostname: str, *,
+            mix: ClientMix, labels: dict, server_id: Optional[str] = None,
+            mean_scale: float = 1.0, sni_rate: float = 0.95) -> ChainSpec:
+        spec = ChainSpec(
+            chain=tuple(chain),
+            hostname=hostname,
+            category_truth="hybrid",
+            mix=mix,
+            port_model="hybrid",
+            mean_connections=self.mean_connections * mean_scale,
+            sni_rate=sni_rate,
+            server_id=server_id or self.next_server(),
+            labels=dict(labels),
+            client_pool="hybrid",
+        )
+        self.specs.append(spec)
+        return spec
+
+
+def build_hybrid_population(pki: PublicPKI, *, seed: int | str,
+                            mean_connections: float,
+                            ct_log: Optional[CTLog] = None) -> List[ChainSpec]:
+    """Generate all 321 hybrid chain specs with ground-truth labels."""
+    ctx = _Ctx(
+        pki=pki,
+        factory=CertificateFactory(seed=f"hybrid:{seed}",
+                                   epoch=_CERT_EPOCH),
+        rng=random.Random(f"hybrid-pop:{seed}"),
+        mean_connections=mean_connections,
+        ct_log=ct_log,
+        specs=[],
+    )
+    _complete_only(ctx)
+    _contains_complete(ctx)
+    _no_path(ctx)
+    assert len(ctx.specs) == 321, len(ctx.specs)
+    return ctx.specs
+
+
+# -- group 1: chain IS a complete matched path (36) -----------------------------
+
+
+def _anchored_chain(ctx: _Ctx, public_parent: IssuingAuthority,
+                    ca_dn: DistinguishedName, host: str, *,
+                    expired: bool = False,
+                    expired_years: int = 2) -> tuple[Certificate, ...]:
+    """leaf ← private CA ← public intermediate (root omitted on the wire)."""
+    private_ca = ctx.factory.intermediate(public_parent, ca_dn)
+    if expired:
+        not_before = (ctx.factory.epoch
+                      - timedelta(days=365 * expired_years + 400))
+        leaf = ctx.factory.leaf(private_ca, name(host), dns_names=[host],
+                                not_before=not_before, lifetime_days=365)
+    else:
+        leaf = ctx.factory.leaf(private_ca, name(host), dns_names=[host],
+                                lifetime_days=_LEAF_DAYS)
+    chain = (leaf, private_ca.certificate, public_parent.certificate)
+    if ctx.ct_log is not None:
+        # Standards require these leaves in CT (§4.2); submission includes
+        # the issuing path so the log can anchor it.
+        ctx.ct_log.add_chain(list(chain))
+    return chain
+
+
+def _complete_only(ctx: _Ctx) -> None:
+    pki = ctx.pki
+    government = [
+        # 6 × U.S. Federal PKI (Veterans Affairs pattern).
+        *((pki.ca("federal_pki").intermediates["verizon_ssp"],
+           name(f"Veterans Affairs CA B{i}", o="U.S. Government"),
+           f"vaww{i}.va.gov") for i in range(1, 7)),
+        # 5 × Government of Korea (KLID) anchored via KISA.
+        *((pki.ca("kisa").intermediates["gpki"],
+           name(f"KLID LocalGov CA {i}", o="Government of Korea"),
+           f"svc{i}.gov.kr") for i in range(1, 6)),
+        # 5 × Brazil's ITI / ICP-Brasil.
+        *((pki.ca("icp_brasil").intermediates["ssl"],
+           name(f"AC ITI SSL {i}", o="Instituto Nacional de Tecnologia da "
+                                     "Informacao - ITI"),
+           f"portal{i}.gov.br") for i in range(1, 6)),
+    ]
+    corporate = [
+        # 5 × Symantec private SSL under the Symantec public hierarchy.
+        *((pki.ca("symantec").intermediates["class3_g4"],
+           name(f"Symantec Private SSL SHA1 CA {i}",
+                o="Symantec Corporation"),
+           f"private{i}.symantec.example") for i in range(1, 6)),
+        # 5 × SignKorea (corporate despite the name — Table 6).
+        *((pki.ca("kisa").intermediates["gpki"],
+           name(f"SignKorea CA {i}", o="SignKorea"),
+           f"sign{i}.signkorea.example") for i in range(1, 6)),
+    ]
+    expired_slots = {3, 12, 20}  # 3 chains with expired leaves (§4.2)
+    deep_expired = 3             # the one whose expiry exceeds 5 years
+    for index, (parent, ca_dn, host) in enumerate(government + corporate):
+        expired = index in expired_slots
+        chain = _anchored_chain(
+            ctx, parent, ca_dn, host, expired=expired,
+            expired_years=6 if index == deep_expired else 2)
+        entity = "government" if index < len(government) else "corporate"
+        mix = (ClientMix(permissive=0.9, browser=0.1) if expired
+               else MIX_PRESETS["hybrid_complete"])
+        ctx.add(chain, host, mix=mix, labels={
+            "hybrid_category": "is-complete-matched-path",
+            "complete_kind": "non-pub-chained-to-pub",
+            "entity": entity,
+            "expired_leaf": expired,
+        })
+
+    # 10 × public path chained to a private re-issue of the root subject.
+    reissuers = [("Scalyr", "app.scalyr.com", "usertrust", "sectigo_dv")] * 6 \
+        + [("Canal+", "backend.canal-plus.com", "digicert", "tls2020")] * 4
+    for index, (org, base_host, ca_name, inter_label) in enumerate(reissuers):
+        ca = ctx.pki.ca(ca_name)
+        inter = ca.intermediates[inter_label]
+        host = f"node{index}.{base_host}"
+        leaf = ctx.factory.leaf(inter, name(host), dns_names=[host],
+                                lifetime_days=_LEAF_DAYS)
+        reissue = ctx.factory.mismatched_pair_cert(
+            name(f"{org} Internal CA", o=org), ca.root.subject)
+        chain = (leaf, inter.certificate, ca.root.certificate, reissue)
+        ctx.add(chain, host, mix=MIX_PRESETS["hybrid_complete"], labels={
+            "hybrid_category": "is-complete-matched-path",
+            "complete_kind": "pub-chained-to-prv",
+            "entity": "corporate",
+            "reissuer": org,
+        })
+
+
+# -- group 2: chain CONTAINS a complete matched path (70) -------------------------
+
+
+def _public_path(ctx: _Ctx, ca_name: str, inter_label: str, host: str,
+                 include_root: bool = True) -> tuple[Certificate, ...]:
+    ca = ctx.pki.ca(ca_name)
+    inter = ca.intermediates[inter_label]
+    leaf = ctx.factory.leaf(inter, name(host), dns_names=[host],
+                            lifetime_days=_LEAF_DAYS)
+    if include_root:
+        return (leaf, inter.certificate, ca.root.certificate)
+    return (leaf, inter.certificate)
+
+
+def _contains_complete(ctx: _Ctx) -> None:
+    rotation = [("lets_encrypt", "R3"), ("digicert", "tls2020"),
+                ("comodo", "dv"), ("godaddy", "g2"),
+                ("usertrust", "sectigo_dv"), ("globalsign", "ov2018")]
+
+    def pick(i: int) -> tuple[str, str]:
+        return rotation[i % len(rotation)]
+
+    # 14 × Let's Encrypt staging placeholder (Appendix F.2).
+    for i in range(14):
+        host = f"www.staging{i}.example"
+        path = _public_path(ctx, "lets_encrypt", "R3", host)
+        fake = ctx.factory.mismatched_pair_cert(
+            name("Fake LE Root X1"), name("Fake LE Intermediate X1"))
+        ctx.add((*path, fake), host, mix=MIX_PRESETS["hybrid_contains"],
+                labels={"hybrid_category": "contains-complete-matched-path",
+                        "pattern": "fake-le"})
+
+    # 10 × enterprise self-signed appended ("tester" — HP style).
+    for i in range(10):
+        ca_name, inter_label = pick(i)
+        host = f"webauth{i}.hpconnected.example"
+        path = _public_path(ctx, ca_name, inter_label, host)
+        tester = ctx.factory.self_signed(name("tester", o="HP Inc"))
+        ctx.add((*path, tester), host, mix=MIX_PRESETS["hybrid_contains"],
+                labels={"hybrid_category": "contains-complete-matched-path",
+                        "pattern": "enterprise-self-signed"})
+
+    # 10 × Athenz software-appended self-signed certificates.
+    for i in range(10):
+        ca_name, inter_label = pick(i + 1)
+        host = f"svc{i}.athenz.example"
+        path = _public_path(ctx, ca_name, inter_label, host)
+        athenz = ctx.factory.self_signed(
+            name(f"athenz.instance{i}", o="Athenz"))
+        ctx.add((*path, athenz), host, mix=MIX_PRESETS["hybrid_contains"],
+                labels={"hybrid_category": "contains-complete-matched-path",
+                        "pattern": "athenz"})
+
+    # 10 dual-chain servers: the same valid path delivered with *different*
+    # extra public roots across connections (20 chains).  An enterprise
+    # self-signed certificate rides along in both variants — that is what
+    # makes these chains hybrid rather than public-only.
+    root_pool = [ctx.pki.ca(ca).root.certificate
+                 for ca in ("godaddy", "globalsign", "amazon")]
+    for i in range(10):
+        ca_name, inter_label = pick(i + 2)
+        host = f"dual{i}.corp.example"
+        path = _public_path(ctx, ca_name, inter_label, host)
+        corp_cert = ctx.factory.self_signed(
+            name(f"dual{i} internal", o=f"Dual Corp {i}"))
+        server_id = ctx.next_server()
+        # The extra root must not be the chain's own root, or the appended
+        # certificate would chain onto the path instead of dangling.
+        own_root = ctx.pki.ca(ca_name).root.certificate
+        extra_roots = [r for r in root_pool
+                       if not r.subject.matches(own_root.subject)][:2]
+        for variant, extra_root in enumerate(extra_roots):
+            # The variants differ only in the appended root; the leaf is
+            # shared, so the chains are distinct but the server is one.
+            ctx.add((*path, extra_root, corp_cert), host,
+                    mix=MIX_PRESETS["hybrid_contains"], server_id=server_id,
+                    labels={"hybrid_category":
+                            "contains-complete-matched-path",
+                            "pattern": "extra-public-root",
+                            "variant": variant,
+                            "dual_server": True})
+
+    # 4 × stray leaf delivered before the complete path (§4.2's
+    # leading-leaf misconfiguration; validation-hostile).  The stray leaf
+    # comes from the operator's private CA, making the chain hybrid.
+    for i in range(4):
+        ca_name, inter_label = pick(i + 3)
+        host = f"lead{i}.example"
+        path = _public_path(ctx, ca_name, inter_label, host)
+        stray = ctx.factory.mismatched_pair_cert(
+            name(f"Lead Corp {i} Issuing CA", o=f"Lead Corp {i}"),
+            name(f"old-{host}"))
+        ctx.add((stray, *path), host,
+                mix=MIX_PRESETS["hybrid_contains_stray_leaf"],
+                labels={"hybrid_category": "contains-complete-matched-path",
+                        "pattern": "stray-leaf-before-path"})
+
+    # 12 × misc: non-public intermediate-looking certificates appended.
+    # Two servers pile up many junk certificates (Figure 4's columns reach
+    # ~12 cells; chains this heavy also overflow the TCP initial congestion
+    # window — the §6.1 latency cost).
+    junk_counts = [1] * 10 + [6, 9]
+    for i, junk_count in enumerate(junk_counts):
+        ca_name, inter_label = pick(i + 5)
+        host = f"misc{i}.corp.example"
+        path = _public_path(ctx, ca_name, inter_label, host)
+        if junk_count == 1:
+            junk = (ctx.factory.mismatched_pair_cert(
+                name(f"Corp Issuing CA {i}", o=f"Corp {i}"),
+                name(f"Corp Sub CA {i}", o=f"Corp {i}")),)
+        else:
+            # Heavy servers append fat 4096-bit enterprise roots.
+            junk = tuple(
+                ctx.factory.root(
+                    name(f"Corp Trust Anchor {i}.{j}",
+                         o=f"Corp {i} Enterprise Services Division"),
+                    key_bits=4096).certificate
+                for j in range(junk_count))
+        ctx.add((*path, *junk), host, mix=MIX_PRESETS["hybrid_contains"],
+                labels={"hybrid_category": "contains-complete-matched-path",
+                        "pattern": "misc-nonpub-appendage",
+                        "junk_count": junk_count})
+
+
+# -- group 3: NO complete matched path (215) ----------------------------------------
+
+#: Ladder depths that give the long broken chains their low mismatch
+#: ratios, spreading Figure 6's histogram across 0.1-0.4 as in the paper.
+_LONG_DEPTHS = (4, 5, 7, 9, 14, 19)
+
+
+def _nonpub_ladder(ctx: _Ctx, org: str, depth: int) -> list[Certificate]:
+    """``depth`` non-public intermediates in wire order (deepest first).
+
+    Every adjacent pair inside the ladder matches, but the ladder's
+    self-signed root is *not* delivered, so the run can never become a
+    complete matched path (no leaf) and never triggers the appended-root
+    taxonomy branch (the last certificate is not self-signed).
+    """
+    parent = ctx.factory.root(name(f"{org} Hidden Root", o=org))
+    authorities = []
+    for level in range(depth):
+        parent = ctx.factory.intermediate(
+            parent, name(f"{org} CA L{depth - level}", o=org), path_len=None)
+        authorities.append(parent)
+    return [ia.certificate for ia in reversed(authorities)]
+
+
+def _anchored_tail(ctx: _Ctx, org: str, index: int,
+                   depth: int) -> list[Certificate]:
+    """A matched run of non-public intermediates hanging under a public
+    intermediate (delivered last) — a valid hybrid sub-chain."""
+    rotation = [("usertrust", "sectigo_dv"), ("digicert", "sha2"),
+                ("globalsign", "ov2018")]
+    ca_name, label = rotation[index % len(rotation)]
+    public_parent = ctx.pki.ca(ca_name).intermediates[label]
+    parent = public_parent
+    authorities = []
+    for level in range(depth):
+        parent = ctx.factory.intermediate(
+            parent, name(f"{org} Sub CA {depth - level}", o=org),
+            path_len=None)
+        authorities.append(parent)
+    return [ia.certificate for ia in reversed(authorities)] + [
+        public_parent.certificate]
+
+
+def _no_path(ctx: _Ctx) -> None:
+    rotation = [("lets_encrypt", "R3"), ("digicert", "sha2"),
+                ("godaddy", "g2"), ("globalsign", "ov2018"),
+                ("comodo", "dv"), ("usertrust", "sectigo_dv")]
+
+    def inter_cert(i: int) -> Certificate:
+        ca_name, label = rotation[i % len(rotation)]
+        return ctx.pki.ca(ca_name).intermediates[label].certificate
+
+    # 108 x non-public self-signed leaf followed by mismatched pairs;
+    # 100 use the localhost-style identical DN, 8 use custom DNs.
+    # 48 are short chains (ratio 0.5-1.0); 60 carry a long matched ladder
+    # after the mismatches (ratio 0.1-0.4).  5 servers present two chains
+    # (leaf replacement): 103 servers.
+    dup_budget = 5
+    made = 0
+    server_index = 0
+    while made < 108:
+        host = f"ss{server_index}.internal.example"
+        server_id = ctx.next_server()
+        variants = 2 if dup_budget > 0 and server_index % 20 == 7 else 1
+        if variants == 2:
+            dup_budget -= 1
+        shared_tail: tuple[Certificate, ...] | None = None
+        for _ in range(variants):
+            if made >= 108:
+                break
+            leaf_dn = (_LOCALHOST_DN if made < 100
+                       else name(f"appliance{server_index}.local",
+                                 o=f"Appliance {server_index}"))
+            leaf = ctx.factory.self_signed(leaf_dn, lifetime_days=730)
+            # Dual-chain servers model *leaf replacement*: the second
+            # variant renews the leaf but delivers the identical tail.
+            if shared_tail is None:
+                if made < 48:
+                    shared_tail = (inter_cert(made),)
+                else:
+                    depth = _LONG_DEPTHS[made % len(_LONG_DEPTHS)]
+                    ladder = _nonpub_ladder(ctx, f"SSOrg {made}", depth)
+                    shared_tail = (inter_cert(made), *ladder)
+            chain = (leaf, *shared_tail)
+            ctx.add(chain, host, mix=MIX_PRESETS["hybrid_no_path"],
+                    server_id=server_id,
+                    labels={"hybrid_category": "no-complete-matched-path",
+                            "no_path_category":
+                            "nonpub-self-signed-leaf+mismatches",
+                            "dual_leaf_replacement": variants == 2})
+            made += 1
+        server_index += 1
+    assert dup_budget == 0
+
+    # 13 x self-signed leaf replacing the original leaf of a valid
+    # sub-chain: 4 short public-only sub-chains, 9 longer anchored tails.
+    for i in range(13):
+        host = f"replaced{i}.example"
+        ss_leaf = ctx.factory.self_signed(name(host))
+        if i < 4:
+            ca_name, label = rotation[i % len(rotation)]
+            ca = ctx.pki.ca(ca_name)
+            chain = (ss_leaf, ca.intermediates[label].certificate,
+                     ca.root.certificate)
+        else:
+            tail = _anchored_tail(ctx, f"ReplOrg {i}", i, depth=2 + i % 4)
+            chain = (ss_leaf, *tail)
+        ctx.add(chain, host, mix=MIX_PRESETS["hybrid_no_path"],
+                labels={"hybrid_category": "no-complete-matched-path",
+                        "no_path_category":
+                        "nonpub-self-signed-leaf+valid-subchain"})
+
+    # 61 x all pairs mismatched: 35 with a public leaf missing its issuer,
+    # 26 with a non-public distinct-name leaf.  4 servers x 2 chains.
+    dup_budget = 4
+    made = 0
+    server_index = 0
+    while made < 61:
+        host = f"broken{server_index}.example"
+        server_id = ctx.next_server()
+        variants = 2 if dup_budget > 0 and server_index % 12 == 5 else 1
+        if variants == 2:
+            dup_budget -= 1
+        shared_tail = None
+        leaf_template = None
+        for _ in range(variants):
+            if made >= 61:
+                break
+            if made < 35:
+                if shared_tail is None or leaf_template != "public":
+                    ca_name, label = rotation[made % len(rotation)]
+                    shared_tail = (inter_cert(made + 1),
+                                   ctx.factory.mismatched_pair_cert(
+                                       name(f"odd-issuer-{made}"),
+                                       name(f"odd-subject-{made}")))
+                    leaf_template = "public"
+                ca_name, label = rotation[made % len(rotation)] \
+                    if variants == 1 else rotation[server_index % len(rotation)]
+                leaf = ctx.factory.leaf(
+                    ctx.pki.ca(ca_name).intermediates[label],
+                    name(host), dns_names=[host], lifetime_days=_LEAF_DAYS)
+                chain = (leaf, *shared_tail)
+                missing = True
+            else:
+                if shared_tail is None or leaf_template != "nonpub":
+                    shared_tail = (inter_cert(made),)
+                    leaf_template = "nonpub"
+                leaf = ctx.factory.mismatched_pair_cert(
+                    name(f"ghost-ca-{server_index}"), name(host))
+                chain = (leaf, *shared_tail)
+                missing = False
+            ctx.add(chain, host, mix=MIX_PRESETS["hybrid_no_path"],
+                    server_id=server_id,
+                    labels={"hybrid_category": "no-complete-matched-path",
+                            "no_path_category": "all-pairs-mismatched",
+                            "public_leaf_missing_issuer": missing})
+            made += 1
+        server_index += 1
+    assert dup_budget == 0
+
+    # 27 x partial mismatches: 21 with a public leaf missing its issuing
+    # intermediate (3 short, 18 with long matched ladders), 6 with a
+    # non-public leaf before an anchored matched tail.
+    for i in range(27):
+        host = f"partial{i}.example"
+        ca_name, label = rotation[i % len(rotation)]
+        ca = ctx.pki.ca(ca_name)
+        if i < 3:
+            other_ca = ctx.pki.ca(rotation[(i + 2) % len(rotation)][0])
+            leaf = ctx.factory.leaf(ca.intermediates[label], name(host),
+                                    dns_names=[host],
+                                    lifetime_days=_LEAF_DAYS)
+            reissue = ctx.factory.mismatched_pair_cert(
+                name(f"Private CA {i}", o=f"Org {i}"),
+                other_ca.root.subject)
+            chain = (leaf, other_ca.root.certificate, reissue)
+            missing = True
+        elif i < 21:
+            leaf = ctx.factory.leaf(ca.intermediates[label], name(host),
+                                    dns_names=[host],
+                                    lifetime_days=_LEAF_DAYS)
+            depth = _LONG_DEPTHS[i % len(_LONG_DEPTHS)] - 1
+            ladder = _nonpub_ladder(ctx, f"PartOrg {i}", depth)
+            chain = (leaf, *ladder)
+            missing = True
+        else:
+            leaf = ctx.factory.mismatched_pair_cert(
+                name(f"odd-{i}"), name(host))
+            tail = _anchored_tail(ctx, f"PartOrg {i}", i, depth=2 + i % 3)
+            chain = (leaf, *tail)
+            missing = False
+        ctx.add(chain, host, mix=MIX_PRESETS["hybrid_no_path"],
+                labels={"hybrid_category": "no-complete-matched-path",
+                        "no_path_category": "partial-pairs-mismatched",
+                        "public_leaf_missing_issuer": missing})
+
+    # 5 x non-public root appended to a truncated public sub-chain.
+    for i in range(5):
+        host = f"truncated{i}.example"
+        ca_name, label = rotation[i % len(rotation)]
+        ca = ctx.pki.ca(ca_name)
+        nonpub_root = ctx.factory.self_signed(
+            name(f"Corp Trust Root {i}", o=f"Corp {i}"),
+            include_extensions=True)
+        chain = (ca.intermediates[label].certificate, ca.root.certificate,
+                 nonpub_root)
+        ctx.add(chain, host, mix=MIX_PRESETS["hybrid_no_path"],
+                labels={"hybrid_category": "no-complete-matched-path",
+                        "no_path_category":
+                        "nonpub-root-appended-to-public-subchain"})
+
+    # 1 x non-public root plus mismatched head pairs.  The head is a
+    # non-public certificate so this chain does not inflate the
+    # public-leaf-missing-issuer count (the paper's 56 excludes it).
+    nonpub_root = ctx.factory.self_signed(name("Lone Corp Root", o="Lone"),
+                                          include_extensions=True)
+    chain = (ctx.factory.mismatched_pair_cert(name("Lone Issuing CA"),
+                                              name("gateway.lone.example")),
+             ctx.pki.ca("godaddy").intermediates["g2"].certificate,
+             nonpub_root)
+    ctx.add(chain, "lone.example", mix=MIX_PRESETS["hybrid_no_path"],
+            labels={"hybrid_category": "no-complete-matched-path",
+                    "no_path_category": "nonpub-root+mismatched-pairs"})

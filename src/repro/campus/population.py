@@ -1,0 +1,408 @@
+"""Bulk chain populations: public-only, non-public-only, interception, DGA,
+outliers, and the complex private-PKI meshes.
+
+Calibration sources:
+
+* Figure 1 — public chains are mostly length 2 (root omitted [31]),
+  non-public chains 78.10 % single-certificate, interception chains
+  predominantly length 3;
+* §4.3 — 94.19 % of non-public singles are self-signed; 86.70 % of their
+  connections lack SNI; the DGA cluster; Table 8's matched-path shares;
+* Table 1 — the 80-vendor interception fleet with category-weighted
+  connection volumes;
+* Appendix I — intermediates linked to ≥3 intermediates (Figures 7/8).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..ct.log import CTLog
+from ..tls.interception import InterceptionMiddlebox
+from ..truststores.builtin import PublicPKI
+from ..x509.certificate import Certificate
+from ..x509.generation import DEFAULT_EPOCH, CertificateFactory, IssuingAuthority, name
+from .profiles import INTERCEPTION_FLEET, PAPER, ScaleConfig
+from .spec import ChainSpec, ClientMix, MIX_PRESETS
+
+from datetime import timedelta
+
+#: See hybrid_population._CERT_EPOCH — mint before the window opens.
+_CERT_EPOCH = DEFAULT_EPOCH - timedelta(days=60)
+#: Leaf lifetime covering mint jitter + the full 12-month window.
+_LEAF_DAYS = 460
+
+__all__ = [
+    "build_public_population",
+    "build_nonpublic_population",
+    "build_interception_population",
+    "PUBLIC_DOMAINS",
+]
+
+#: Popular public domains: targets for interception and the CT-logged
+#: baseline the detector compares against.
+PUBLIC_DOMAINS: tuple[str, ...] = tuple(
+    f"www.{label}.com" for label in (
+        "searchhub", "videostream", "socialgrid", "mailspace", "newsfront",
+        "shoponline", "clouddocs", "streamtunes", "photowall", "chatline",
+        "mapquestor", "weatherly", "sportscore", "financely", "travelgo",
+        "foodiehub", "bookstack", "gamerden", "codeforge", "artboard",
+    )
+) + ("portal.campus.edu", "lms.campus.edu", "library.campus.edu")
+
+
+def _random_word(rng: random.Random, length: int) -> str:
+    """A pronounceable-ish lowercase label (not DGA-like)."""
+    vowels, consonants = "aeiou", "bcdfgklmnprstvz"
+    out = []
+    for i in range(length):
+        out.append(rng.choice(vowels if i % 2 else consonants))
+    return "".join(out)
+
+
+def _random_dga_label(rng: random.Random) -> str:
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(rng.randint(8, 14)))
+
+
+# -- public-only ----------------------------------------------------------------------
+
+
+def build_public_population(pki: PublicPKI, *, seed: int | str,
+                            scale: ScaleConfig,
+                            ct_log: Optional[CTLog] = None) -> List[ChainSpec]:
+    """Public-DB-only chains: ≥60 % delivered at length 2 (Figure 1)."""
+    rng = random.Random(f"public-pop:{seed}")
+    factory = CertificateFactory(seed=f"public-pop:{seed}",
+                                 epoch=_CERT_EPOCH)
+    count = scale.scaled_public_chains()
+    ca_names = [n for n in pki.cas
+                if pki.cas[n].intermediates]  # issuing CAs only
+    specs: List[ChainSpec] = []
+    domains = list(PUBLIC_DOMAINS)
+    for i in range(count):
+        ca = pki.ca(ca_names[i % len(ca_names)])
+        inter_label = list(ca.intermediates)[i % len(ca.intermediates)]
+        inter = ca.intermediates[inter_label]
+        if i < len(domains):
+            host = domains[i]
+        else:
+            host = f"www.{_random_word(rng, rng.randint(6, 10))}.com"
+        leaf = factory.leaf(inter, name(host), dns_names=[host],
+                            lifetime_days=_LEAF_DAYS)
+        roll = rng.random()
+        if roll < 0.62:
+            chain: tuple[Certificate, ...] = (leaf, inter.certificate)
+        elif roll < 0.90:
+            chain = (leaf, inter.certificate, ca.root.certificate)
+        elif roll < 0.97:
+            chain = (leaf,)
+        else:
+            # Misconfigured: an extra unrelated public intermediate.
+            other = pki.ca(ca_names[(i + 3) % len(ca_names)])
+            extra = next(iter(other.intermediates.values())).certificate
+            chain = (leaf, inter.certificate, ca.root.certificate, extra)
+        if ct_log is not None:
+            ct_log.add_chain([leaf, inter.certificate, ca.root.certificate])
+        specs.append(ChainSpec(
+            chain=chain,
+            hostname=host,
+            category_truth="public",
+            mix=MIX_PRESETS["public"],
+            port_model="public",
+            mean_connections=scale.conns_per_public_chain,
+            sni_rate=0.97,
+            server_id=f"pub-srv-{i:05d}",
+            labels={"population": "public"},
+            tls13_rate=scale.tls13_rate,
+            client_pool="general",
+        ))
+    return specs
+
+
+# -- non-public-only ----------------------------------------------------------------------
+
+
+def _private_pki(factory: CertificateFactory, org: str, *,
+                 depth: int) -> tuple[IssuingAuthority, list[IssuingAuthority]]:
+    root = factory.root(name(f"{org} Root CA", o=org))
+    ladder = [root]
+    for level in range(depth - 1):
+        ladder.append(factory.intermediate(
+            ladder[-1], name(f"{org} CA L{level + 1}", o=org), path_len=None))
+    return root, ladder
+
+
+def build_nonpublic_population(pki: PublicPKI, *, seed: int | str,
+                               scale: ScaleConfig) -> List[ChainSpec]:
+    rng = random.Random(f"nonpub-pop:{seed}")
+    factory = CertificateFactory(seed=f"nonpub-pop:{seed}",
+                                 epoch=_CERT_EPOCH)
+    total = scale.scaled_nonpub_chains()
+    singles = round(total * PAPER.nonpub_len1_share_pct / 100)
+    multi = total - singles
+    specs: List[ChainSpec] = []
+
+    # --- single-certificate chains (78.10 %) --------------------------------
+    dga_count = min(scale.dga_chains, max(0, singles - 20))
+    distinct_count = max(2, round(singles * (1 - PAPER.nonpub_single_self_signed_pct
+                                             / 100)) - dga_count)
+    self_signed_count = singles - dga_count - distinct_count
+    for i in range(self_signed_count):
+        host = f"device{i}.{_random_word(rng, 6)}.lan"
+        cert = factory.self_signed(name(host), lifetime_days=rng.choice(
+            (365, 730, 3650)))
+        specs.append(_nonpub_spec(cert_chain=(cert,), host=host, scale=scale,
+                                  sni_rate=1 - PAPER.nonpub_single_no_sni_pct / 100,
+                                  labels={"population": "nonpub-single-ss"},
+                                  index=i))
+    for i in range(distinct_count):
+        issuer_dn = name(f"gw-{_random_word(rng, 5)}", o=_random_word(rng, 7))
+        subject = f"host{i}.{_random_word(rng, 6)}.lan"
+        cert = factory.mismatched_pair_cert(issuer_dn, name(subject))
+        specs.append(_nonpub_spec(cert_chain=(cert,), host=subject, scale=scale,
+                                  sni_rate=0.2,
+                                  labels={"population": "nonpub-single-distinct"},
+                                  index=i))
+    # DGA cluster (§4.3): distinct issuer/subject, one template, random
+    # validity periods between 4 and 365 days.
+    for i in range(dga_count):
+        issuer = name(f"www.{_random_dga_label(rng)}.com")
+        subject = name(f"www.{_random_dga_label(rng)}.com")
+        cert = factory.mismatched_pair_cert(
+            issuer, subject, lifetime_days=rng.randint(*PAPER.dga_validity_days))
+        spec = _nonpub_spec(cert_chain=(cert,),
+                            host=subject.common_name, scale=scale,
+                            sni_rate=0.0,
+                            labels={"population": "nonpub-dga", "dga": True},
+                            index=i)
+        spec.client_pool = "dga"
+        specs.append(spec)
+
+    # --- multi-certificate chains ----------------------------------------------
+    # Table 8 shape: ~99.76 % fully matched; small contains/none tails.
+    broken_contains = max(1, round(multi * 0.0035))
+    broken_none = max(1, round(multi * 0.0025))
+    matched = multi - broken_contains - broken_none
+
+    # Two "complex mesh" organisations (Appendix I / Figure 7): a hub CA
+    # issuing ≥3 sub-intermediates used across chains.
+    mesh_specs = 0
+    for mesh_index in range(2):
+        org = f"Mesh Org {mesh_index}"
+        root, ladder = _private_pki(factory, org, depth=2)
+        hub = ladder[-1]
+        for sub_index in range(4):
+            if mesh_specs >= matched:
+                break
+            sub = factory.intermediate(
+                hub, name(f"{org} Sub CA {sub_index}", o=org), path_len=None)
+            host = f"svc{sub_index}.mesh{mesh_index}.corp"
+            leaf = factory.leaf(sub, name(host), dns_names=[host],
+                                omit_basic_constraints=True,
+                                lifetime_days=_LEAF_DAYS)
+            chain = (leaf, sub.certificate, hub.certificate, root.certificate)
+            specs.append(_nonpub_spec(cert_chain=chain, host=host, scale=scale,
+                                      sni_rate=0.6,
+                                      labels={"population": "nonpub-mesh",
+                                              "mesh": mesh_index},
+                                      index=mesh_specs, multi=True))
+            mesh_specs += 1
+
+    org_count = 0
+    for i in range(matched - mesh_specs):
+        org = f"PrivOrg {org_count}"
+        org_count += 1
+        depth = rng.choice((2, 2, 3))
+        root, ladder = _private_pki(factory, org, depth=depth)
+        host = f"app{i}.{_random_word(rng, 6)}.corp"
+        omit_bc = rng.random() < 0.55  # §4.3's missing basicConstraints
+        leaf = factory.leaf(ladder[-1], name(host), dns_names=[host],
+                            omit_basic_constraints=omit_bc,
+                            lifetime_days=_LEAF_DAYS)
+        chain = (leaf, *[ia.certificate for ia in reversed(ladder)])
+        specs.append(_nonpub_spec(cert_chain=chain, host=host, scale=scale,
+                                  sni_rate=0.55,
+                                  labels={"population": "nonpub-multi"},
+                                  index=i, multi=True))
+
+    # Broken multi-cert chains: "contains" (a matched pair plus junk) and
+    # "none" (all pairs mismatched).
+    for i in range(broken_contains):
+        org = f"BrokenOrg {i}"
+        root, ladder = _private_pki(factory, org, depth=2)
+        host = f"broken{i}.{_random_word(rng, 5)}.corp"
+        leaf = factory.leaf(ladder[-1], name(host), omit_basic_constraints=True)
+        junk = factory.mismatched_pair_cert(name(f"junk-iss-{i}"),
+                                            name(f"junk-sub-{i}"))
+        chain = (leaf, ladder[-1].certificate, junk)
+        specs.append(_nonpub_spec(cert_chain=chain, host=host, scale=scale,
+                                  sni_rate=0.4,
+                                  labels={"population": "nonpub-multi-contains"},
+                                  index=i, multi=True))
+    for i in range(broken_none):
+        host = f"chaos{i}.{_random_word(rng, 5)}.corp"
+        a = factory.mismatched_pair_cert(name(f"x-iss-{i}"), name(host))
+        b = factory.mismatched_pair_cert(name(f"y-iss-{i}"),
+                                         name(f"y-sub-{i}"))
+        specs.append(_nonpub_spec(cert_chain=(a, b), host=host, scale=scale,
+                                  sni_rate=0.4,
+                                  labels={"population": "nonpub-multi-none"},
+                                  index=i, multi=True))
+
+    # The three pathological outliers of §4.1 (observed once, never
+    # established).
+    for length in PAPER.outlier_lengths:
+        cert_pool = [factory.self_signed(name(f"loop{j}.local"))
+                     for j in range(min(length, 24))]
+        chain = tuple(cert_pool[j % len(cert_pool)] for j in range(length))
+        spec = ChainSpec(
+            chain=chain,
+            hostname=None,
+            category_truth="nonpub",
+            mix=MIX_PRESETS["reject_all"],
+            port_model="nonpub_multi",
+            mean_connections=1,
+            sni_rate=0.0,
+            server_id=f"outlier-{length}",
+            labels={"population": "nonpub-outlier", "outlier": True},
+            client_pool="nonpub",
+        )
+        specs.append(spec)
+    return specs
+
+
+def _nonpub_spec(*, cert_chain: Sequence[Certificate], host: str,
+                 scale: ScaleConfig, sni_rate: float, labels: dict,
+                 index: int, multi: bool = False) -> ChainSpec:
+    return ChainSpec(
+        chain=tuple(cert_chain),
+        hostname=host,
+        category_truth="nonpub",
+        mix=MIX_PRESETS["nonpub"],
+        port_model="nonpub_multi" if multi else "nonpub_single",
+        mean_connections=scale.conns_per_nonpub_chain,
+        sni_rate=sni_rate,
+        server_id=f"nonpub-srv-{labels['population']}-{index:05d}",
+        labels=labels,
+        tls13_rate=scale.tls13_rate / 3,  # legacy gear negotiates 1.3 rarely
+        client_pool="nonpub",
+    )
+
+
+# -- interception -------------------------------------------------------------------------
+
+
+def build_interception_population(pki: PublicPKI, *, seed: int | str,
+                                  scale: ScaleConfig
+                                  ) -> tuple[List[ChainSpec],
+                                             List[InterceptionMiddlebox]]:
+    """One middlebox per Table 1 vendor; chains are substitute chains for
+    CT-known public domains, so the §3.2.1 detector can flag them."""
+    rng = random.Random(f"intercept-pop:{seed}")
+    total_chains = scale.scaled_interception_chains()
+    weights = [v.weight for v in INTERCEPTION_FLEET]
+    weight_sum = sum(weights)
+    middleboxes: List[InterceptionMiddlebox] = []
+    specs: List[ChainSpec] = []
+    # Budget chains per vendor: proportional to weight, at least 1.
+    budgets = [max(1, round(total_chains * w / weight_sum)) for w in weights]
+
+    for vendor, budget in zip(INTERCEPTION_FLEET, budgets):
+        factory = CertificateFactory(seed=f"mb:{vendor.vendor}:{seed}",
+                                     epoch=_CERT_EPOCH)
+        middlebox = InterceptionMiddlebox(
+            vendor.vendor, vendor.category, factory,
+            chain_depth=vendor.chain_depth,
+            single_self_signed=vendor.single_self_signed,
+            single_leaf_only=vendor.single_leaf_only)
+        middleboxes.append(middlebox)
+        hosts = rng.sample(PUBLIC_DOMAINS, k=min(budget, len(PUBLIC_DOMAINS)))
+        while len(hosts) < budget:
+            hosts.append(f"www.{_random_word(rng, 7)}.com")
+        for i, host in enumerate(hosts):
+            chain = middlebox.substitute_chain(host)
+            # Connection volume follows the vendor's weight so Table 1's
+            # per-category connection share emerges from the fleet.
+            volume = scale.conns_per_interception_chain * (
+                0.5 + 4.0 * vendor.weight / max(weights))
+            specs.append(ChainSpec(
+                chain=chain,
+                hostname=host,
+                category_truth="interception",
+                mix=MIX_PRESETS["interception"],
+                port_model="interception",
+                mean_connections=volume,
+                sni_rate=0.98,
+                server_id=f"mb-{vendor.vendor}-{i:04d}",
+                labels={"population": "interception",
+                        "vendor": vendor.vendor,
+                        "vendor_category": vendor.category},
+                extra_anchors=(middlebox.root.certificate,),
+                client_pool=f"intercept:{vendor.category}",
+            ))
+
+    # Figure 8's complex interception structures: two big vendors get a hub
+    # intermediate with ≥3 sub-intermediates across chains.
+    for vendor_name in ("Zscaler", "Fortinet"):
+        middlebox = next(m for m in middleboxes if m.vendor == vendor_name)
+        factory = middlebox.factory
+        hub = factory.intermediate(middlebox.root,
+                                   name(f"{vendor_name} Regional Hub CA",
+                                        o=vendor_name), path_len=None)
+        for region in range(3):
+            sub = factory.intermediate(
+                hub, name(f"{vendor_name} Region {region} CA", o=vendor_name),
+                path_len=None)
+            host = rng.choice(PUBLIC_DOMAINS)
+            leaf = factory.leaf(sub, name(host, o=vendor_name),
+                                dns_names=[host], lifetime_days=_LEAF_DAYS)
+            chain = (leaf, sub.certificate, hub.certificate,
+                     middlebox.root.certificate)
+            specs.append(ChainSpec(
+                chain=chain,
+                hostname=host,
+                category_truth="interception",
+                mix=MIX_PRESETS["interception"],
+                port_model="interception",
+                mean_connections=scale.conns_per_interception_chain,
+                sni_rate=0.98,
+                server_id=f"mb-{vendor_name}-mesh-{region}",
+                labels={"population": "interception-mesh",
+                        "vendor": vendor_name,
+                        "vendor_category": "Security & Network"},
+                extra_anchors=(middlebox.root.certificate,),
+                client_pool="intercept:Security & Network",
+            ))
+
+    # Table 8's broken interception tail: stale appliances presenting a
+    # leaf with the wrong (rotated-out) intermediate.
+    broken = max(2, round(len(specs) * 0.011))
+    for i in range(broken):
+        vendor = INTERCEPTION_FLEET[i % 3]  # big security vendors
+        middlebox = middleboxes[i % 3]
+        factory = middlebox.factory
+        host = rng.choice(PUBLIC_DOMAINS)
+        leaf = factory.leaf(middlebox.issuing, name(host, o=vendor.vendor),
+                            dns_names=[host], lifetime_days=_LEAF_DAYS)
+        stale = factory.mismatched_pair_cert(
+            name(f"{vendor.vendor} Legacy Root", o=vendor.vendor),
+            name(f"{vendor.vendor} Retired CA {i}", o=vendor.vendor))
+        chain = (leaf, stale)
+        specs.append(ChainSpec(
+            chain=chain,
+            hostname=host,
+            category_truth="interception",
+            mix=ClientMix(trusting=0.5, permissive=0.5),
+            port_model="interception",
+            mean_connections=scale.conns_per_interception_chain / 2,
+            sni_rate=0.95,
+            server_id=f"mb-stale-{i:03d}",
+            labels={"population": "interception-broken",
+                    "vendor": vendor.vendor,
+                    "vendor_category": vendor.category},
+            extra_anchors=(middlebox.root.certificate,),
+            client_pool=f"intercept:{vendor.category}",
+        ))
+    return specs, middleboxes

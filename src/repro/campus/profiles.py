@@ -1,0 +1,327 @@
+"""Calibration profiles: every population statistic the paper publishes.
+
+``PaperTargets`` is the single source of truth for the numbers the
+simulator is calibrated to and the benchmarks compare against.  The
+interception vendor fleet reproduces Table 1's 80 issuers across six
+categories with the paper's connection-volume and client-IP proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..core.interception import VendorDirectory
+
+__all__ = ["PaperTargets", "PAPER", "InterceptionVendor", "INTERCEPTION_FLEET",
+           "ScaleConfig", "SMALL_SCALE", "DEFAULT_SCALE", "PORT_MODELS",
+           "build_vendor_directory"]
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """Published statistics from the paper (tables, figures, and in-text)."""
+
+    # §3.2.2 / Table 2 ---------------------------------------------------------
+    total_chains: int = 731_175
+    total_certificates: int = 743_993
+    nonpub_chain_share_pct: float = 16.24
+    hybrid_chains: int = 321
+    interception_chain_share_pct: float = 11.19
+    nonpub_connections: int = 216_470_000
+    hybrid_connections: int = 78_260
+    interception_connections: int = 42_750_000
+    nonpub_client_ips: int = 231_228
+    hybrid_client_ips: int = 11_933
+    interception_client_ips: int = 19_149
+
+    # Table 1 -------------------------------------------------------------------
+    interception_issuers: int = 80
+    interception_issuer_categories: Tuple[Tuple[str, int, float, int], ...] = (
+        ("Security & Network", 31, 94.74, 17_915),
+        ("Business & Corporate", 27, 4.99, 4_787),
+        ("Health & Education", 10, 0.02, 35),
+        ("Government & Public Service", 6, 0.24, 25),
+        ("Bank & Finance", 3, 0.004, 14),
+        ("Other", 3, 0.004, 73),
+    )
+
+    # §4.1 / Figure 1 -------------------------------------------------------------
+    public_len2_share_pct: float = 60.0
+    nonpub_len1_share_pct: float = 78.10
+    interception_len3_share_pct: float = 80.0
+    outlier_lengths: Tuple[int, ...] = (3822, 921, 41)
+
+    # §4.2 / Table 3 ---------------------------------------------------------------
+    hybrid_complete_only: int = 36
+    hybrid_nonpub_to_pub: int = 26
+    hybrid_pub_to_private: int = 10
+    hybrid_contains_complete: int = 70
+    hybrid_no_path: int = 215
+    complete_establish_pct: float = 97.69
+    contains_establish_pct: float = 92.04
+    no_path_establish_pct: float = 57.42
+    multi_chain_servers: int = 19
+    fake_le_chains: int = 14
+    no_path_public_leaf_missing_issuer: int = 56
+    no_path_high_mismatch_share_pct: float = 56.74  # ratio >= 0.5
+
+    # Table 6 ------------------------------------------------------------------------
+    anchored_corporate: int = 10
+    anchored_government: int = 16
+
+    # Table 7 ------------------------------------------------------------------------
+    no_path_taxonomy: Tuple[Tuple[str, int], ...] = (
+        ("nonpub-self-signed-leaf+mismatches", 108),
+        ("nonpub-self-signed-leaf+valid-subchain", 13),
+        ("all-pairs-mismatched", 61),
+        ("partial-pairs-mismatched", 27),
+        ("nonpub-root-appended-to-public-subchain", 5),
+        ("nonpub-root+mismatched-pairs", 1),
+    )
+
+    # §4.3 ----------------------------------------------------------------------------
+    nonpub_single_self_signed_pct: float = 94.19
+    nonpub_single_no_sni_pct: float = 86.70
+    interception_single_share_pct: float = 13.24
+    interception_single_self_signed_pct: float = 93.43
+    dga_connections: int = 21_880
+    dga_client_ips: int = 761
+    dga_validity_days: Tuple[int, int] = (4, 365)
+
+    # Table 8 ---------------------------------------------------------------------------
+    nonpub_multi_matched_pct: float = 99.76
+    nonpub_multi_contains: int = 142
+    nonpub_multi_none: int = 87
+    interception_multi_matched_pct: float = 98.94
+    interception_multi_contains: int = 56
+    interception_multi_none: int = 2_764
+
+    # Table 5 (Appendix D) -----------------------------------------------------------------
+    validation_total_chains: int = 12_676
+    validation_single: int = 2_568
+    validation_is_valid: int = 9_825
+    validation_ks_valid: int = 9_821
+    validation_is_broken: int = 283
+    validation_ks_broken: int = 284
+    validation_unrecognized: int = 3
+
+    # §5 revisit ------------------------------------------------------------------------------
+    revisit_hybrid_reachable_pct: float = 84.11     # 270/321
+    revisit_hybrid_to_public: int = 231
+    revisit_hybrid_to_nonpub: int = 4
+    revisit_hybrid_still_hybrid: int = 35
+    revisit_still_hybrid_complete_clean: int = 9
+    revisit_still_hybrid_complete_unnecessary: int = 3
+    revisit_nonpub_no_sni_pct: float = 79.49
+    revisit_nonpub_scanned: int = 12_404
+    revisit_nonpub_now_multi_pct: float = 79.40
+    revisit_prev_multi_pct: float = 39.00
+    revisit_prev_single_self_signed_pct: float = 53.44
+    revisit_prev_single_distinct_pct: float = 7.56
+    revisit_multi_complete_pct: float = 97.61
+
+    # Derived convenience ------------------------------------------------------------------------
+    @property
+    def nonpub_chains(self) -> int:
+        return round(self.total_chains * self.nonpub_chain_share_pct / 100)
+
+    @property
+    def interception_chains(self) -> int:
+        return round(self.total_chains * self.interception_chain_share_pct / 100)
+
+    @property
+    def public_chains(self) -> int:
+        return (self.total_chains - self.nonpub_chains
+                - self.interception_chains - self.hybrid_chains)
+
+
+PAPER = PaperTargets()
+
+
+# -- interception fleet (Table 1) -------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class InterceptionVendor:
+    vendor: str
+    category: str
+    #: Relative connection volume within the whole interception population.
+    weight: float
+    #: Appliances presenting a bare self-signed substitute (§4.3: 13.24 %
+    #: of interception chains are single-certificate, 93.43 % of those
+    #: self-signed).
+    single_self_signed: bool = False
+    #: Appliances delivering only the minted leaf without its chain — the
+    #: non-self-signed single-certificate tail.
+    single_leaf_only: bool = False
+    #: Depth of the substitute chain (leaf + intermediates + root).
+    chain_depth: int = 3
+
+
+def _fleet() -> tuple[InterceptionVendor, ...]:
+    security = [
+        ("Zscaler", 30.0), ("Fortinet", 22.0), ("McAfee Web Gateway", 12.0),
+        ("FireEye", 8.0), ("Palo Alto Networks", 6.0), ("Blue Coat ProxySG", 4.0),
+        ("Cisco Umbrella", 3.0), ("Sophos", 2.0), ("Check Point", 1.5),
+        ("Forcepoint", 1.2), ("Netskope", 1.0), ("Barracuda", 0.8),
+        ("iboss", 0.7), ("WatchGuard", 0.6), ("SonicWall", 0.5),
+        ("Untangle", 0.4), ("Smoothwall", 0.3), ("ContentKeeper", 0.3),
+        ("Trend Micro IWSVA", 0.25), ("Kaspersky Web Control", 0.2),
+        ("Bitdefender GravityZone", 0.2), ("ESET SSL Filter", 0.15),
+        ("Avast Web Shield", 0.15), ("AVG Web Shield", 0.1),
+        ("Bromium Secure", 0.1), ("Menlo Security", 0.1),
+        ("Lightpath Filter", 0.08), ("NetSpark", 0.07),
+        ("CyberSift Gateway", 0.05), ("SafeDNS Gateway", 0.05),
+        ("GateScanner", 0.04),
+    ]
+    business = [
+        ("Freddie Mac", 1.2), ("Acme Global IT", 0.6), ("Initech Security", 0.5),
+        ("Umbrella Corp Proxy", 0.4), ("Globex Gateway", 0.35),
+        ("Stark Industries SOC", 0.3), ("Wayne Enterprises Net", 0.25),
+        ("Hooli Edge", 0.22), ("Pied Piper Secure", 0.2),
+        ("Vandelay Industries", 0.18), ("Dunder Mifflin IT", 0.16),
+        ("Wernham Hogg Proxy", 0.14), ("Soylent Systems", 0.13),
+        ("Tyrell Net Security", 0.12), ("Cyberdyne Monitor", 0.11),
+        ("Massive Dynamic", 0.1), ("Aperture Gateway", 0.09),
+        ("Black Mesa Net", 0.08), ("Oscorp Shield", 0.07),
+        ("LexCorp Filter", 0.06), ("Weyland-Yutani Sec", 0.05),
+        ("Omni Consumer Net", 0.05), ("Virtucon Proxy", 0.04),
+        ("Gringotts Gateway", 0.04), ("Monsters Inc Scare-Proxy", 0.03),
+        ("Duff Networks", 0.03), ("Sirius Cybernetics", 0.02),
+    ]
+    health_edu = [
+        ("Securly", 0.008), ("Madison Public Schools", 0.003),
+        ("Lightspeed Systems", 0.002), ("GoGuardian", 0.002),
+        ("County School District 12", 0.001), ("Linewize", 0.001),
+        ("Mercy Hospital IT", 0.001), ("St. Jude Net Filter", 0.001),
+        ("Campus Health Proxy", 0.0005), ("EduSafe Filter", 0.0005),
+    ]
+    government = [
+        ("U.S. Department of Transportation", 0.1),
+        ("U.S. Department of Energy", 0.06),
+        ("State Revenue Office", 0.04), ("City Utilities Board", 0.02),
+        ("County Clerk Network", 0.01), ("Public Transit Authority", 0.01),
+    ]
+    finance = [
+        ("Nationwide", 0.002), ("First Midwest Trust", 0.001),
+        ("Harbor Credit Union", 0.001),
+    ]
+    other = [
+        ("Roadside Assistance Net", 0.002), ("Hobbyist Proxy", 0.001),
+        ("Unlabeled Appliance 77", 0.001),
+    ]
+    # Vendors whose appliances present a bare self-signed substitute —
+    # chosen so their combined traffic weight lands the §4.3 single-chain
+    # share near 13 %, with ~93 % of singles self-signed.
+    single_ss = {"FireEye", "Sophos", "Check Point", "Barracuda", "SonicWall",
+                 "Freddie Mac", "Securly", "Nationwide", "Hobbyist Proxy"}
+    single_leaf = {"Forcepoint"}
+    fleet: list[InterceptionVendor] = []
+    for names, category in ((security, "Security & Network"),
+                            (business, "Business & Corporate"),
+                            (health_edu, "Health & Education"),
+                            (government, "Government & Public Service"),
+                            (finance, "Bank & Finance"),
+                            (other, "Other")):
+        for i, (vendor, weight) in enumerate(names):
+            depth = 2 if (i % 9 == 5) else 3
+            fleet.append(InterceptionVendor(
+                vendor, category, weight,
+                single_self_signed=vendor in single_ss,
+                single_leaf_only=vendor in single_leaf,
+                chain_depth=depth))
+    return tuple(fleet)
+
+
+INTERCEPTION_FLEET: tuple[InterceptionVendor, ...] = _fleet()
+assert len(INTERCEPTION_FLEET) == 80, len(INTERCEPTION_FLEET)
+
+
+def build_vendor_directory() -> VendorDirectory:
+    """The curated keyword table the detector uses (the 'manual
+    investigation' knowledge)."""
+    directory = VendorDirectory()
+    for vendor in INTERCEPTION_FLEET:
+        directory.add(vendor.vendor.lower(), vendor.vendor, vendor.category)
+    return directory
+
+
+# -- port models (Table 4) ---------------------------------------------------------
+
+PORT_MODELS: Mapping[str, Tuple[Tuple[int, float], ...]] = {
+    "hybrid": ((443, 0.9721), (8443, 0.0136), (8088, 0.0122), (25, 0.0018),
+               (9191, 0.0001), (10443, 0.0002)),
+    "nonpub_single": ((443, 0.4629), (8888, 0.2152), (33854, 0.1908),
+                      (13000, 0.0422), (25, 0.0130), (4433, 0.0759)),
+    "nonpub_multi": ((443, 0.8351), (8531, 0.0418), (9093, 0.0285),
+                     (38881, 0.0181), (6443, 0.0145), (10250, 0.0620)),
+    "interception": ((8013, 0.3540), (4437, 0.2514), (14430, 0.1634),
+                     (443, 0.1336), (514, 0.0353), (9443, 0.0623)),
+    "public": ((443, 0.97), (8443, 0.02), (993, 0.01)),
+}
+
+
+# -- scale presets -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """How far down the paper's populations are scaled.
+
+    Small *structural* populations (the 321 hybrid chains, the 80
+    interception vendors, the DGA cluster, the outliers) are generated at
+    full fidelity regardless of scale; only the bulk populations and
+    per-chain connection counts shrink.
+    """
+
+    name: str
+    nonpub_chain_scale: float
+    public_chain_scale: float
+    interception_chain_scale: float
+    #: Mean connections per chain, per category.
+    conns_per_nonpub_chain: float
+    conns_per_public_chain: float
+    conns_per_interception_chain: float
+    conns_per_hybrid_chain: float
+    client_pool: int
+    dga_chains: int
+    tls13_rate: float = 0.25
+    min_connections: int = 2
+
+    def scaled_nonpub_chains(self, paper: PaperTargets = PAPER) -> int:
+        return max(40, round(paper.nonpub_chains * self.nonpub_chain_scale))
+
+    def scaled_public_chains(self, paper: PaperTargets = PAPER) -> int:
+        return max(60, round(paper.public_chains * self.public_chain_scale))
+
+    def scaled_interception_chains(self, paper: PaperTargets = PAPER) -> int:
+        return max(len(INTERCEPTION_FLEET),
+                   round(paper.interception_chains * self.interception_chain_scale))
+
+
+SMALL_SCALE = ScaleConfig(
+    name="small",
+    nonpub_chain_scale=1 / 1000,
+    public_chain_scale=1 / 4000,
+    interception_chain_scale=1 / 1000,
+    conns_per_nonpub_chain=4,
+    conns_per_public_chain=3,
+    conns_per_interception_chain=5,
+    conns_per_hybrid_chain=12,
+    client_pool=3_000,
+    dga_chains=4,
+    tls13_rate=0.15,
+)
+
+DEFAULT_SCALE = ScaleConfig(
+    name="default",
+    nonpub_chain_scale=1 / 100,
+    public_chain_scale=1 / 400,
+    interception_chain_scale=1 / 100,
+    conns_per_nonpub_chain=18,
+    conns_per_public_chain=10,
+    conns_per_interception_chain=12,
+    conns_per_hybrid_chain=55,
+    client_pool=20_000,
+    dga_chains=40,
+    tls13_rate=0.25,
+)

@@ -1,0 +1,90 @@
+"""Chain specifications: the simulator's unit of server configuration.
+
+Each ``ChainSpec`` couples one delivered chain with the behavioural knobs
+that determine how it shows up in the logs: traffic volume, SNI behaviour,
+port model, the mix of client validation policies that talk to it, and
+ground-truth labels the tests use to validate the analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..x509.certificate import Certificate
+
+__all__ = ["ClientMix", "ChainSpec", "MIX_PRESETS"]
+
+
+@dataclass(frozen=True)
+class ClientMix:
+    """Relative weights of client validation behaviours.
+
+    * ``browser`` — Chrome-style path building against the full registry;
+    * ``browser_nss`` — browser restricted to the Mozilla store (Zeek's
+      default view; fails on Microsoft-only anchors);
+    * ``strict`` — OpenSSL-style presented-chain validation;
+    * ``permissive`` — no validation (IoT/agents with verification off);
+    * ``trusting`` — browser with the spec's ``extra_anchors`` installed
+      (endpoints with the interception appliance root deployed).
+    """
+
+    browser: float = 0.0
+    browser_nss: float = 0.0
+    strict: float = 0.0
+    permissive: float = 0.0
+    trusting: float = 0.0
+
+    def weights(self) -> tuple[tuple[str, float], ...]:
+        entries = (
+            ("browser", self.browser),
+            ("browser_nss", self.browser_nss),
+            ("strict", self.strict),
+            ("permissive", self.permissive),
+            ("trusting", self.trusting),
+        )
+        total = sum(w for _, w in entries)
+        if total <= 0:
+            raise ValueError("client mix has no positive weights")
+        return tuple((kind, w / total) for kind, w in entries if w > 0)
+
+
+#: Mixes calibrated so the per-category establishment rates land near the
+#: paper's: complete paths ~97.7 %, contains ~92 %, no-path ~57 %.
+MIX_PRESETS: Mapping[str, ClientMix] = {
+    "public": ClientMix(browser=0.95, strict=0.03, permissive=0.02),
+    "hybrid_complete": ClientMix(browser=0.945, browser_nss=0.025,
+                                 permissive=0.03),
+    "hybrid_contains": ClientMix(browser=0.92, strict=0.06, permissive=0.02),
+    "hybrid_contains_stray_leaf": ClientMix(browser=0.40, permissive=0.60),
+    "hybrid_no_path": ClientMix(browser=0.38, strict=0.05, permissive=0.57),
+    "nonpub": ClientMix(browser=0.10, strict=0.05, permissive=0.85),
+    "interception": ClientMix(trusting=0.97, browser=0.03),
+    "reject_all": ClientMix(strict=1.0),
+}
+
+
+@dataclass
+class ChainSpec:
+    """One server-delivered chain plus its behavioural profile."""
+
+    chain: Tuple[Certificate, ...]
+    hostname: Optional[str]
+    category_truth: str
+    mix: ClientMix
+    port_model: str
+    mean_connections: float
+    sni_rate: float = 1.0
+    server_id: Optional[str] = None
+    labels: Dict[str, object] = field(default_factory=dict)
+    extra_anchors: Tuple[Certificate, ...] = ()
+    tls13_rate: float = 0.0
+    client_pool: str = "general"
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return tuple(cert.fingerprint for cert in self.chain)
+
+    @property
+    def length(self) -> int:
+        return len(self.chain)

@@ -1,0 +1,169 @@
+"""12-month connection workload generation.
+
+Turns chain specs into a stream of simulated handshakes observed at the
+campus border: per-spec connection volumes, NAT'd client pools sized to the
+paper's per-category client-IP counts, per-connection client validation
+policies, SNI behaviour, Table 4 port models, and a TLS 1.3 slice whose
+certificates the monitor cannot see.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta, timezone
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from ..tls.connection import ConnectionRecord
+from ..tls.handshake import HandshakeSimulator, TLSClient, TLSServer
+from ..tls.messages import TLSVersion
+from ..tls.policy import (
+    BrowserPolicy,
+    PermissivePolicy,
+    StrictPresentedChainPolicy,
+    ValidationPolicy,
+)
+from ..truststores.registry import PublicDBRegistry
+from .profiles import PAPER, PORT_MODELS, ScaleConfig
+from .spec import ChainSpec
+
+__all__ = ["ClientPools", "WorkloadGenerator", "STUDY_START", "STUDY_DAYS"]
+
+STUDY_START = datetime(2020, 9, 1, tzinfo=timezone.utc)
+STUDY_DAYS = 365
+
+
+class ClientPools:
+    """NAT'd campus client IPs partitioned by traffic population.
+
+    Pool sizes follow the paper's client-IP counts (231,228 non-public /
+    11,933 hybrid / 19,149 interception split per Table 1 / 761 DGA),
+    scaled to ``scale.client_pool``.
+    """
+
+    def __init__(self, seed: int | str, scale: ScaleConfig):
+        rng = random.Random(f"clients:{seed}")
+        reference_total = PAPER.nonpub_client_ips + PAPER.hybrid_client_ips \
+            + PAPER.interception_client_ips
+        factor = scale.client_pool / reference_total
+        self._pools: Dict[str, List[str]] = {}
+
+        def make_pool(pool_name: str, reference: int, minimum: int = 4) -> None:
+            size = max(minimum, round(reference * factor))
+            self._pools[pool_name] = [self._ip(rng) for _ in range(size)]
+
+        make_pool("nonpub", PAPER.nonpub_client_ips)
+        make_pool("hybrid", PAPER.hybrid_client_ips)
+        make_pool("general", round(reference_total * 0.8))
+        make_pool("dga", PAPER.dga_client_ips)
+        for category, _count, _pct, ips in PAPER.interception_issuer_categories:
+            make_pool(f"intercept:{category}", ips)
+
+    @staticmethod
+    def _ip(rng: random.Random) -> str:
+        return (f"10.{rng.randint(16, 31)}."
+                f"{rng.randint(0, 255)}.{rng.randint(1, 254)}")
+
+    def pool(self, pool_name: str) -> List[str]:
+        return self._pools.get(pool_name) or self._pools["general"]
+
+    def sizes(self) -> Dict[str, int]:
+        return {pool_name: len(ips) for pool_name, ips in self._pools.items()}
+
+
+class WorkloadGenerator:
+    """Drives handshakes for every spec and yields monitor-view records."""
+
+    def __init__(self, registry: PublicDBRegistry, *, seed: int | str,
+                 scale: ScaleConfig):
+        self.registry = registry
+        self.scale = scale
+        self._rng = random.Random(f"workload:{seed}")
+        self._sim = HandshakeSimulator(seed=f"workload-hs:{seed}")
+        self.pools = ClientPools(seed, scale)
+        self._policies: Dict[str, ValidationPolicy] = {
+            "browser": BrowserPolicy(registry),
+            "browser_nss": BrowserPolicy(registry.restricted_to(["Mozilla"])),
+            "strict": StrictPresentedChainPolicy(registry),
+            "permissive": PermissivePolicy(),
+        }
+        self._trusting_cache: Dict[tuple, BrowserPolicy] = {}
+
+    # -- policy selection -----------------------------------------------------
+
+    def _policy_for(self, kind: str, spec: ChainSpec) -> ValidationPolicy:
+        if kind != "trusting":
+            return self._policies[kind]
+        cache_key = tuple(a.fingerprint for a in spec.extra_anchors)
+        policy = self._trusting_cache.get(cache_key)
+        if policy is None:
+            policy = BrowserPolicy(self.registry,
+                                   extra_anchors=list(spec.extra_anchors))
+            self._trusting_cache[cache_key] = policy
+        return policy
+
+    def _draw(self, weighted: Sequence[tuple[object, float]]):
+        roll = self._rng.random()
+        acc = 0.0
+        for value, weight in weighted:
+            acc += weight
+            if roll < acc:
+                return value
+        return weighted[-1][0]
+
+    # -- generation -------------------------------------------------------------
+
+    def connection_count(self, spec: ChainSpec) -> int:
+        if spec.labels.get("outlier"):
+            return 1
+        jitter = self._rng.uniform(0.6, 1.6)
+        return max(self.scale.min_connections,
+                   round(spec.mean_connections * jitter))
+
+    def generate_for_spec(self, spec: ChainSpec) -> Iterator[ConnectionRecord]:
+        n_visible = self.connection_count(spec)
+        n_tls13 = round(n_visible * spec.tls13_rate)
+        port = self._draw(tuple(
+            (p, w) for p, w in _normalized(PORT_MODELS[spec.port_model])))
+        server = TLSServer(
+            ip=self._server_ip(spec),
+            port=port,
+            chain=spec.chain,
+            max_version=TLSVersion.TLS13 if n_tls13 else TLSVersion.TLS12,
+            hostnames=(spec.hostname,) if spec.hostname else (),
+        )
+        pool = self.pools.pool(spec.client_pool)
+        subset_size = max(1, min(len(pool), round(n_visible * 0.7)))
+        clients = [pool[self._rng.randrange(len(pool))]
+                   for _ in range(subset_size)]
+        mix = spec.mix.weights()
+        for i in range(n_visible + n_tls13):
+            kind = self._draw(mix)
+            version = TLSVersion.TLS13 if i >= n_visible else TLSVersion.TLS12
+            client = TLSClient(
+                ip=clients[self._rng.randrange(len(clients))],
+                policy=self._policy_for(kind, spec),
+                version=version,
+                sends_sni=self._rng.random() < spec.sni_rate,
+            )
+            when = STUDY_START + timedelta(
+                seconds=self._rng.uniform(0, STUDY_DAYS * 86400))
+            outcome = self._sim.connect(client, server, sni=spec.hostname,
+                                        when=when)
+            yield outcome.record
+
+    def generate(self, specs: Iterable[ChainSpec]) -> Iterator[ConnectionRecord]:
+        for spec in specs:
+            yield from self.generate_for_spec(spec)
+
+    def _server_ip(self, spec: ChainSpec) -> str:
+        # Stable per-server external address (seeded, not hash()-based, so
+        # it is reproducible across interpreter runs).
+        rng = random.Random(f"srvip:{spec.server_id}")
+        return (f"{rng.choice((93, 104, 151, 172, 185, 198, 203))}."
+                f"{rng.randint(1, 254)}.{rng.randint(1, 254)}."
+                f"{rng.randint(1, 254)}")
+
+
+def _normalized(entries: Sequence[tuple[int, float]]) -> list[tuple[int, float]]:
+    total = sum(w for _, w in entries)
+    return [(p, w / total) for p, w in entries]

@@ -1,0 +1,112 @@
+"""Cross-signing awareness for issuer–subject matching (Appendix D.1).
+
+Cross-signed certificates can make a technically valid chain look broken to
+pure issuer–subject matching: a child naming issuer ``R3`` may be followed
+by the *cross-signer's* certificate (e.g. ``DST Root CA X3``) rather than
+the R3 certificate itself, or a chain may carry both same-subject twins
+back-to-back.  The paper compensates by consulting CA cross-sign
+disclosures [32] and Zeek's validation verdicts; this module implements
+both signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from ..x509.certificate import Certificate
+from ..x509.dn import DistinguishedName
+
+__all__ = ["CrossSignDisclosures", "detect_cross_sign_candidates"]
+
+
+def _dn_key(dn: DistinguishedName) -> tuple:
+    return tuple(sorted(dn.normalized()))
+
+
+class CrossSignDisclosures:
+    """CA-published cross-sign relationships: subject → alternate issuers.
+
+    A disclosure ``(subject=S, issuer=I)`` records that a certificate for
+    subject ``S`` also exists signed by ``I`` (e.g. R3 cross-signed by DST
+    Root CA X3).  Two bridging rules follow for an adjacent (child, parent)
+    pair whose direct names do not chain:
+
+    * **signer-bridge** — the child names issuer ``S`` and the parent *is*
+      the cross-signer ``I`` (the server delivered the signer's certificate
+      instead of the cross-signed intermediate itself);
+    * **twin-bridge** — child and parent are same-subject twins (both
+      variants of a cross-signed CA delivered back-to-back).
+    """
+
+    def __init__(self, disclosures: Iterable[Tuple[DistinguishedName,
+                                                   DistinguishedName]] = ()):
+        self._alt_issuers: Dict[tuple, Set[tuple]] = {}
+        self._pairs: list[Tuple[DistinguishedName, DistinguishedName]] = []
+        for subject, issuer in disclosures:
+            self.add(subject, issuer)
+
+    @classmethod
+    def from_pki(cls, pki: "object") -> "CrossSignDisclosures":
+        """Build from a :class:`~repro.truststores.builtin.PublicPKI`."""
+        return cls(pki.cross_sign_disclosures())  # type: ignore[attr-defined]
+
+    def add(self, subject: DistinguishedName, issuer: DistinguishedName) -> None:
+        self._alt_issuers.setdefault(_dn_key(subject), set()).add(_dn_key(issuer))
+        self._pairs.append((subject, issuer))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def disclosed_issuers_for(self, subject: DistinguishedName) -> Set[tuple]:
+        return set(self._alt_issuers.get(_dn_key(subject), set()))
+
+    def bridges(self, child: Certificate, parent: Certificate) -> bool:
+        """Would cross-sign knowledge repair this otherwise-mismatched pair?"""
+        if parent.issued(child):
+            return False  # direct match; no bridge needed
+        # signer-bridge: the parent is a disclosed alternate issuer for the
+        # subject the child names as its issuer.
+        alternates = self._alt_issuers.get(_dn_key(child.issuer))
+        if alternates and _dn_key(parent.subject) in alternates:
+            return True
+        # twin-bridge: same-subject CA twins delivered adjacently, where the
+        # subject is disclosed as cross-signed.
+        if (child.subject.matches(parent.subject)
+                and _dn_key(child.subject) in self._alt_issuers):
+            return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class CrossSignCandidate:
+    """A chain whose name matching and validation verdict disagree."""
+
+    chain_key: tuple[str, ...]
+    mismatch_positions: tuple[int, ...]
+    detail: str
+
+
+def detect_cross_sign_candidates(
+        chains: Sequence[Sequence[Certificate]],
+        validation_ok: Sequence[bool],
+        mismatch_positions: Sequence[Sequence[int]],
+) -> list[CrossSignCandidate]:
+    """The paper's second cross-sign signal: chains that *validate* (per
+    Zeek / the browser policy) yet show issuer–subject mismatches are
+    candidates for undisclosed cross-signing and warrant manual review.
+
+    Inputs are parallel sequences (chain, did-it-validate, mismatch
+    positions from plain matching without disclosures).
+    """
+    if not (len(chains) == len(validation_ok) == len(mismatch_positions)):
+        raise ValueError("parallel inputs must have equal lengths")
+    candidates: list[CrossSignCandidate] = []
+    for chain, ok, positions in zip(chains, validation_ok, mismatch_positions):
+        if ok and positions:
+            candidates.append(CrossSignCandidate(
+                tuple(c.fingerprint for c in chain),
+                tuple(positions),
+                "validates despite issuer-subject mismatches",
+            ))
+    return candidates

@@ -1,0 +1,101 @@
+"""Issuer-level statistics (Appendix F's issuer analysis, generalised).
+
+The paper's appendices repeatedly pivot from chains to *issuers*: which
+entities issue the non-public leaves (F.1), whose software appends the
+junk (F.2), how concentrated the issuer population is.  This module
+computes those pivots for any chain set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..x509.dn import DistinguishedName
+from .chain import ObservedChain
+from .classification import CertificateClassifier, IssuerClass
+
+__all__ = ["IssuerStats", "issuer_statistics", "concentration_index"]
+
+
+def _dn_key(dn: DistinguishedName) -> tuple:
+    return tuple(sorted(dn.normalized()))
+
+
+@dataclass(frozen=True, slots=True)
+class IssuerStats:
+    """One issuer's footprint over a chain set."""
+
+    issuer: DistinguishedName
+    issuer_class: IssuerClass
+    chains: int
+    connections: int
+    leaf_chains: int
+
+    @property
+    def display_name(self) -> str:
+        return (self.issuer.common_name or self.issuer.organization
+                or self.issuer.rfc4514())
+
+
+def issuer_statistics(chains: Iterable[ObservedChain],
+                      classifier: CertificateClassifier, *,
+                      leaf_only: bool = False) -> List[IssuerStats]:
+    """Per-issuer chain/connection counts, sorted by chain count.
+
+    ``leaf_only`` restricts the pivot to leaf issuers (first certificate),
+    the view Appendix F.1 takes; otherwise every certificate in every chain
+    attributes its issuer.
+    """
+    per_issuer_chains: Counter = Counter()
+    per_issuer_connections: Counter = Counter()
+    per_issuer_leaves: Counter = Counter()
+    issuer_dns: Dict[tuple, DistinguishedName] = {}
+    issuer_class: Dict[tuple, IssuerClass] = {}
+
+    for chain in chains:
+        seen_in_chain: set[tuple] = set()
+        for position, certificate in enumerate(chain.certificates):
+            if leaf_only and position > 0:
+                break
+            key = _dn_key(certificate.issuer)
+            issuer_dns.setdefault(key, certificate.issuer)
+            if key not in issuer_class:
+                issuer_class[key] = (
+                    IssuerClass.PUBLIC_DB
+                    if classifier.registry.is_public_issuer_name(
+                        certificate.issuer)
+                    else IssuerClass.NON_PUBLIC_DB)
+            if position == 0:
+                per_issuer_leaves[key] += 1
+            if key not in seen_in_chain:
+                seen_in_chain.add(key)
+                per_issuer_chains[key] += 1
+                per_issuer_connections[key] += chain.usage.connections
+    stats = [
+        IssuerStats(
+            issuer=issuer_dns[key],
+            issuer_class=issuer_class[key],
+            chains=per_issuer_chains[key],
+            connections=per_issuer_connections[key],
+            leaf_chains=per_issuer_leaves.get(key, 0),
+        )
+        for key in per_issuer_chains
+    ]
+    stats.sort(key=lambda s: (-s.chains, s.display_name))
+    return stats
+
+
+def concentration_index(stats: Sequence[IssuerStats], *,
+                        by: str = "chains") -> float:
+    """Herfindahl–Hirschman index of issuer concentration in [0, 1].
+
+    1.0 means a single issuer covers everything; → 0 means a perfectly
+    fragmented issuer population (the non-public world's signature).
+    """
+    values = [getattr(s, by) for s in stats]
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    return sum((v / total) ** 2 for v in values)

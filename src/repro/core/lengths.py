@@ -1,0 +1,91 @@
+"""Chain length distributions (§4.1, Figure 1).
+
+Figure 1 plots the cumulative fraction of *chains* by advertised length for
+each category.  The paper excludes three pathological outliers (lengths
+3,822, 921, and 41 — each observed once, all failing to establish); the
+same exclusion rule is parameterised here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .categorization import CategorizedChains, ChainCategory
+from .chain import ObservedChain
+
+__all__ = ["LengthDistribution", "length_distributions", "exclude_outliers"]
+
+
+@dataclass
+class LengthDistribution:
+    """Length histogram + CDF for one chain category."""
+
+    category: ChainCategory
+    counts: Counter
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction_at(self, length: int) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(length, 0) / self.total
+
+    def cdf(self) -> List[Tuple[int, float]]:
+        """(length, cumulative fraction) points in increasing length order."""
+        if self.total == 0:
+            return []
+        points: List[Tuple[int, float]] = []
+        cumulative = 0
+        for length in sorted(self.counts):
+            cumulative += self.counts[length]
+            points.append((length, cumulative / self.total))
+        return points
+
+    def cumulative_fraction_at(self, length: int) -> float:
+        if self.total == 0:
+            return 0.0
+        covered = sum(count for l, count in self.counts.items() if l <= length)
+        return covered / self.total
+
+    def dominant_length(self) -> int | None:
+        if not self.counts:
+            return None
+        return self.counts.most_common(1)[0][0]
+
+    def max_length(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+
+def exclude_outliers(chains: Iterable[ObservedChain], *,
+                     max_length: int = 40,
+                     min_connections: int = 2) -> tuple[list[ObservedChain],
+                                                        list[ObservedChain]]:
+    """Split chains into (kept, excluded) using the paper's §4.1 rule:
+    a chain is an outlier when it is longer than ``max_length`` *and* was
+    observed fewer than ``min_connections`` times."""
+    kept: list[ObservedChain] = []
+    excluded: list[ObservedChain] = []
+    for chain in chains:
+        if chain.length > max_length and chain.usage.connections < min_connections:
+            excluded.append(chain)
+        else:
+            kept.append(chain)
+    return kept, excluded
+
+
+def length_distributions(categorized: CategorizedChains, *,
+                         apply_outlier_rule: bool = True
+                         ) -> Dict[ChainCategory, LengthDistribution]:
+    """Figure 1's per-category distributions."""
+    result: Dict[ChainCategory, LengthDistribution] = {}
+    for category in ChainCategory:
+        chains = categorized.chains(category)
+        if apply_outlier_rule:
+            chains, _ = exclude_outliers(chains)
+        counts = Counter(chain.length for chain in chains)
+        result[category] = LengthDistribution(category, counts)
+    return result

@@ -1,0 +1,190 @@
+"""The certificate chain structure analyzer (Figure 2).
+
+This is the paper's end-to-end pipeline: **certificate enrichment**
+(public/non-public classification against trust stores, interception
+identification via CT) feeding the **chain enrichment pipeline**
+(categorisation → mismatch & cross-sign detection → complete/partial path
+detection), producing every statistic reported in §3–§4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..ct.crtsh import CrtShIndex
+from ..truststores.registry import PublicDBRegistry
+from ..zeek.tap import JoinedConnection
+from .categorization import CategorizedChains, ChainCategorizer, ChainCategory
+from .chain import ObservedChain, aggregate_chains
+from .classification import CertificateClassifier
+from .crosssign import CrossSignDisclosures
+from .dga import DGACluster, DGADetector
+from .hybrid import HybridAnalyzer, HybridReport
+from .interception import InterceptionDetector, InterceptionReport, VendorDirectory
+from .lengths import LengthDistribution, length_distributions
+from .matching import ChainStructure, analyze_structure
+
+__all__ = ["ChainStructureAnalyzer", "AnalysisResult",
+           "SingleCertStats", "MultiCertPathStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class SingleCertStats:
+    """§4.3's single-certificate chain statistics for one category."""
+
+    chains: int
+    share_of_category: float
+    self_signed_pct: float
+    connections: int
+    client_ips: int
+    no_sni_connection_pct: float
+
+
+@dataclass(frozen=True, slots=True)
+class MultiCertPathStats:
+    """Table 8's matched-path statistics for multi-certificate chains."""
+
+    chains: int
+    is_matched_path: int
+    contains_matched_path: int
+    no_matched_path: int
+
+    @property
+    def is_matched_path_pct(self) -> float:
+        if self.chains == 0:
+            return 0.0
+        return 100.0 * self.is_matched_path / self.chains
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the analyzer derives from one log corpus."""
+
+    chains: Dict[tuple[str, ...], ObservedChain]
+    categorized: CategorizedChains
+    interception: InterceptionReport
+    hybrid: HybridReport
+    dga_clusters: List[DGACluster]
+    classifier: CertificateClassifier
+    disclosures: Optional[CrossSignDisclosures]
+    _structure_cache: Dict[tuple[str, ...], ChainStructure] = field(
+        default_factory=dict)
+
+    # -- structure access -------------------------------------------------------
+
+    def structure_of(self, chain: ObservedChain, *,
+                     require_leaf: bool = False) -> ChainStructure:
+        cache_key = chain.key + (("L",) if require_leaf else ("N",))
+        cached = self._structure_cache.get(cache_key)
+        if cached is None:
+            cached = analyze_structure(chain.certificates,
+                                       disclosures=self.disclosures,
+                                       require_leaf=require_leaf)
+            self._structure_cache[cache_key] = cached
+        return cached
+
+    # -- §4.1 -------------------------------------------------------------------
+
+    def length_distributions(self) -> Dict[ChainCategory, LengthDistribution]:
+        return length_distributions(self.categorized)
+
+    # -- §4.3 -------------------------------------------------------------------
+
+    def single_cert_stats(self, category: ChainCategory) -> SingleCertStats:
+        chains = self.categorized.chains(category)
+        singles = [c for c in chains if c.is_single]
+        self_signed = sum(1 for c in singles if c.is_single_self_signed)
+        connections = sum(c.usage.connections for c in singles)
+        no_sni = sum(c.usage.connections - c.usage.sni_present for c in singles)
+        clients: set[str] = set()
+        for chain in singles:
+            clients |= chain.usage.client_ips
+        return SingleCertStats(
+            chains=len(singles),
+            share_of_category=100.0 * len(singles) / len(chains) if chains else 0.0,
+            self_signed_pct=100.0 * self_signed / len(singles) if singles else 0.0,
+            connections=connections,
+            client_ips=len(clients),
+            no_sni_connection_pct=100.0 * no_sni / connections if connections else 0.0,
+        )
+
+    def multicert_path_stats(self, category: ChainCategory) -> MultiCertPathStats:
+        chains = [c for c in self.categorized.chains(category) if c.length > 1]
+        is_path = contains = none = 0
+        for chain in chains:
+            structure = self.structure_of(chain, require_leaf=False)
+            if structure.is_fully_matched:
+                is_path += 1
+            elif any(s.length >= 2 for s in structure.segments):
+                contains += 1
+            else:
+                none += 1
+        return MultiCertPathStats(
+            chains=len(chains),
+            is_matched_path=is_path,
+            contains_matched_path=contains,
+            no_matched_path=none,
+        )
+
+    # -- convenience -------------------------------------------------------------
+
+    def establishment_pct(self, category: ChainCategory) -> float:
+        chains = self.categorized.chains(category)
+        connections = sum(c.usage.connections for c in chains)
+        established = sum(c.usage.established for c in chains)
+        return 100.0 * established / connections if connections else 0.0
+
+
+class ChainStructureAnalyzer:
+    """Figure 2's full pipeline, from joined log rows to AnalysisResult."""
+
+    def __init__(self, registry: PublicDBRegistry, *,
+                 ct_index: Optional[CrtShIndex] = None,
+                 vendor_directory: Optional[VendorDirectory] = None,
+                 disclosures: Optional[CrossSignDisclosures] = None):
+        self.registry = registry
+        self.ct_index = ct_index
+        self.vendor_directory = vendor_directory
+        self.disclosures = disclosures
+
+    def analyze_connections(self, connections: Iterable[JoinedConnection]
+                            ) -> AnalysisResult:
+        return self.analyze_chains(aggregate_chains(connections))
+
+    def analyze_chains(self, chains: Dict[tuple[str, ...], ObservedChain]
+                       ) -> AnalysisResult:
+        classifier = CertificateClassifier(self.registry)
+
+        # Stage 1 — certificate enrichment: interception identification.
+        if self.ct_index is not None:
+            detector = InterceptionDetector(classifier, self.ct_index,
+                                            self.vendor_directory)
+            interception = detector.detect(chains.values())
+        else:
+            interception = InterceptionReport()
+
+        # Stage 2 — chain categorisation.
+        categorizer = ChainCategorizer(classifier,
+                                       interception.issuer_name_keys)
+        categorized = categorizer.categorize(chains.values())
+
+        # Stage 3 — mismatch/cross-sign + path detection on hybrid chains.
+        hybrid_analyzer = HybridAnalyzer(classifier, self.disclosures)
+        hybrid = hybrid_analyzer.analyze(
+            categorized.chains(ChainCategory.HYBRID))
+
+        # Stage 4 — special populations.
+        dga = DGADetector().detect(
+            categorized.chains(ChainCategory.NON_PUBLIC_ONLY))
+
+        return AnalysisResult(
+            chains=chains,
+            categorized=categorized,
+            interception=interception,
+            hybrid=hybrid,
+            dga_clusters=dga,
+            classifier=classifier,
+            disclosures=self.disclosures,
+        )

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark prints "paper vs measured" tables; this module keeps the
+formatting in one place so the output stays aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "format_pct", "format_count", "side_by_side"]
+
+
+def format_pct(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}%"
+
+
+def format_count(value: int) -> str:
+    """Thousands-separated counts: 1234567 → '1,234,567'."""
+    return f"{value:,}"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells; expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def side_by_side(label: str, paper: object, measured: object,
+                 note: str = "") -> list[object]:
+    """One comparison row: [label, paper value, measured value, note]."""
+    return [label, paper, measured, note]

@@ -1,0 +1,221 @@
+"""PKI relationship graphs (Figures 5, 7, 8; Appendix E, I).
+
+Figure 5 draws certificates in hybrid chains with co-occurrence edges
+("two nodes are connected if ever observed together in at least one
+chain"), coloured by issuer class and sized by hierarchy role.  Figures 7
+and 8 extract the *complex* PKI structures in non-public-only and
+interception chains: intermediate certificates linked to at least three
+distinct other intermediates across chains.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+from ..x509.certificate import Certificate
+from .chain import ObservedChain
+from .classification import CertificateClassifier, IssuerClass
+
+__all__ = [
+    "infer_role",
+    "build_cooccurrence_graph",
+    "build_issuance_graph",
+    "complex_intermediates",
+    "complex_subgraph",
+    "GraphSummary",
+    "summarize_graph",
+]
+
+
+def infer_role(certificate: Certificate,
+               chains: Sequence[ObservedChain]) -> str:
+    """Infer leaf/intermediate/root from names and extensions, as a
+    log-based observer must (ground-truth roles are never consulted).
+    """
+    issues_someone = any(
+        certificate.issued(other)
+        for chain in chains
+        for other in chain.certificates
+        if other.fingerprint != certificate.fingerprint
+    )
+    return _role_from(certificate, issues_someone)
+
+
+def _role_from(certificate: Certificate, issues_someone: bool) -> str:
+    if certificate.is_self_signed:
+        return "root" if (issues_someone or _declares_ca(certificate)) else "leaf"
+    if _declares_ca(certificate) or issues_someone:
+        return "intermediate"
+    return "leaf"
+
+
+def _roles_for_chains(chains: Sequence[ObservedChain]) -> Dict[str, str]:
+    """Role for every distinct certificate, in one pass.
+
+    Equivalent to calling :func:`infer_role` per certificate, but indexes
+    issuer names once instead of rescanning all chains per certificate.
+    """
+    from collections import Counter
+
+    def dn_key(dn) -> tuple:
+        return tuple(sorted(dn.normalized()))
+
+    certificates: Dict[str, Certificate] = {}
+    #: issuer name -> how many distinct certificates name it as issuer.
+    issuer_name_counts: Counter = Counter()
+    #: fingerprint -> whether the certificate names *itself* as issuer.
+    for chain in chains:
+        for certificate in chain.certificates:
+            if certificate.fingerprint not in certificates:
+                certificates[certificate.fingerprint] = certificate
+                issuer_name_counts[dn_key(certificate.issuer)] += 1
+    roles: Dict[str, str] = {}
+    for fingerprint, certificate in certificates.items():
+        key = dn_key(certificate.subject)
+        named_by = issuer_name_counts.get(key, 0)
+        if certificate.is_self_signed:
+            # The certificate names itself; anyone else naming it means it
+            # issues someone.
+            issues_someone = named_by > 1
+        else:
+            issues_someone = named_by > 0
+        roles[fingerprint] = _role_from(certificate, issues_someone)
+    return roles
+
+
+def _declares_ca(certificate: Certificate) -> bool:
+    bc = certificate.extensions.basic_constraints
+    return bc is not None and bc.ca
+
+
+def build_cooccurrence_graph(chains: Sequence[ObservedChain],
+                             classifier: Optional[CertificateClassifier] = None
+                             ) -> nx.Graph:
+    """Figure 5's graph: one node per distinct certificate, an edge for
+    every pair that co-occurs in at least one chain.
+
+    Node attributes: ``label`` (short name), ``issuer_class``
+    ("public-db"/"non-public-db"/"unknown"), ``role``
+    ("leaf"/"intermediate"/"root").
+    """
+    graph = nx.Graph()
+    roles = _roles_for_chains(chains)
+    for chain in chains:
+        for certificate in chain.certificates:
+            if certificate.fingerprint not in graph:
+                issuer_class = "unknown"
+                if classifier is not None:
+                    issuer_class = classifier.classify(certificate).value
+                graph.add_node(
+                    certificate.fingerprint,
+                    label=certificate.short_name(),
+                    issuer_class=issuer_class,
+                    role=roles[certificate.fingerprint],
+                )
+        fps = [c.fingerprint for c in chain.certificates]
+        for i, a in enumerate(fps):
+            for b in fps[i + 1:]:
+                if a != b:
+                    graph.add_edge(a, b)
+    return graph
+
+
+def build_issuance_graph(chains: Sequence[ObservedChain]) -> nx.DiGraph:
+    """Figures 7/8's graph: edges point from the issuing certificate to the
+    certificate it issued, across all delivered chains (only pairs whose
+    names actually chain contribute edges)."""
+    graph = nx.DiGraph()
+    roles = _roles_for_chains(chains)
+    for chain in chains:
+        certs = chain.certificates
+        for certificate in certs:
+            if certificate.fingerprint not in graph:
+                graph.add_node(
+                    certificate.fingerprint,
+                    label=certificate.short_name(),
+                    role=roles[certificate.fingerprint],
+                )
+        for child, parent in zip(certs, certs[1:]):
+            if parent.issued(child):
+                graph.add_edge(parent.fingerprint, child.fingerprint)
+    return graph
+
+
+def complex_intermediates(graph: nx.DiGraph, *, min_links: int = 3) -> List[str]:
+    """Appendix I's criterion: intermediates linked to at least
+    ``min_links`` distinct *intermediate* certificates across chains."""
+    result = []
+    for node, data in graph.nodes(data=True):
+        if data.get("role") != "intermediate":
+            continue
+        neighbors = set(graph.predecessors(node)) | set(graph.successors(node))
+        intermediate_neighbors = {
+            n for n in neighbors
+            if graph.nodes[n].get("role") == "intermediate"
+        }
+        if len(intermediate_neighbors) >= min_links:
+            result.append(node)
+    return result
+
+
+def complex_subgraph(graph: nx.DiGraph, *, min_links: int = 3) -> nx.DiGraph:
+    """The subgraph shown in Figures 7/8: complex intermediates plus their
+    immediate neighborhoods."""
+    cores = complex_intermediates(graph, min_links=min_links)
+    keep: set[str] = set(cores)
+    for node in cores:
+        keep |= set(graph.predecessors(node))
+        keep |= set(graph.successors(node))
+    return graph.subgraph(keep).copy()
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSummary:
+    """The printable series behind a PKI-structure figure."""
+
+    nodes: int
+    edges: int
+    nodes_by_role: tuple[tuple[str, int], ...]
+    nodes_by_class: tuple[tuple[str, int], ...]
+    components: int
+    max_degree: int
+    complex_intermediates: int
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "nodes_by_role": dict(self.nodes_by_role),
+            "nodes_by_class": dict(self.nodes_by_class),
+            "components": self.components,
+            "max_degree": self.max_degree,
+            "complex_intermediates": self.complex_intermediates,
+        }
+
+
+def summarize_graph(graph: nx.Graph | nx.DiGraph, *,
+                    min_links: int = 3) -> GraphSummary:
+    roles = Counter(data.get("role", "unknown")
+                    for _, data in graph.nodes(data=True))
+    classes = Counter(data.get("issuer_class", "unknown")
+                      for _, data in graph.nodes(data=True))
+    undirected = graph.to_undirected() if graph.is_directed() else graph
+    components = nx.number_connected_components(undirected) if len(graph) else 0
+    max_degree = max((d for _, d in undirected.degree()), default=0)
+    if graph.is_directed():
+        complex_count = len(complex_intermediates(graph, min_links=min_links))
+    else:
+        complex_count = 0
+    return GraphSummary(
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        nodes_by_role=tuple(sorted(roles.items())),
+        nodes_by_class=tuple(sorted(classes.items())),
+        components=components,
+        max_degree=max_degree,
+        complex_intermediates=complex_count,
+    )

@@ -1,0 +1,102 @@
+"""Temporal activity analysis over the 12-month observation window.
+
+The paper's dataset spans 2020-09-01 → 2021-08-31; chain usage carries
+first/last-seen timestamps, which support the longitudinal questions the
+paper touches only implicitly (chain churn, per-month activity, leaf
+replacement showing up as new chains on old servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .chain import ObservedChain
+
+__all__ = ["MonthBucket", "monthly_activity", "month_key", "churn_summary"]
+
+
+def month_key(ts: float) -> Tuple[int, int]:
+    """(year, month) of a UNIX timestamp, in UTC."""
+    moment = datetime.fromtimestamp(ts, timezone.utc)
+    return moment.year, moment.month
+
+
+def _iterate_months(start: Tuple[int, int],
+                    end: Tuple[int, int]) -> List[Tuple[int, int]]:
+    months = []
+    year, month = start
+    while (year, month) <= end:
+        months.append((year, month))
+        month += 1
+        if month == 13:
+            year, month = year + 1, 1
+    return months
+
+
+@dataclass(frozen=True, slots=True)
+class MonthBucket:
+    """Activity for one calendar month."""
+
+    year: int
+    month: int
+    #: Chains seen at least once during the month span (first..last seen
+    #: overlapping the month).
+    active_chains: int
+    #: Chains whose first observation falls in this month.
+    new_chains: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+
+def monthly_activity(chains: Iterable[ObservedChain]) -> List[MonthBucket]:
+    """Per-month active/new chain counts across the observed span."""
+    spans: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    for chain in chains:
+        usage = chain.usage
+        if usage.first_seen is None or usage.last_seen is None:
+            continue
+        spans.append((month_key(usage.first_seen),
+                      month_key(usage.last_seen)))
+    if not spans:
+        return []
+    overall_start = min(first for first, _ in spans)
+    overall_end = max(last for _, last in spans)
+    months = _iterate_months(overall_start, overall_end)
+    active: Dict[Tuple[int, int], int] = {m: 0 for m in months}
+    fresh: Dict[Tuple[int, int], int] = {m: 0 for m in months}
+    for first, last in spans:
+        fresh[first] += 1
+        for m in _iterate_months(first, last):
+            active[m] += 1
+    return [MonthBucket(year, month, active[(year, month)],
+                        fresh[(year, month)])
+            for year, month in months]
+
+
+def churn_summary(chains: Sequence[ObservedChain]) -> dict:
+    """How long chains stay in service, and how much turnover there is."""
+    lifetimes_days: List[float] = []
+    for chain in chains:
+        usage = chain.usage
+        if usage.first_seen is None or usage.last_seen is None:
+            continue
+        lifetimes_days.append((usage.last_seen - usage.first_seen) / 86400.0)
+    if not lifetimes_days:
+        return {"chains": 0, "median_active_days": 0.0,
+                "one_shot_share_pct": 0.0}
+    lifetimes_days.sort()
+    mid = len(lifetimes_days) // 2
+    if len(lifetimes_days) % 2:
+        median = lifetimes_days[mid]
+    else:
+        median = (lifetimes_days[mid - 1] + lifetimes_days[mid]) / 2
+    one_shot = sum(1 for d in lifetimes_days if d < 1.0)
+    return {
+        "chains": len(lifetimes_days),
+        "median_active_days": median,
+        "one_shot_share_pct": 100.0 * one_shot / len(lifetimes_days),
+    }

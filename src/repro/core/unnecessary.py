@@ -1,0 +1,113 @@
+"""Unnecessary-certificate pattern attribution (Appendix F.2).
+
+Beyond *detecting* unnecessary certificates (``ChainStructure`` does
+that structurally), the paper attributes them to recognisable causes:
+Let's Encrypt staging placeholders deployed to production, Athenz-style
+software-appended self-signed certificates, enterprise "tester"
+certificates, and redundant extra roots.  This module implements those
+pattern detectors so reports can say *why* a chain carries dead weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence
+
+from ..truststores.registry import PublicDBRegistry
+from ..x509.certificate import Certificate
+from .matching import ChainStructure
+
+__all__ = ["UnnecessaryPattern", "UnnecessaryFinding", "attribute_unnecessary"]
+
+#: The staging placeholder Let's Encrypt's --test-cert/--dry-run flow mints.
+FAKE_LE_ROOT_CN = "Fake LE Root X1"
+FAKE_LE_INTERMEDIATE_CN = "Fake LE Intermediate X1"
+
+
+class UnnecessaryPattern(str, Enum):
+    FAKE_LE_STAGING = "lets-encrypt-staging-placeholder"
+    SOFTWARE_APPENDED_SELF_SIGNED = "software-appended-self-signed"
+    ENTERPRISE_SELF_SIGNED = "enterprise-self-signed"
+    EXTRA_PUBLIC_ROOT = "extra-public-root"
+    LEAF_BEFORE_PATH = "stray-leaf-before-path"
+    UNCLASSIFIED = "unclassified"
+
+
+#: CNs/O markers of certificate-management software known to append
+#: self-signed certificates (Appendix F.2 names Athenz explicitly).
+_SOFTWARE_MARKERS = ("athenz", "cert-manager", "自動", "autocert")
+_ENTERPRISE_MARKERS = ("tester", "internal", "corp", "hp inc", "localhost")
+
+
+@dataclass(frozen=True, slots=True)
+class UnnecessaryFinding:
+    """One unnecessary certificate with its attributed cause."""
+
+    index: int
+    certificate: Certificate
+    pattern: UnnecessaryPattern
+
+    def describe(self) -> str:
+        return (f"position {self.index}: {self.certificate.short_name()!r} "
+                f"[{self.pattern.value}]")
+
+
+def _is_fake_le(certificate: Certificate) -> bool:
+    cn = certificate.subject.common_name or ""
+    issuer_cn = certificate.issuer.common_name or ""
+    return (cn == FAKE_LE_INTERMEDIATE_CN or cn == FAKE_LE_ROOT_CN
+            or issuer_cn == FAKE_LE_ROOT_CN)
+
+
+def _marker_match(certificate: Certificate, markers: Sequence[str]) -> bool:
+    haystacks = [
+        value.lower() for value in (
+            certificate.subject.common_name,
+            certificate.subject.organization,
+            certificate.issuer.common_name,
+            certificate.issuer.organization,
+        ) if value
+    ]
+    return any(marker in haystack for marker in markers for haystack in haystacks)
+
+
+def attribute_unnecessary(structure: ChainStructure,
+                          registry: Optional[PublicDBRegistry] = None
+                          ) -> List[UnnecessaryFinding]:
+    """Attribute each unnecessary certificate in a chain to a pattern.
+
+    Requires a chain that *contains* a complete matched path (otherwise
+    there is no chosen trust path to be unnecessary relative to).
+    """
+    findings: List[UnnecessaryFinding] = []
+    best = structure.best_path
+    if best is None:
+        return findings
+    for index in structure.unnecessary_indices:
+        certificate = structure.certificates[index]
+        findings.append(UnnecessaryFinding(
+            index, certificate, _pattern_for(certificate, index, best.start,
+                                             registry)))
+    return findings
+
+
+def _pattern_for(certificate: Certificate, index: int, path_start: int,
+                 registry: Optional[PublicDBRegistry]) -> UnnecessaryPattern:
+    if _is_fake_le(certificate):
+        return UnnecessaryPattern.FAKE_LE_STAGING
+    if certificate.is_self_signed and _marker_match(certificate, _SOFTWARE_MARKERS):
+        return UnnecessaryPattern.SOFTWARE_APPENDED_SELF_SIGNED
+    if certificate.is_self_signed and _marker_match(certificate, _ENTERPRISE_MARKERS):
+        return UnnecessaryPattern.ENTERPRISE_SELF_SIGNED
+    if registry is not None and registry.is_trust_anchor_name(certificate.subject):
+        return UnnecessaryPattern.EXTRA_PUBLIC_ROOT
+    if index < path_start:
+        # A leaf delivered *before* the complete matched path (§4.2's
+        # "chains begin with a leaf certificate followed by the path").
+        ext = certificate.extensions
+        if ext.basic_constraints is None or not ext.basic_constraints.ca:
+            return UnnecessaryPattern.LEAF_BEFORE_PATH
+    if certificate.is_self_signed:
+        return UnnecessaryPattern.ENTERPRISE_SELF_SIGNED
+    return UnnecessaryPattern.UNCLASSIFIED

@@ -1,0 +1,29 @@
+"""Certificate Transparency substrate: RFC 6962 Merkle trees, CT logs, and
+a crt.sh-style domain query index."""
+
+from .crtsh import CrtShIndex, DomainRecord
+from .log import CTLog, LogEntry, SignedCertificateTimestamp
+from .monitor import ConsistencyViolation, LogMonitor, TreeHeadObservation
+from .merkle import (
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+    verify_consistency,
+    verify_inclusion,
+)
+
+__all__ = [
+    "CTLog",
+    "ConsistencyViolation",
+    "CrtShIndex",
+    "DomainRecord",
+    "LogEntry",
+    "LogMonitor",
+    "MerkleTree",
+    "SignedCertificateTimestamp",
+    "TreeHeadObservation",
+    "leaf_hash",
+    "node_hash",
+    "verify_consistency",
+    "verify_inclusion",
+]

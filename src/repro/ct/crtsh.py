@@ -1,0 +1,124 @@
+"""crt.sh-style query index over CT logs.
+
+The paper's interception detector (§3.2.1) asks one question of CT: *which
+issuers has CT recorded for this domain, for certificates whose validity
+overlaps the observed one?*  A mismatch between the observed issuer and
+every CT-recorded issuer flags possible interception.  This module builds
+that index over any set of :class:`~repro.ct.log.CTLog` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..x509.certificate import Certificate, ValidityPeriod
+from ..x509.dn import DistinguishedName
+from .log import CTLog, LogEntry
+
+__all__ = ["CrtShIndex", "DomainRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class DomainRecord:
+    """One CT-logged certificate relevant to a domain."""
+
+    domain: str
+    certificate: Certificate
+    log_id: str
+    index: int
+
+    @property
+    def issuer(self) -> DistinguishedName:
+        return self.certificate.issuer
+
+    @property
+    def validity(self) -> ValidityPeriod:
+        return self.certificate.validity
+
+
+def _domains_of(certificate: Certificate) -> list[str]:
+    """Domains a certificate is valid for: SAN entries plus subject CN."""
+    domains: list[str] = []
+    san = certificate.extensions.subject_alt_name
+    if san is not None:
+        domains.extend(n.lower().rstrip(".") for n in san.dns_names)
+    cn = certificate.subject.common_name
+    if cn and "=" not in cn:
+        cn = cn.lower().rstrip(".")
+        if cn not in domains:
+            domains.append(cn)
+    return domains
+
+
+class CrtShIndex:
+    """Domain → logged certificates, refreshed incrementally from the logs."""
+
+    def __init__(self, logs: Sequence[CTLog] = ()):
+        self._logs: List[CTLog] = list(logs)
+        self._consumed: Dict[str, int] = {}
+        self._by_domain: Dict[str, List[DomainRecord]] = {}
+        self.refresh()
+
+    def attach(self, log: CTLog) -> None:
+        self._logs.append(log)
+        self.refresh()
+
+    def refresh(self) -> int:
+        """Ingest any entries appended to the logs since the last refresh.
+
+        Returns the number of new records indexed.
+        """
+        added = 0
+        for log in self._logs:
+            start = self._consumed.get(log.log_id, 0)
+            for entry in log.entries()[start:]:
+                added += self._index_entry(log.log_id, entry)
+            self._consumed[log.log_id] = log.size
+        return added
+
+    def _index_entry(self, log_id: str, entry: LogEntry) -> int:
+        count = 0
+        for domain in _domains_of(entry.certificate):
+            record = DomainRecord(domain, entry.certificate, log_id, entry.index)
+            self._by_domain.setdefault(domain, []).append(record)
+            count += 1
+        return count
+
+    # -- queries ---------------------------------------------------------------
+
+    def records_for_domain(self, domain: str) -> list[DomainRecord]:
+        """All records whose certificate covers ``domain`` (including via
+        wildcard SANs)."""
+        domain = domain.lower().rstrip(".")
+        records = list(self._by_domain.get(domain, ()))
+        head, _, tail = domain.partition(".")
+        if head and tail:
+            records.extend(self._by_domain.get(f"*.{tail}", ()))
+        return records
+
+    def issuers_for_domain(self, domain: str,
+                           overlapping: Optional[ValidityPeriod] = None
+                           ) -> list[DistinguishedName]:
+        """Distinct issuers CT has recorded for ``domain``; optionally only
+        those whose certificate validity overlaps ``overlapping`` — the
+        §3.2.1 interception query."""
+        seen: set[tuple] = set()
+        issuers: list[DistinguishedName] = []
+        for record in self.records_for_domain(domain):
+            if overlapping is not None and not record.validity.overlaps(overlapping):
+                continue
+            key = tuple(sorted(record.issuer.normalized()))
+            if key not in seen:
+                seen.add(key)
+                issuers.append(record.issuer)
+        return issuers
+
+    def knows_domain(self, domain: str) -> bool:
+        return bool(self.records_for_domain(domain))
+
+    def contains_certificate(self, certificate: Certificate) -> bool:
+        return any(log.contains(certificate) for log in self._logs)
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._by_domain.values())

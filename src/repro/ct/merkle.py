@@ -1,0 +1,178 @@
+"""RFC 6962 Merkle hash tree with inclusion and consistency proofs.
+
+Certificate Transparency logs are append-only Merkle trees.  The campus
+study only *queries* CT (does a logged certificate exist for this domain
+and validity window?), but a CT log that cannot prove inclusion is just a
+dict — so the substrate implements the real structure, and the property
+tests verify the RFC 6962 invariants (proof verification, consistency
+between tree sizes).
+
+Hashing follows RFC 6962 §2.1: leaf hashes are ``SHA-256(0x00 || leaf)``
+and interior nodes are ``SHA-256(0x01 || left || right)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+__all__ = [
+    "MerkleTree",
+    "leaf_hash",
+    "node_hash",
+    "verify_inclusion",
+    "verify_consistency",
+]
+
+
+def leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + data).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def _root_of(hashes: Sequence[bytes]) -> bytes:
+    """Merkle tree hash of a list of leaf hashes (RFC 6962 §2.1)."""
+    n = len(hashes)
+    if n == 0:
+        return hashlib.sha256(b"").digest()
+    if n == 1:
+        return hashes[0]
+    k = _largest_power_of_two_below(n)
+    return node_hash(_root_of(hashes[:k]), _root_of(hashes[k:]))
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """An append-only Merkle tree over opaque byte-string entries."""
+
+    def __init__(self, entries: Sequence[bytes] = ()):
+        self._leaves: List[bytes] = [leaf_hash(e) for e in entries]
+
+    def append(self, entry: bytes) -> int:
+        """Append an entry; returns its leaf index."""
+        self._leaves.append(leaf_hash(entry))
+        return len(self._leaves) - 1
+
+    @property
+    def size(self) -> int:
+        return len(self._leaves)
+
+    def root(self, tree_size: int | None = None) -> bytes:
+        """Root hash at ``tree_size`` (defaults to the current size)."""
+        if tree_size is None:
+            tree_size = self.size
+        if not 0 <= tree_size <= self.size:
+            raise ValueError(f"tree_size {tree_size} out of range [0, {self.size}]")
+        return _root_of(self._leaves[:tree_size])
+
+    # -- proofs --------------------------------------------------------------
+
+    def inclusion_proof(self, index: int, tree_size: int | None = None) -> list[bytes]:
+        """Audit path for leaf ``index`` in the tree of ``tree_size`` (RFC 6962 §2.1.1)."""
+        if tree_size is None:
+            tree_size = self.size
+        if not 0 <= index < tree_size <= self.size:
+            raise ValueError(f"index {index} not in tree of size {tree_size}")
+        return self._path(index, self._leaves[:tree_size])
+
+    def _path(self, index: int, hashes: Sequence[bytes]) -> list[bytes]:
+        n = len(hashes)
+        if n <= 1:
+            return []
+        k = _largest_power_of_two_below(n)
+        if index < k:
+            return self._path(index, hashes[:k]) + [_root_of(hashes[k:])]
+        return self._path(index - k, hashes[k:]) + [_root_of(hashes[:k])]
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        """Proof that the tree at ``old_size`` is a prefix of the tree at
+        ``new_size`` (RFC 6962 §2.1.2)."""
+        if new_size is None:
+            new_size = self.size
+        if not 0 <= old_size <= new_size <= self.size:
+            raise ValueError(f"invalid sizes {old_size} > {new_size} > {self.size}")
+        if old_size == 0 or old_size == new_size:
+            return []
+        return self._subproof(old_size, self._leaves[:new_size], True)
+
+    def _subproof(self, m: int, hashes: Sequence[bytes], complete: bool) -> list[bytes]:
+        n = len(hashes)
+        if m == n:
+            return [] if complete else [_root_of(hashes)]
+        k = _largest_power_of_two_below(n)
+        if m <= k:
+            return self._subproof(m, hashes[:k], complete) + [_root_of(hashes[k:])]
+        return self._subproof(m - k, hashes[k:], False) + [_root_of(hashes[:k])]
+
+
+def verify_inclusion(leaf: bytes, index: int, tree_size: int,
+                     proof: Sequence[bytes], root: bytes) -> bool:
+    """Verify an RFC 6962 inclusion proof (§2.1.3 algorithm)."""
+    if index >= tree_size:
+        return False
+    fn, sn = index, tree_size - 1
+    computed = leaf_hash(leaf)
+    for piece in proof:
+        if sn == 0:
+            return False
+        if fn & 1 or fn == sn:
+            computed = node_hash(piece, computed)
+            if not fn & 1:
+                while True:
+                    fn >>= 1
+                    sn >>= 1
+                    if fn & 1 or fn == 0:
+                        break
+        else:
+            computed = node_hash(computed, piece)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and computed == root
+
+
+def verify_consistency(old_size: int, new_size: int, old_root: bytes,
+                       new_root: bytes, proof: Sequence[bytes]) -> bool:
+    """Verify an RFC 6962 consistency proof (§2.1.4 algorithm)."""
+    if old_size == new_size:
+        return old_root == new_root and not proof
+    if old_size == 0:
+        return not proof
+    if not proof:
+        return False
+    proof_list = list(proof)
+    fn, sn = old_size - 1, new_size - 1
+    while fn & 1:
+        fn >>= 1
+        sn >>= 1
+    if fn == 0:
+        # old tree is a complete subtree: seed with the old root itself.
+        fr = sr = old_root
+    else:
+        fr = sr = proof_list.pop(0)
+    for piece in proof_list:
+        if sn == 0:
+            return False
+        if fn & 1 or fn == sn:
+            fr = node_hash(piece, fr)
+            sr = node_hash(piece, sr)
+            if not fn & 1:
+                while True:
+                    fn >>= 1
+                    sn >>= 1
+                    if fn & 1 or fn == 0:
+                        break
+        else:
+            sr = node_hash(sr, piece)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and fr == old_root and sr == new_root

@@ -1,0 +1,88 @@
+"""CT monitor/auditor: verifies a log's append-only behaviour over time.
+
+CT's security model depends on monitors that fetch successive signed tree
+heads and verify consistency proofs between them (RFC 6962 §5.3).  The
+campus study trusts CT's answers; this monitor is the substrate that
+justifies that trust — and the tests show it catching a log that rewrites
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import List, Optional
+
+from .log import CTLog
+from .merkle import verify_consistency
+
+__all__ = ["TreeHeadObservation", "LogMonitor", "ConsistencyViolation"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeHeadObservation:
+    """One observed (tree_size, root_hash) pair — an STH without the
+    signature plumbing."""
+
+    tree_size: int
+    root_hash: bytes
+    observed_at: datetime
+
+
+class ConsistencyViolation(Exception):
+    """The log's history is inconsistent with a previous observation."""
+
+    def __init__(self, old: TreeHeadObservation, new: TreeHeadObservation):
+        self.old = old
+        self.new = new
+        super().__init__(
+            f"log inconsistency: tree of size {new.tree_size} does not "
+            f"extend the tree of size {old.tree_size}")
+
+
+class LogMonitor:
+    """Periodically observes one log and audits its append-only promise."""
+
+    def __init__(self, log: CTLog):
+        self.log = log
+        self.observations: List[TreeHeadObservation] = []
+
+    @property
+    def latest(self) -> Optional[TreeHeadObservation]:
+        return self.observations[-1] if self.observations else None
+
+    def observe(self, *, at: Optional[datetime] = None) -> TreeHeadObservation:
+        """Fetch the current tree head, verify consistency with the last
+        observation, and record it.  Raises :class:`ConsistencyViolation`
+        when the log rewrote history."""
+        observation = TreeHeadObservation(
+            tree_size=self.log.size,
+            root_hash=self.log.root_hash(),
+            observed_at=at or datetime.now(timezone.utc),
+        )
+        previous = self.latest
+        if previous is not None:
+            if observation.tree_size < previous.tree_size:
+                raise ConsistencyViolation(previous, observation)
+            proof = self.log.consistency_proof(previous.tree_size)
+            if not verify_consistency(previous.tree_size,
+                                      observation.tree_size,
+                                      previous.root_hash,
+                                      observation.root_hash, proof):
+                raise ConsistencyViolation(previous, observation)
+        self.observations.append(observation)
+        return observation
+
+    def audit_full_history(self) -> bool:
+        """Re-verify consistency between every recorded observation pair
+        against the log's *current* state (a deep audit)."""
+        for old, new in zip(self.observations, self.observations[1:]):
+            proof = self.log.consistency_proof(old.tree_size, new.tree_size)
+            current_new_root = self.log.root_hash(new.tree_size)
+            if current_new_root != new.root_hash:
+                return False
+            if not verify_consistency(old.tree_size, new.tree_size,
+                                      old.root_hash, current_new_root,
+                                      proof):
+                return False
+        return True

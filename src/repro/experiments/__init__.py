@@ -1,0 +1,22 @@
+"""One experiment per paper table/figure, plus ablations and the CLI.
+
+Importing this package registers every experiment; use
+:func:`repro.experiments.run_experiment` or the ``certchain-analyze`` CLI.
+"""
+
+from .base import ExperimentResult, comparison_table, registry, run_experiment
+from . import (  # noqa: F401  (register experiments)
+    ablations,
+    extensions,
+    figures,
+    sections,
+    table5,
+    tables,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "comparison_table",
+    "registry",
+    "run_experiment",
+]

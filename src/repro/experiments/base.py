@@ -1,0 +1,62 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment takes an analyzed campus dataset (plus whatever extra
+substrate it needs) and produces an :class:`ExperimentResult` holding the
+machine-readable measured values and a rendered paper-vs-measured table.
+The registry powers the CLI and keeps DESIGN.md's experiment index honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..campus.dataset import CampusDataset
+from ..core.report import render_table
+
+__all__ = ["ExperimentResult", "experiment", "registry", "run_experiment",
+           "comparison_table"]
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    rendered: str
+    measured: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.rendered
+
+
+#: exp_id -> runner(dataset) registry.
+_REGISTRY: Dict[str, Callable[[CampusDataset], ExperimentResult]] = {}
+
+
+def experiment(exp_id: str):
+    """Register an experiment runner under its table/figure id."""
+    def decorator(func: Callable[[CampusDataset], ExperimentResult]):
+        _REGISTRY[exp_id] = func
+        return func
+    return decorator
+
+
+def registry() -> Dict[str, Callable[[CampusDataset], ExperimentResult]]:
+    return dict(_REGISTRY)
+
+
+def run_experiment(exp_id: str, dataset: CampusDataset) -> ExperimentResult:
+    try:
+        runner = _REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return runner(dataset)
+
+
+def comparison_table(title: str, rows: List[List[object]],
+                     headers: Optional[List[str]] = None) -> str:
+    """Standard paper-vs-measured rendering."""
+    return render_table(headers or ["metric", "paper", "measured", "note"],
+                        rows, title=title)

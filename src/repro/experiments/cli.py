@@ -1,0 +1,107 @@
+"""Command-line interface: ``certchain-analyze``.
+
+Two modes:
+
+* **simulate** (default) — build the synthetic campus dataset and run any
+  or all registered experiments, printing paper-vs-measured tables;
+* **logs** — analyze real (or simulated) Zeek ``ssl.log``/``x509.log``
+  files with the chain-structure pipeline and print the category summary,
+  which is what a network operator would point this tool at.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..campus.dataset import cached_campus_dataset
+from ..core.categorization import ChainCategory
+from ..core.pipeline import ChainStructureAnalyzer
+from ..core.report import render_table
+from ..zeek.format import read_zeek_log
+from ..zeek.records import SSLRecord, X509Record
+from ..zeek.tap import join_logs
+from .base import registry, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="certchain-analyze",
+        description="Certificate chain structure analysis "
+                    "(IMC '25 reproduction)")
+    parser.add_argument("--seed", default="0",
+                        help="deterministic simulation seed (default 0)")
+    parser.add_argument("--scale", default="small",
+                        choices=("small", "default"),
+                        help="simulation scale preset")
+    parser.add_argument("--experiment", "-e", action="append",
+                        dest="experiments", metavar="ID",
+                        help="experiment id (repeatable); 'all' for every "
+                             "registered experiment; omit to list ids")
+    parser.add_argument("--ssl-log", help="analyze a Zeek ssl.log instead "
+                                          "of simulating")
+    parser.add_argument("--x509-log", help="x509.log paired with --ssl-log")
+    return parser
+
+
+def _analyze_logs(ssl_path: str, x509_path: str) -> int:
+    _, ssl_rows = read_zeek_log(ssl_path)
+    _, x509_rows = read_zeek_log(x509_path)
+    ssl_records = [SSLRecord.from_row(r) for r in ssl_rows]
+    x509_records = [X509Record.from_row(r) for r in x509_rows]
+    joined = join_logs(ssl_records, x509_records)
+    # Without a trust-store snapshot every issuer is non-public; callers
+    # embedding the library can supply their own registry.
+    from ..truststores import build_public_pki
+    analyzer = ChainStructureAnalyzer(build_public_pki().registry)
+    result = analyzer.analyze_connections(joined)
+    rows = [[row["category"], row["chains"], row["connections"],
+             row["client_ips"]]
+            for row in result.categorized.summary_rows()]
+    print(render_table(["category", "chains", "connections", "client IPs"],
+                       rows, title=f"Chain categories in {ssl_path}"))
+    print()
+    print(f"distinct certificates: {len(x509_records):,}")
+    print(f"hybrid chains: "
+          f"{result.categorized.chain_count(ChainCategory.HYBRID):,}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.ssl_log or args.x509_log:
+        if not (args.ssl_log and args.x509_log):
+            parser.error("--ssl-log and --x509-log must be given together")
+        return _analyze_logs(args.ssl_log, args.x509_log)
+
+    known = sorted(registry())
+    if not args.experiments:
+        print("Registered experiments:")
+        for exp_id in known:
+            print(f"  {exp_id}")
+        print("\nRun with -e <id> (or -e all). Example:\n"
+              "  certchain-analyze --scale small -e table3 -e section5")
+        return 0
+
+    wanted = known if "all" in args.experiments else args.experiments
+    dataset = cached_campus_dataset(seed=args.seed, scale=args.scale)
+    status = 0
+    for exp_id in wanted:
+        try:
+            result = run_experiment(exp_id, dataset)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        print(result.rendered)
+        print()
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

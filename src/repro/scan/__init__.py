@@ -1,0 +1,47 @@
+"""Active scanning and the §5 November-2024 revisit."""
+
+from .evolution import (
+    DISPOSITION_NOW_MULTI,
+    DISPOSITION_NOW_MULTI_BROKEN,
+    DISPOSITION_STILL_COMPLETE_CLEAN,
+    DISPOSITION_STILL_COMPLETE_UNNECESSARY,
+    DISPOSITION_STILL_NO_PATH,
+    DISPOSITION_STILL_SINGLE,
+    DISPOSITION_TO_NONPUB,
+    DISPOSITION_TO_PUBLIC_LE,
+    DISPOSITION_TO_PUBLIC_OTHER,
+    DISPOSITION_UNREACHABLE,
+    EVOLUTION_EPOCH,
+    EvolvedFleet,
+    EvolvedServer,
+    evolve_fleet,
+)
+from .revisit import RevisitReport, run_revisit
+from .survey import SurveyFinding, SurveyReport, run_survey
+from .scanner import REVISIT_TIME, ActiveScanner, ScanResult, render_showcerts
+
+__all__ = [
+    "ActiveScanner",
+    "DISPOSITION_NOW_MULTI",
+    "DISPOSITION_NOW_MULTI_BROKEN",
+    "DISPOSITION_STILL_COMPLETE_CLEAN",
+    "DISPOSITION_STILL_COMPLETE_UNNECESSARY",
+    "DISPOSITION_STILL_NO_PATH",
+    "DISPOSITION_STILL_SINGLE",
+    "DISPOSITION_TO_NONPUB",
+    "DISPOSITION_TO_PUBLIC_LE",
+    "DISPOSITION_TO_PUBLIC_OTHER",
+    "DISPOSITION_UNREACHABLE",
+    "EVOLUTION_EPOCH",
+    "EvolvedFleet",
+    "EvolvedServer",
+    "REVISIT_TIME",
+    "RevisitReport",
+    "SurveyFinding",
+    "SurveyReport",
+    "ScanResult",
+    "evolve_fleet",
+    "render_showcerts",
+    "run_revisit",
+    "run_survey",
+]

@@ -1,0 +1,259 @@
+"""Fleet evolution 2021 → 2024 (§5's ground truth).
+
+The revisit found that most hybrid-chain servers had migrated to public-DB
+issuers — overwhelmingly Let's Encrypt — while non-public-only servers kept
+non-public chains but adopted longer, hierarchical ones.  This module ages
+the simulated 2021 fleet into its November-2024 state with exactly those
+calibrated dispositions, keeping per-server ground truth so the revisit
+analysis can be validated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Sequence
+
+from ..campus.dataset import CampusDataset
+from ..campus.profiles import PAPER
+from ..campus.spec import ChainSpec
+from ..x509.certificate import Certificate
+from ..x509.generation import CertificateFactory, name
+
+__all__ = ["EvolvedServer", "EvolvedFleet", "evolve_fleet"]
+
+#: Certificates minted for the 2024 state.
+EVOLUTION_EPOCH = datetime(2024, 6, 1, tzinfo=timezone.utc)
+
+#: Hybrid-server dispositions (§5).
+DISPOSITION_UNREACHABLE = "unreachable"
+DISPOSITION_TO_PUBLIC_LE = "to-public-lets-encrypt"
+DISPOSITION_TO_PUBLIC_OTHER = "to-public-other"
+DISPOSITION_TO_NONPUB = "to-non-public"
+DISPOSITION_STILL_COMPLETE_CLEAN = "still-hybrid-complete-clean"
+DISPOSITION_STILL_COMPLETE_UNNECESSARY = "still-hybrid-complete-unnecessary"
+DISPOSITION_STILL_NO_PATH = "still-hybrid-no-path"
+
+#: Non-public-server dispositions.
+DISPOSITION_NOW_MULTI = "nonpub-now-multi"
+DISPOSITION_NOW_MULTI_BROKEN = "nonpub-now-multi-broken"
+DISPOSITION_STILL_SINGLE = "nonpub-still-single"
+
+
+@dataclass
+class EvolvedServer:
+    """One server's 2024 state with its 2021 history."""
+
+    server_id: str
+    hostname: Optional[str]
+    previous_specs: List[ChainSpec]
+    disposition: str
+    new_chain: tuple[Certificate, ...] = ()
+
+    @property
+    def reachable(self) -> bool:
+        return self.disposition != DISPOSITION_UNREACHABLE
+
+    @property
+    def previous_primary(self) -> ChainSpec:
+        return self.previous_specs[0]
+
+    def was_single(self) -> bool:
+        return len(self.previous_primary.chain) == 1
+
+    def was_single_self_signed(self) -> bool:
+        chain = self.previous_primary.chain
+        return len(chain) == 1 and chain[0].is_self_signed
+
+
+@dataclass
+class EvolvedFleet:
+    hybrid: List[EvolvedServer] = field(default_factory=list)
+    nonpub: List[EvolvedServer] = field(default_factory=list)
+
+    def hybrid_reachable(self) -> List[EvolvedServer]:
+        return [s for s in self.hybrid if s.reachable]
+
+
+def _group_by_server(specs: Sequence[ChainSpec]) -> Dict[str, List[ChainSpec]]:
+    grouped: Dict[str, List[ChainSpec]] = {}
+    for spec in specs:
+        grouped.setdefault(spec.server_id or spec.hostname or "?", []).append(spec)
+    return grouped
+
+
+def evolve_fleet(dataset: CampusDataset, *, seed: int | str = 0) -> EvolvedFleet:
+    rng = random.Random(f"evolution:{seed}")
+    factory = CertificateFactory(seed=f"evolution:{seed}",
+                                 epoch=EVOLUTION_EPOCH)
+    fleet = EvolvedFleet()
+    _evolve_hybrid(dataset, fleet, rng, factory)
+    _evolve_nonpublic(dataset, fleet, rng, factory)
+    return fleet
+
+
+# -- hybrid servers -----------------------------------------------------------------
+
+
+def _evolve_hybrid(dataset: CampusDataset, fleet: EvolvedFleet,
+                   rng: random.Random, factory: CertificateFactory) -> None:
+    pki = dataset.pki
+    grouped = _group_by_server(dataset.specs_in_category("hybrid"))
+    server_ids = sorted(grouped)
+    rng.shuffle(server_ids)
+    n = len(server_ids)
+    n_reachable = round(n * PAPER.revisit_hybrid_reachable_pct / 100)
+
+    # Paper proportions among the 270 reachable servers, with the tiny
+    # still-hybrid cells kept at their exact counts.
+    reachable_ids = server_ids[:n_reachable]
+    still_clean = PAPER.revisit_still_hybrid_complete_clean
+    still_unnecessary = PAPER.revisit_still_hybrid_complete_unnecessary
+    still_no_path = (PAPER.revisit_hybrid_still_hybrid
+                     - still_clean - still_unnecessary)
+    still_no_path = max(1, round(still_no_path * n_reachable / 270))
+    to_nonpub = PAPER.revisit_hybrid_to_nonpub
+    dispositions: List[str] = (
+        [DISPOSITION_STILL_COMPLETE_CLEAN] * still_clean
+        + [DISPOSITION_STILL_COMPLETE_UNNECESSARY] * still_unnecessary
+        + [DISPOSITION_STILL_NO_PATH] * still_no_path
+        + [DISPOSITION_TO_NONPUB] * to_nonpub
+    )
+    remaining = n_reachable - len(dispositions)
+    n_le = round(remaining * 0.9)
+    dispositions += [DISPOSITION_TO_PUBLIC_LE] * n_le
+    dispositions += [DISPOSITION_TO_PUBLIC_OTHER] * (remaining - n_le)
+    rng.shuffle(dispositions)
+
+    for server_id, disposition in zip(reachable_ids, dispositions):
+        specs = grouped[server_id]
+        host = specs[0].hostname or f"{server_id}.example"
+        fleet.hybrid.append(EvolvedServer(
+            server_id=server_id,
+            hostname=host,
+            previous_specs=specs,
+            disposition=disposition,
+            new_chain=_hybrid_chain_for(disposition, specs, host, pki,
+                                        factory, rng),
+        ))
+    for server_id in server_ids[n_reachable:]:
+        specs = grouped[server_id]
+        fleet.hybrid.append(EvolvedServer(
+            server_id=server_id,
+            hostname=specs[0].hostname,
+            previous_specs=specs,
+            disposition=DISPOSITION_UNREACHABLE,
+        ))
+
+
+def _renewed_intermediate(factory: CertificateFactory, pki, ca_name: str,
+                          label: str):
+    """A 2024 re-issue of a public CA's intermediate: same subject DN,
+    signed by the same (long-lived) root — how real CAs rotate issuing
+    certificates without changing names."""
+    ca = pki.ca(ca_name)
+    original = ca.intermediates[label]
+    return factory.intermediate(ca.root, original.certificate.subject,
+                                not_before=EVOLUTION_EPOCH)
+
+
+def _hybrid_chain_for(disposition: str, specs: Sequence[ChainSpec], host: str,
+                      pki, factory: CertificateFactory,
+                      rng: random.Random) -> tuple[Certificate, ...]:
+    if disposition == DISPOSITION_TO_PUBLIC_LE:
+        r3 = _renewed_intermediate(factory, pki, "lets_encrypt", "R3")
+        leaf = factory.leaf(r3, name(host), dns_names=[host],
+                            not_before=EVOLUTION_EPOCH)
+        return (leaf, r3.certificate)
+    if disposition == DISPOSITION_TO_PUBLIC_OTHER:
+        inter = _renewed_intermediate(factory, pki, "digicert", "tls2020")
+        leaf = factory.leaf(inter, name(host), dns_names=[host],
+                            not_before=EVOLUTION_EPOCH)
+        return (leaf, inter.certificate)
+    if disposition == DISPOSITION_TO_NONPUB:
+        return (factory.self_signed(name(host), lifetime_days=730,
+                                    not_before=EVOLUTION_EPOCH),)
+    if disposition == DISPOSITION_STILL_COMPLETE_CLEAN:
+        # A renewed non-public leaf still anchored to a public root.
+        parent = _renewed_intermediate(factory, pki, "federal_pki",
+                                       "verizon_ssp")
+        private = factory.intermediate(parent, name(f"{host} Agency CA",
+                                                    o="U.S. Government"),
+                                       not_before=EVOLUTION_EPOCH)
+        leaf = factory.leaf(private, name(host), dns_names=[host],
+                            not_before=EVOLUTION_EPOCH)
+        return (leaf, private.certificate, parent.certificate)
+    if disposition == DISPOSITION_STILL_COMPLETE_UNNECESSARY:
+        inter = _renewed_intermediate(factory, pki, "usertrust", "sectigo_dv")
+        leaf = factory.leaf(inter, name(host), dns_names=[host],
+                            not_before=EVOLUTION_EPOCH)
+        tester = factory.self_signed(name("tester", o="HP Inc"),
+                                     not_before=EVOLUTION_EPOCH)
+        return (leaf, inter.certificate,
+                pki.ca("usertrust").root.certificate, tester)
+    # Still hybrid, no matched path: a freshly broken deployment — the
+    # renewed self-signed substitute followed by stale public material
+    # (the same failure family as Table 7's dominant category).
+    stale_inter = pki.ca("godaddy").intermediates["g2"].certificate
+    ss_leaf = factory.self_signed(name(host), not_before=EVOLUTION_EPOCH)
+    return (ss_leaf, stale_inter)
+
+
+# -- non-public-only servers ----------------------------------------------------------
+
+
+def _evolve_nonpublic(dataset: CampusDataset, fleet: EvolvedFleet,
+                      rng: random.Random, factory: CertificateFactory) -> None:
+    grouped = _group_by_server(dataset.specs_in_category("nonpub"))
+    #: Only servers whose connections ever carried an SNI can be revisited
+    #: (the paper could extract just 12,404 of them).
+    now_multi_p = {
+        "multi": 0.95,
+        "single-ss": 0.75,
+        "single-distinct": 0.70,
+    }
+    for server_id in sorted(grouped):
+        specs = grouped[server_id]
+        primary = specs[0]
+        if not primary.hostname or primary.sni_rate <= 0.0:
+            continue  # never observable via SNI; not scannable
+        if primary.labels.get("outlier") or primary.labels.get("dga"):
+            continue
+        host = primary.hostname
+        if len(primary.chain) > 1:
+            prev = "multi"
+        elif primary.chain[0].is_self_signed:
+            prev = "single-ss"
+        else:
+            prev = "single-distinct"
+        if rng.random() < now_multi_p[prev]:
+            broken = rng.random() < (1 - PAPER.revisit_multi_complete_pct / 100)
+            org = f"Org-{server_id}"
+            root = factory.root(name(f"{org} Root", o=org),
+                                not_before=EVOLUTION_EPOCH)
+            leaf = factory.leaf(root, name(host), dns_names=[host],
+                                omit_basic_constraints=rng.random() < 0.5)
+            if broken:
+                junk = factory.mismatched_pair_cert(
+                    name(f"{org} stale issuer"), name(f"{org} stale subject"))
+                chain = (leaf, junk)
+                disposition = DISPOSITION_NOW_MULTI_BROKEN
+            else:
+                chain = (leaf, root.certificate)
+                disposition = DISPOSITION_NOW_MULTI
+        else:
+            if prev == "single-distinct":
+                chain = (factory.mismatched_pair_cert(
+                    name(f"gw-{server_id}"), name(host)),)
+            else:
+                chain = (factory.self_signed(name(host),
+                                             not_before=EVOLUTION_EPOCH),)
+            disposition = DISPOSITION_STILL_SINGLE
+        fleet.nonpub.append(EvolvedServer(
+            server_id=server_id,
+            hostname=host,
+            previous_specs=specs,
+            disposition=disposition,
+            new_chain=chain,
+        ))

@@ -1,0 +1,168 @@
+"""The §5 revisit analysis: scan the evolved fleet, re-analyze the chains.
+
+Reproduces every §5 statistic:
+
+* hybrid servers — reachability, migration to public-DB issuers (and the
+  Let's Encrypt share), migration to non-public-only chains, and the
+  still-hybrid breakdown (complete/clean, complete-with-unnecessary,
+  no matched path);
+* non-public-only servers — all still non-public, the single→multi
+  transition (with previous-state composition), and the complete-matched-
+  path share of the new multi-certificate chains;
+* the Chrome-vs-OpenSSL validation divergence on still-hybrid chains with
+  unnecessary certificates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..campus.dataset import CampusDataset
+from ..core.classification import CertificateClassifier, IssuerClass
+from ..core.matching import analyze_structure
+from ..tls.handshake import TLSServer
+from ..tls.policy import BrowserPolicy, StrictPresentedChainPolicy
+from .evolution import EvolvedFleet, EvolvedServer, evolve_fleet
+from .scanner import ActiveScanner, REVISIT_TIME, ScanResult
+
+__all__ = ["RevisitReport", "run_revisit"]
+
+
+@dataclass
+class RevisitReport:
+    # hybrid side ---------------------------------------------------------------
+    hybrid_total: int = 0
+    hybrid_reachable: int = 0
+    hybrid_to_public: int = 0
+    hybrid_to_public_lets_encrypt: int = 0
+    hybrid_to_nonpub: int = 0
+    hybrid_still_hybrid: int = 0
+    still_complete_clean: int = 0
+    still_complete_unnecessary: int = 0
+    still_no_path: int = 0
+    # validation divergence (§5's three chains) -------------------------------------
+    divergent_browser_ok: int = 0
+    divergent_strict_ok: int = 0
+    divergent_chains: int = 0
+    # non-public side ------------------------------------------------------------------
+    nonpub_scanned: int = 0
+    nonpub_still_nonpub: int = 0
+    nonpub_now_multi: int = 0
+    nonpub_prev_multi: int = 0
+    nonpub_prev_single_self_signed: int = 0
+    nonpub_prev_single_distinct: int = 0
+    nonpub_multi_complete: int = 0
+
+    @property
+    def hybrid_reachable_pct(self) -> float:
+        return 100.0 * self.hybrid_reachable / self.hybrid_total \
+            if self.hybrid_total else 0.0
+
+    @property
+    def nonpub_now_multi_pct(self) -> float:
+        return 100.0 * self.nonpub_now_multi / self.nonpub_scanned \
+            if self.nonpub_scanned else 0.0
+
+    @property
+    def nonpub_multi_complete_pct(self) -> float:
+        return 100.0 * self.nonpub_multi_complete / self.nonpub_now_multi \
+            if self.nonpub_now_multi else 0.0
+
+    def prev_state_shares(self) -> dict:
+        """Previous-state composition of the now-multi servers (§5)."""
+        total = self.nonpub_now_multi or 1
+        return {
+            "prev_multi_pct": 100.0 * self.nonpub_prev_multi / total,
+            "prev_single_self_signed_pct":
+                100.0 * self.nonpub_prev_single_self_signed / total,
+            "prev_single_distinct_pct":
+                100.0 * self.nonpub_prev_single_distinct / total,
+        }
+
+
+def _scan_fleet(fleet_servers: List[EvolvedServer],
+                scanner: ActiveScanner) -> Dict[str, ScanResult]:
+    results: Dict[str, ScanResult] = {}
+    for server in fleet_servers:
+        if not server.reachable:
+            results[server.server_id] = scanner.unreachable(
+                server.server_id, server.hostname)
+            continue
+        tls_server = TLSServer("203.0.113.200", 443, server.new_chain,
+                               hostnames=(server.hostname,)
+                               if server.hostname else ())
+        results[server.server_id] = scanner.scan(
+            tls_server, server_id=server.server_id, hostname=server.hostname)
+    return results
+
+
+def run_revisit(dataset: CampusDataset, *, seed: int | str = 0,
+                fleet: Optional[EvolvedFleet] = None) -> RevisitReport:
+    """Evolve (unless given), scan, and re-analyze — the full §5 pipeline."""
+    if fleet is None:
+        fleet = evolve_fleet(dataset, seed=seed)
+    scanner = ActiveScanner(seed=seed)
+    classifier = CertificateClassifier(dataset.registry)
+    report = RevisitReport()
+
+    # -- hybrid servers ---------------------------------------------------------
+    hybrid_scans = _scan_fleet(fleet.hybrid, scanner)
+    report.hybrid_total = len(fleet.hybrid)
+    browser = BrowserPolicy(dataset.registry)
+    strict = StrictPresentedChainPolicy(dataset.registry)
+    for server in fleet.hybrid:
+        scan = hybrid_scans[server.server_id]
+        if not scan.reachable:
+            continue
+        report.hybrid_reachable += 1
+        classes = {classifier.classify(c) for c in scan.chain}
+        if classes == {IssuerClass.PUBLIC_DB}:
+            report.hybrid_to_public += 1
+            leaf_issuer_org = scan.chain[0].issuer.organization or ""
+            if "let's encrypt" in leaf_issuer_org.lower():
+                report.hybrid_to_public_lets_encrypt += 1
+            continue
+        if classes == {IssuerClass.NON_PUBLIC_DB}:
+            report.hybrid_to_nonpub += 1
+            continue
+        report.hybrid_still_hybrid += 1
+        structure = analyze_structure(scan.chain, require_leaf=True,
+                                      disclosures=dataset.disclosures)
+        if structure.is_complete_matched_path:
+            report.still_complete_clean += 1
+        elif structure.contains_complete_matched_path:
+            report.still_complete_unnecessary += 1
+            # §5's divergence experiment: validate with both tools.
+            report.divergent_chains += 1
+            if browser.validate(scan.chain, at=scanner.when).ok:
+                report.divergent_browser_ok += 1
+            if strict.validate(scan.chain, at=scanner.when).ok:
+                report.divergent_strict_ok += 1
+        else:
+            report.still_no_path += 1
+
+    # -- non-public-only servers ----------------------------------------------------
+    nonpub_scans = _scan_fleet(fleet.nonpub, scanner)
+    for server in fleet.nonpub:
+        scan = nonpub_scans[server.server_id]
+        if not scan.reachable:
+            continue
+        report.nonpub_scanned += 1
+        classes = {classifier.classify(c) for c in scan.chain}
+        if classes == {IssuerClass.NON_PUBLIC_DB}:
+            report.nonpub_still_nonpub += 1
+        if len(scan.chain) > 1:
+            report.nonpub_now_multi += 1
+            if server.was_single():
+                if server.was_single_self_signed():
+                    report.nonpub_prev_single_self_signed += 1
+                else:
+                    report.nonpub_prev_single_distinct += 1
+            else:
+                report.nonpub_prev_multi += 1
+            structure = analyze_structure(scan.chain, require_leaf=False)
+            if structure.is_fully_matched:
+                report.nonpub_multi_complete += 1
+    return report

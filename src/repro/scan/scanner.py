@@ -1,0 +1,95 @@
+"""Active TLS scanner — the reproduction's ``openssl s_client -showcerts``.
+
+The §5 revisit connects to previously observed servers and retrieves the
+chains they deliver now.  Our scanner connects to the simulated fleet the
+same way: it performs a handshake with a permissive client (a scanner never
+rejects; it records) and returns the presented chain, optionally rendered
+the way ``-showcerts`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Iterable, List, Optional, Sequence
+
+from ..tls.connection import ConnectionRecord
+from ..tls.handshake import HandshakeSimulator, TLSClient, TLSServer
+from ..tls.policy import PermissivePolicy
+from ..x509.certificate import Certificate
+
+__all__ = ["ScanResult", "ActiveScanner", "render_showcerts"]
+
+#: The revisit experiment ran in November 2024.
+REVISIT_TIME = datetime(2024, 11, 15, tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True, slots=True)
+class ScanResult:
+    """One scan attempt against one server."""
+
+    server_id: str
+    hostname: Optional[str]
+    reachable: bool
+    chain: tuple[Certificate, ...] = ()
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.chain)
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.chain) == 1
+
+    @property
+    def is_single_self_signed(self) -> bool:
+        return self.is_single and self.chain[0].is_self_signed
+
+
+class ActiveScanner:
+    """Scans servers and records whatever they present, verbatim."""
+
+    def __init__(self, *, scanner_ip: str = "198.18.0.99",
+                 when: datetime = REVISIT_TIME, seed: int | str = 0):
+        self._client = TLSClient(scanner_ip, policy=PermissivePolicy())
+        self._sim = HandshakeSimulator(seed=f"scanner:{seed}")
+        self.when = when
+
+    def scan(self, server: TLSServer, *, server_id: str,
+             hostname: Optional[str] = None) -> ScanResult:
+        sni = hostname or (server.hostnames[0] if server.hostnames else None)
+        outcome = self._sim.connect(self._client, server, sni=sni,
+                                    when=self.when)
+        return ScanResult(
+            server_id=server_id,
+            hostname=sni,
+            reachable=True,
+            chain=outcome.record.chain,
+        )
+
+    def unreachable(self, server_id: str,
+                    hostname: Optional[str] = None) -> ScanResult:
+        """Record a server that no longer answers (gone, firewalled, moved)."""
+        return ScanResult(server_id=server_id, hostname=hostname,
+                          reachable=False)
+
+
+def render_showcerts(chain: Sequence[Certificate], *, sni: str = "",
+                     include_pem: bool = False) -> str:
+    """Format a chain the way ``openssl s_client -showcerts`` narrates it.
+
+    With ``include_pem`` the real PEM bodies are emitted too, rendered
+    through the :mod:`repro.x509.der` encoder — the output feeds any
+    external X.509 tooling.
+    """
+    lines = [f"CONNECTED(00000003) servername={sni}"]
+    lines.append("---")
+    lines.append("Certificate chain")
+    for i, certificate in enumerate(chain):
+        lines.append(f" {i} s:{certificate.subject.rfc4514()}")
+        lines.append(f"   i:{certificate.issuer.rfc4514()}")
+        if include_pem:
+            from ..x509.der import certificate_to_pem
+            lines.append(certificate_to_pem(certificate).rstrip())
+    lines.append("---")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Usage-weighted active survey — the paper's proposed future work (§6.3).
+
+"Future studies may generalize … by performing active scanning of the
+entire IP address space, combined with network traffic logs from operators
+to obtain connection statistics to pinpoint the actual usage of the
+chains."  This module implements exactly that combination over the
+simulated fleet: scan *every* server (the IP-space sweep), analyze the
+presented chains structurally, and weight each finding by the connection
+volume the passive logs recorded for it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..campus.dataset import CampusDataset
+from ..core.classification import CertificateClassifier, IssuerClass
+from ..core.matching import analyze_structure
+from ..tls.handshake import TLSServer
+from .scanner import ActiveScanner
+
+__all__ = ["SurveyFinding", "SurveyReport", "run_survey"]
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyFinding:
+    """One scanned endpoint with its structural verdict and usage weight."""
+
+    server_id: str
+    hostname: Optional[str]
+    chain_length: int
+    issuer_mix: str          # "public" / "non-public" / "hybrid"
+    fully_matched: bool
+    has_unnecessary: bool
+    #: Connections the passive logs attribute to this endpoint's chain.
+    observed_connections: int
+
+
+@dataclass
+class SurveyReport:
+    findings: List[SurveyFinding] = field(default_factory=list)
+
+    @property
+    def endpoints(self) -> int:
+        return len(self.findings)
+
+    def share_by_mix(self, *, weighted: bool = False) -> Dict[str, float]:
+        """Issuer-mix shares by endpoint count, or by observed connections
+        — the two views whose divergence motivates the future work."""
+        totals: Counter = Counter()
+        for finding in self.findings:
+            weight = finding.observed_connections if weighted else 1
+            totals[finding.issuer_mix] += weight
+        grand = sum(totals.values()) or 1
+        return {mix: 100.0 * count / grand for mix, count in totals.items()}
+
+    def broken_share(self, *, weighted: bool = False) -> float:
+        total = broken = 0
+        for finding in self.findings:
+            weight = finding.observed_connections if weighted else 1
+            total += weight
+            if not finding.fully_matched:
+                broken += weight
+        return 100.0 * broken / total if total else 0.0
+
+    def unnecessary_share(self, *, weighted: bool = False) -> float:
+        total = with_junk = 0
+        for finding in self.findings:
+            weight = finding.observed_connections if weighted else 1
+            total += weight
+            if finding.has_unnecessary:
+                with_junk += weight
+        return 100.0 * with_junk / total if total else 0.0
+
+
+def run_survey(dataset: CampusDataset, *, seed: int | str = 0) -> SurveyReport:
+    """Scan every simulated endpoint and join with passive usage counts."""
+    scanner = ActiveScanner(seed=seed)
+    classifier = CertificateClassifier(dataset.registry)
+    observed = dataset.analyze().chains
+    report = SurveyReport()
+    for spec in dataset.specs:
+        server = TLSServer("203.0.113.250", 443, spec.chain,
+                           hostnames=(spec.hostname,) if spec.hostname else ())
+        scan = scanner.scan(server, server_id=spec.server_id or "?",
+                            hostname=spec.hostname)
+        if not scan.chain:
+            continue
+        classes = {classifier.classify(c) for c in scan.chain}
+        if classes == {IssuerClass.PUBLIC_DB}:
+            mix = "public"
+        elif classes == {IssuerClass.NON_PUBLIC_DB}:
+            mix = "non-public"
+        else:
+            mix = "hybrid"
+        structure = analyze_structure(scan.chain, require_leaf=False,
+                                      disclosures=dataset.disclosures)
+        leafed = analyze_structure(scan.chain, require_leaf=True,
+                                   disclosures=dataset.disclosures)
+        usage = observed.get(spec.key)
+        report.findings.append(SurveyFinding(
+            server_id=spec.server_id or "?",
+            hostname=spec.hostname,
+            chain_length=len(scan.chain),
+            issuer_mix=mix,
+            fully_matched=structure.is_fully_matched,
+            has_unnecessary=leafed.has_unnecessary,
+            observed_connections=usage.usage.connections if usage else 0,
+        ))
+    return report

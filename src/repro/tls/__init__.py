@@ -1,0 +1,61 @@
+"""Simulated TLS: handshakes, client validation policies, connection
+records, and interception middleboxes."""
+
+from .connection import ConnectionRecord, Endpoint
+from .handshake import HandshakeOutcome, HandshakeSimulator, TLSClient, TLSServer
+from .interception import InterceptionMiddlebox, build_middlebox
+from .messages import (
+    Alert,
+    AlertDescription,
+    CertificateMessage,
+    ClientHello,
+    ServerHello,
+    TLSVersion,
+)
+from .wire import (
+    WireError,
+    extract_sni,
+    parse_certificate_message,
+    parse_client_hello,
+    serialize_certificate_message,
+    serialize_client_hello,
+)
+from .policy import (
+    BrowserPolicy,
+    PermissivePolicy,
+    StrictPresentedChainPolicy,
+    ValidationPolicy,
+    ValidationResult,
+    ValidationStatus,
+    signature_verifies,
+)
+
+__all__ = [
+    "Alert",
+    "AlertDescription",
+    "BrowserPolicy",
+    "CertificateMessage",
+    "ClientHello",
+    "ConnectionRecord",
+    "Endpoint",
+    "HandshakeOutcome",
+    "HandshakeSimulator",
+    "InterceptionMiddlebox",
+    "PermissivePolicy",
+    "ServerHello",
+    "StrictPresentedChainPolicy",
+    "TLSClient",
+    "TLSServer",
+    "TLSVersion",
+    "ValidationPolicy",
+    "ValidationResult",
+    "ValidationStatus",
+    "WireError",
+    "build_middlebox",
+    "extract_sni",
+    "parse_certificate_message",
+    "parse_client_hello",
+    "serialize_certificate_message",
+    "serialize_client_hello",
+    "signature_verifies",
+]

@@ -1,0 +1,121 @@
+"""Simulated TLS handshakes between configured servers and policy-bearing
+clients, producing :class:`~repro.tls.connection.ConnectionRecord` streams
+for the monitoring tap.
+
+The simulation is deliberately shallow on crypto (no real key exchange) and
+deep on the observable surface: delivered chain order, SNI presence,
+negotiated version, and whether the client's validation policy accepts the
+chain — because those are the fields the paper's entire analysis runs on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, Optional, Sequence
+
+from ..x509.certificate import Certificate
+from .connection import ConnectionRecord, Endpoint
+from .messages import Alert, AlertDescription, CertificateMessage, ClientHello, TLSVersion
+from .policy import PermissivePolicy, ValidationPolicy, ValidationStatus
+
+__all__ = ["TLSServer", "TLSClient", "HandshakeOutcome", "HandshakeSimulator"]
+
+
+@dataclass
+class TLSServer:
+    """A TLS endpoint serving one configured certificate chain per port."""
+
+    ip: str
+    port: int = 443
+    chain: tuple[Certificate, ...] = field(default=())
+    #: Highest protocol version the server negotiates.
+    max_version: TLSVersion = TLSVersion.TLS12
+    #: Hostname(s) this server is known by, for scanning.
+    hostnames: tuple[str, ...] = ()
+
+    def certificate_message(self) -> CertificateMessage:
+        return CertificateMessage(self.chain)
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return Endpoint(self.ip, self.port)
+
+
+@dataclass
+class TLSClient:
+    """A TLS client with a validation policy (browser, strict, permissive)."""
+
+    ip: str
+    policy: ValidationPolicy = field(default_factory=PermissivePolicy)
+    version: TLSVersion = TLSVersion.TLS12
+    sends_sni: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class HandshakeOutcome:
+    record: ConnectionRecord
+    alert: Optional[Alert]
+    validation_status: ValidationStatus
+
+
+_ALERT_FOR_STATUS = {
+    ValidationStatus.EXPIRED: AlertDescription.CERTIFICATE_EXPIRED,
+    ValidationStatus.UNKNOWN_CA: AlertDescription.UNKNOWN_CA,
+    ValidationStatus.SELF_SIGNED: AlertDescription.UNKNOWN_CA,
+    ValidationStatus.BROKEN_CHAIN: AlertDescription.BAD_CERTIFICATE,
+    ValidationStatus.EMPTY_CHAIN: AlertDescription.HANDSHAKE_FAILURE,
+}
+
+
+class HandshakeSimulator:
+    """Drives client↔server handshakes and emits monitor-view records."""
+
+    def __init__(self, seed: int | str = 0):
+        self._rng = random.Random(f"handshake:{seed}")
+        self._uid_counter = 0
+
+    def _next_uid(self) -> str:
+        """Zeek-style connection UID (C + base62-ish random token)."""
+        self._uid_counter += 1
+        alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        token = "".join(self._rng.choice(alphabet) for _ in range(17))
+        return f"C{token}"
+
+    def connect(self, client: TLSClient, server: TLSServer, *,
+                sni: Optional[str] = None,
+                when: datetime,
+                client_port: Optional[int] = None) -> HandshakeOutcome:
+        """Run one handshake; returns the monitor-view outcome."""
+        hello = ClientHello(
+            version=_negotiate(client.version, server.max_version),
+            sni=sni if client.sends_sni else None,
+        )
+        message = server.certificate_message()
+        result = client.policy.validate(message.chain, at=when)
+        established = result.ok
+        alert: Optional[Alert] = None
+        if not established:
+            alert = Alert(True, _ALERT_FOR_STATUS.get(
+                result.status, AlertDescription.HANDSHAKE_FAILURE))
+        visible_chain: tuple[Certificate, ...] = message.chain
+        if not hello.version.certificates_visible_to_monitor:
+            visible_chain = ()
+        record = ConnectionRecord(
+            uid=self._next_uid(),
+            timestamp=when,
+            client=Endpoint(client.ip, client_port or self._rng.randint(32768, 60999)),
+            server=server.endpoint,
+            version=hello.version,
+            sni=hello.sni,
+            established=established,
+            chain=visible_chain,
+            validation_detail=result.detail,
+        )
+        return HandshakeOutcome(record, alert, result.status)
+
+
+def _negotiate(client_version: TLSVersion, server_version: TLSVersion) -> TLSVersion:
+    order = [TLSVersion.TLS10, TLSVersion.TLS11, TLSVersion.TLS12, TLSVersion.TLS13]
+    return min(client_version, server_version, key=order.index)

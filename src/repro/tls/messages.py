@@ -1,0 +1,79 @@
+"""Simplified TLS handshake messages.
+
+Only the surface the measurement pipeline observes is modelled: protocol
+version, SNI, the server's Certificate message, and the alert/established
+outcome.  Cipher negotiation details are out of scope for the paper and
+therefore for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+from ..x509.certificate import Certificate
+
+__all__ = [
+    "TLSVersion",
+    "ClientHello",
+    "ServerHello",
+    "CertificateMessage",
+    "Alert",
+    "AlertDescription",
+]
+
+
+class TLSVersion(str, Enum):
+    TLS10 = "TLSv10"
+    TLS11 = "TLSv11"
+    TLS12 = "TLSv12"
+    TLS13 = "TLSv13"
+
+    @property
+    def certificates_visible_to_monitor(self) -> bool:
+        """TLS 1.3 encrypts the Certificate message, so passive monitoring
+        cannot log chains (§6.3's stated limitation)."""
+        return self is not TLSVersion.TLS13
+
+
+class AlertDescription(str, Enum):
+    CLOSE_NOTIFY = "close_notify"
+    BAD_CERTIFICATE = "bad_certificate"
+    UNKNOWN_CA = "unknown_ca"
+    CERTIFICATE_EXPIRED = "certificate_expired"
+    HANDSHAKE_FAILURE = "handshake_failure"
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    fatal: bool
+    description: AlertDescription
+
+
+@dataclass(frozen=True, slots=True)
+class ClientHello:
+    version: TLSVersion = TLSVersion.TLS12
+    sni: Optional[str] = None
+
+
+@dataclass(frozen=True, slots=True)
+class ServerHello:
+    version: TLSVersion = TLSVersion.TLS12
+
+
+@dataclass(frozen=True, slots=True)
+class CertificateMessage:
+    """The certificate_list as delivered on the wire: the server's
+    end-entity certificate first, in whatever order the server was
+    (mis)configured to send — preserving that order is the whole point of
+    the paper's structural analysis."""
+
+    chain: tuple[Certificate, ...] = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.chain)
+
+    @property
+    def leaf(self) -> Optional[Certificate]:
+        return self.chain[0] if self.chain else None

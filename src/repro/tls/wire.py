@@ -1,0 +1,185 @@
+"""TLS wire encoding for the messages the monitor inspects.
+
+Implements the byte layout of the TLS record layer and the two handshake
+messages passive monitoring cares about: ClientHello (for SNI extraction —
+RFC 6066 §3) and Certificate (for the chain and its sizes — RFC 5246
+§7.4.2).  The border sensor uses these to pull SNI and chain sizes straight
+from flow bytes, the way Zeek's TLS analyzer does.
+
+Only the fields the pipeline consumes are modelled; vectors that the
+monitor skips (cipher suites, compression, most extensions) are carried as
+opaque, well-formed filler.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .messages import ClientHello, TLSVersion
+
+__all__ = [
+    "WireError",
+    "serialize_client_hello",
+    "parse_client_hello",
+    "serialize_certificate_message",
+    "parse_certificate_message",
+    "extract_sni",
+]
+
+_CONTENT_HANDSHAKE = 0x16
+_HS_CLIENT_HELLO = 0x01
+_HS_CERTIFICATE = 0x0B
+_EXT_SERVER_NAME = 0x0000
+
+_VERSION_WIRE = {
+    TLSVersion.TLS10: (3, 1),
+    TLSVersion.TLS11: (3, 2),
+    TLSVersion.TLS12: (3, 3),
+    TLSVersion.TLS13: (3, 3),  # record layer stays 3,3 (middlebox compat)
+}
+_WIRE_VERSION = {(3, 1): TLSVersion.TLS10, (3, 2): TLSVersion.TLS11,
+                 (3, 3): TLSVersion.TLS12}
+
+
+class WireError(ValueError):
+    """Raised when bytes do not decode as the expected TLS structure."""
+
+
+def _record(content_type: int, version: TLSVersion, body: bytes) -> bytes:
+    major, minor = _VERSION_WIRE[version]
+    if len(body) > 2 ** 14 + 256:
+        raise WireError(f"record body too large: {len(body)}")
+    return struct.pack("!BBBH", content_type, major, minor, len(body)) + body
+
+
+def _handshake(handshake_type: int, body: bytes) -> bytes:
+    return struct.pack("!B", handshake_type) + len(body).to_bytes(3, "big") \
+        + body
+
+
+def _sni_extension(hostname: str) -> bytes:
+    encoded = hostname.encode("idna" if any(ord(c) > 127 for c in hostname)
+                              else "ascii")
+    entry = struct.pack("!BH", 0, len(encoded)) + encoded  # type 0: DNS
+    server_name_list = struct.pack("!H", len(entry)) + entry
+    return struct.pack("!HH", _EXT_SERVER_NAME,
+                       len(server_name_list)) + server_name_list
+
+
+def serialize_client_hello(hello: ClientHello, *,
+                           random_bytes: bytes = b"\x00" * 32) -> bytes:
+    """Encode a ClientHello into a complete TLS record."""
+    if len(random_bytes) != 32:
+        raise WireError("ClientHello.random must be 32 bytes")
+    major, minor = _VERSION_WIRE[hello.version]
+    body = bytes([major, minor]) + random_bytes
+    body += b"\x00"                       # empty session id
+    body += struct.pack("!H", 4) + b"\x13\x01\x00\xff"  # minimal suites
+    body += b"\x01\x00"                   # null compression
+    extensions = b""
+    if hello.sni:
+        extensions += _sni_extension(hello.sni)
+    body += struct.pack("!H", len(extensions)) + extensions
+    return _record(_CONTENT_HANDSHAKE, hello.version,
+                   _handshake(_HS_CLIENT_HELLO, body))
+
+
+def _read_record(data: bytes, expected_type: int) -> Tuple[TLSVersion, bytes]:
+    if len(data) < 5:
+        raise WireError("truncated record header")
+    content_type, major, minor, length = struct.unpack("!BBBH", data[:5])
+    if content_type != _CONTENT_HANDSHAKE:
+        raise WireError(f"unexpected content type {content_type}")
+    body = data[5:5 + length]
+    if len(body) < length:
+        raise WireError("truncated record body")
+    version = _WIRE_VERSION.get((major, minor))
+    if version is None:
+        raise WireError(f"unknown record version {major}.{minor}")
+    if not body or body[0] != expected_type:
+        raise WireError("unexpected handshake type")
+    hs_length = int.from_bytes(body[1:4], "big")
+    payload = body[4:4 + hs_length]
+    if len(payload) < hs_length:
+        raise WireError("truncated handshake body")
+    return version, payload
+
+
+def parse_client_hello(data: bytes) -> ClientHello:
+    """Decode a ClientHello record; extracts version and SNI."""
+    version, payload = _read_record(data, _HS_CLIENT_HELLO)
+    offset = 2 + 32  # legacy version + random
+    if len(payload) < offset + 1:
+        raise WireError("truncated ClientHello")
+    session_len = payload[offset]
+    offset += 1 + session_len
+    (suites_len,) = struct.unpack_from("!H", payload, offset)
+    offset += 2 + suites_len
+    compression_len = payload[offset]
+    offset += 1 + compression_len
+    sni: Optional[str] = None
+    if offset + 2 <= len(payload):
+        (ext_total,) = struct.unpack_from("!H", payload, offset)
+        offset += 2
+        end = offset + ext_total
+        while offset + 4 <= end:
+            ext_type, ext_len = struct.unpack_from("!HH", payload, offset)
+            offset += 4
+            if ext_type == _EXT_SERVER_NAME and ext_len >= 5:
+                entry_offset = offset + 2  # skip server_name_list length
+                name_type = payload[entry_offset]
+                (name_len,) = struct.unpack_from("!H", payload,
+                                                 entry_offset + 1)
+                if name_type == 0:
+                    raw = payload[entry_offset + 3:
+                                  entry_offset + 3 + name_len]
+                    sni = raw.decode("ascii", errors="replace")
+            offset += ext_len
+    return ClientHello(version=version, sni=sni)
+
+
+def extract_sni(data: bytes) -> Optional[str]:
+    """Best-effort SNI from flow bytes; None when absent or not TLS."""
+    try:
+        return parse_client_hello(data).sni
+    except WireError:
+        return None
+
+
+def serialize_certificate_message(cert_blobs: Sequence[bytes], *,
+                                  version: TLSVersion = TLSVersion.TLS12
+                                  ) -> bytes:
+    """Encode a Certificate handshake record from per-certificate blobs
+    (real DER or canonical stand-ins — the framing is identical)."""
+    entries = b""
+    for blob in cert_blobs:
+        entries += len(blob).to_bytes(3, "big") + blob
+    body = len(entries).to_bytes(3, "big") + entries
+    return _record(_CONTENT_HANDSHAKE, version,
+                   _handshake(_HS_CERTIFICATE, body))
+
+
+def parse_certificate_message(data: bytes) -> List[bytes]:
+    """Decode a Certificate record back into per-certificate blobs."""
+    _, payload = _read_record(data, _HS_CERTIFICATE)
+    if len(payload) < 3:
+        raise WireError("truncated certificate list")
+    total = int.from_bytes(payload[:3], "big")
+    entries = payload[3:3 + total]
+    if len(entries) < total:
+        raise WireError("truncated certificate entries")
+    blobs: List[bytes] = []
+    offset = 0
+    while offset < total:
+        if offset + 3 > total:
+            raise WireError("dangling certificate length")
+        length = int.from_bytes(entries[offset:offset + 3], "big")
+        offset += 3
+        blob = entries[offset:offset + length]
+        if len(blob) < length:
+            raise WireError("truncated certificate entry")
+        blobs.append(blob)
+        offset += length
+    return blobs

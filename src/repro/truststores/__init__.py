@@ -1,0 +1,18 @@
+"""Root stores, CCADB, and the combined public-DB issuer registry."""
+
+from .builtin import PublicCA, PublicPKI, STORE_NAMES, build_public_pki
+from .ccadb import CCADB, CCADBRecord
+from .registry import PublicDBRegistry
+from .store import RootStore, StoreEntry
+
+__all__ = [
+    "CCADB",
+    "CCADBRecord",
+    "PublicCA",
+    "PublicDBRegistry",
+    "PublicPKI",
+    "RootStore",
+    "STORE_NAMES",
+    "StoreEntry",
+    "build_public_pki",
+]

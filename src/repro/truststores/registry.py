@@ -1,0 +1,83 @@
+"""Combined public-database registry.
+
+Implements §3.2.1's classification rule: an issuer is a **public-DB
+issuer** when its certificate is listed in at least one major Web PKI root
+store (Mozilla NSS, Apple, Microsoft) or in CCADB; otherwise it is a
+**non-public-DB issuer**.  Zeek itself validates with NSS only; the paper
+*expands* the validation with the other stores and CCADB — our registry
+makes that expansion explicit and ablatable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..x509.certificate import Certificate
+from ..x509.dn import DistinguishedName
+from .ccadb import CCADB
+from .store import RootStore
+
+__all__ = ["PublicDBRegistry"]
+
+
+class PublicDBRegistry:
+    """Answers "is this name a public-DB issuer?" across all databases."""
+
+    def __init__(self, stores: Sequence[RootStore] = (),
+                 ccadb: Optional[CCADB] = None):
+        self.stores: list[RootStore] = list(stores)
+        self.ccadb = ccadb or CCADB()
+
+    # -- membership -----------------------------------------------------------
+
+    def is_public_issuer_name(self, dn: DistinguishedName) -> bool:
+        """True when ``dn`` names a certificate present in any root store or
+        CCADB.  This is the log-level check the paper performs on the
+        ``issuer`` field of each observed certificate."""
+        if any(store.contains_subject(dn) for store in self.stores):
+            return True
+        return self.ccadb.contains_subject(dn)
+
+    def is_trust_anchor_name(self, dn: DistinguishedName) -> bool:
+        """True when ``dn`` names a root-store anchor (not merely a CCADB
+        intermediate) — used to decide whether a chain is *anchored to a
+        public trust root*."""
+        return any(store.contains_subject(dn) for store in self.stores)
+
+    def is_public_certificate(self, certificate: Certificate) -> bool:
+        """Fingerprint-level membership, for when full certs are available."""
+        if any(store.contains_fingerprint(certificate.fingerprint)
+               for store in self.stores):
+            return True
+        return self.ccadb.contains_fingerprint(certificate.fingerprint)
+
+    # -- derived classification -------------------------------------------------
+
+    def issued_by_public_db(self, certificate: Certificate) -> bool:
+        """§3.2.1: a certificate is *issued by a public-DB issuer* when its
+        issuer name is listed in any store or CCADB.  Self-signed
+        certificates qualify only if they are themselves listed (i.e. they
+        are trust anchors)."""
+        if certificate.is_self_signed:
+            return (self.is_public_issuer_name(certificate.subject)
+                    or self.is_public_certificate(certificate))
+        return self.is_public_issuer_name(certificate.issuer)
+
+    # -- composition -----------------------------------------------------------
+
+    def restricted_to(self, store_names: Iterable[str], *,
+                      include_ccadb: bool = True) -> "PublicDBRegistry":
+        """A narrowed registry for ablation (e.g. NSS-only, Zeek's default)."""
+        wanted = set(store_names)
+        stores = [s for s in self.stores if s.name in wanted]
+        return PublicDBRegistry(stores, self.ccadb if include_ccadb else CCADB())
+
+    def store(self, name: str) -> RootStore:
+        for candidate in self.stores:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no root store named {name!r}")
+
+    def __repr__(self) -> str:
+        names = ", ".join(s.name for s in self.stores)
+        return f"PublicDBRegistry(stores=[{names}], ccadb={len(self.ccadb)})"

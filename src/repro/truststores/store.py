@@ -1,0 +1,112 @@
+"""Root store model.
+
+A root store (Mozilla NSS, Apple, Microsoft) is a curated set of trust
+anchors.  The paper classifies a certificate as issued by a *public-DB
+issuer* when its issuer appears in at least one major root store or in
+CCADB (§3.2.1); this module provides the membership primitives for that
+classification.
+
+Lookups are by distinguished name (what Zeek logs expose) with fingerprint
+lookups available when full certificates are in hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+from ..x509.certificate import Certificate
+from ..x509.dn import DistinguishedName
+
+__all__ = ["RootStore", "StoreEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class StoreEntry:
+    """One trust anchor inside a root store."""
+
+    certificate: Certificate
+    #: Operator-assigned label, e.g. "ISRG Root X1".
+    label: str
+    #: Whether the anchor is enabled for TLS server authentication.
+    trust_tls: bool = True
+
+    @property
+    def subject(self) -> DistinguishedName:
+        return self.certificate.subject
+
+    @property
+    def fingerprint(self) -> str:
+        return self.certificate.fingerprint
+
+
+class RootStore:
+    """A named collection of trust anchors with O(1) DN and fingerprint lookup."""
+
+    def __init__(self, name: str, entries: Iterable[StoreEntry] = ()):
+        self.name = name
+        self._by_fingerprint: Dict[str, StoreEntry] = {}
+        self._by_dn: Dict[tuple, list[StoreEntry]] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: StoreEntry) -> None:
+        self._by_fingerprint[entry.fingerprint] = entry
+        self._by_dn.setdefault(_dn_key(entry.subject), []).append(entry)
+
+    def add_certificate(self, certificate: Certificate, label: Optional[str] = None,
+                        trust_tls: bool = True) -> StoreEntry:
+        entry = StoreEntry(certificate, label or certificate.short_name(), trust_tls)
+        self.add(entry)
+        return entry
+
+    def remove(self, fingerprint: str) -> None:
+        entry = self._by_fingerprint.pop(fingerprint, None)
+        if entry is None:
+            return
+        bucket = self._by_dn.get(_dn_key(entry.subject), [])
+        self._by_dn[_dn_key(entry.subject)] = [
+            e for e in bucket if e.fingerprint != fingerprint
+        ]
+
+    # -- queries -------------------------------------------------------------
+
+    def contains_fingerprint(self, fingerprint: str) -> bool:
+        return fingerprint in self._by_fingerprint
+
+    def contains_subject(self, dn: DistinguishedName, *, tls_only: bool = True) -> bool:
+        """Is there an anchor whose subject matches ``dn``?
+
+        This is the operation available to a log-based pipeline: Zeek exposes
+        the issuer *name* of each certificate, so store membership is decided
+        by name.
+        """
+        for entry in self._by_dn.get(_dn_key(dn), ()):
+            if entry.trust_tls or not tls_only:
+                return True
+        return False
+
+    def anchors_for_subject(self, dn: DistinguishedName) -> list[StoreEntry]:
+        return list(self._by_dn.get(_dn_key(dn), ()))
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Certificate):
+            return self.contains_fingerprint(item.fingerprint)
+        if isinstance(item, DistinguishedName):
+            return self.contains_subject(item)
+        if isinstance(item, str):
+            return self.contains_fingerprint(item)
+        return False
+
+    def __iter__(self) -> Iterator[StoreEntry]:
+        return iter(self._by_fingerprint.values())
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __repr__(self) -> str:
+        return f"RootStore({self.name!r}, {len(self)} anchors)"
+
+
+def _dn_key(dn: DistinguishedName) -> tuple:
+    return tuple(sorted(dn.normalized()))

@@ -1,0 +1,20 @@
+"""Appendix D: issuer–subject vs key–signature validation comparison."""
+
+from .compare import Table5Result, compare_validators
+from .corpus import CorpusChain, ValidationCorpus, build_validation_corpus
+from .issuer_subject import ISResult, ISVerdict, validate_issuer_subject
+from .key_signature import KSResult, KSVerdict, validate_key_signature
+
+__all__ = [
+    "CorpusChain",
+    "ISResult",
+    "ISVerdict",
+    "KSResult",
+    "KSVerdict",
+    "Table5Result",
+    "ValidationCorpus",
+    "build_validation_corpus",
+    "compare_validators",
+    "validate_issuer_subject",
+    "validate_key_signature",
+]

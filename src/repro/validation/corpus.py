@@ -1,0 +1,162 @@
+"""The Appendix D validation corpus: crypto-backed scanned chains.
+
+The paper retrieved 12,676 PEM chains from servers previously seen with
+non-public-associated chains (2,568 single-certificate; 9,825/9,821 valid;
+283/284 broken; 3 with unrecognised keys; 1 with an ASN.1 error).  This
+module builds a corpus with the same composition at any size, holding the
+rare cells (3 unrecognised, 1 malformed) at their exact counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..x509.dn import DistinguishedName
+from ..x509.generation import name
+from ..x509.pem import CryptoChainBuilder, FaultType, PemCertificate
+
+__all__ = ["CorpusChain", "ValidationCorpus", "build_validation_corpus"]
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusChain:
+    """One scanned chain plus its ground truth."""
+
+    pems: Tuple[PemCertificate, ...]
+    fault: FaultType
+    fault_position: int = 0
+    #: Ground-truth label: single / valid / name-broken / impersonated /
+    #: unrecognized / malformed.
+    truth: str = "valid"
+
+    @property
+    def ders(self) -> list[bytes]:
+        return [p.der for p in self.pems]
+
+    @property
+    def names(self) -> list[Tuple[DistinguishedName, DistinguishedName]]:
+        """(subject, issuer) pairs as a log-based pipeline would record them
+        (available even when the wire DER is malformed)."""
+        return [(p.subject, p.issuer) for p in self.pems]
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.pems) == 1
+
+
+@dataclass
+class ValidationCorpus:
+    chains: List[CorpusChain] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def count(self, fault: FaultType) -> int:
+        return sum(1 for c in self.chains if c.fault is fault)
+
+    def count_truth(self, truth: str) -> int:
+        return sum(1 for c in self.chains if c.truth == truth)
+
+
+def _chain_names(rng: random.Random, index: int, length: int
+                 ) -> list[DistinguishedName]:
+    org = f"ScanOrg {index}"
+    names = [name(f"host{index}.scan{rng.randint(0, 999)}.example", o=org)]
+    for level in range(length - 2):
+        names.append(name(f"{org} CA L{level + 1}", o=org))
+    if length >= 2:
+        names.append(name(f"{org} Root", o=org))
+    return names
+
+
+#: A pseudo-fault for chains whose delivered parent is simply the wrong
+#: certificate: names do not chain and keys do not verify — the paper's
+#: 283 broken chains, on which both methods agree.
+SPLICED_PARENT = "spliced-parent"
+
+
+def build_validation_corpus(total: int = 1268, *, seed: int | str = 0,
+                            unrecognized: int = 3,
+                            malformed: int = 1,
+                            impersonated: int = 0) -> ValidationCorpus:
+    """Build a corpus whose composition mirrors Table 5 at size ``total``.
+
+    Proportions (single ≈ 20.3 %, broken ≈ 2.23 %) scale with ``total``;
+    the ``unrecognized`` and ``malformed`` cells stay at the paper's exact
+    counts by default.
+
+    ``impersonated`` adds chains whose names chain but whose signatures do
+    not (a same-name CA with the wrong key) — the failure mode Appendix D
+    names as the issuer–subject method's blind spot.  The paper's corpus
+    contained none; setting it non-zero drives the blind-spot ablation.
+    """
+    if total < unrecognized + malformed + impersonated + 4:
+        raise ValueError(f"corpus size {total} too small")
+    rng = random.Random(f"corpus:{seed}")
+    builder = CryptoChainBuilder(key_pool_size=8)
+    singles = round(total * 2568 / 12676)
+    broken = max(1, round(total * 283 / 12676))
+    valid = total - singles - broken - unrecognized - malformed - impersonated
+
+    corpus = ValidationCorpus()
+    index = 0
+
+    def lengths() -> int:
+        return rng.choice((2, 2, 3, 3, 4))
+
+    for _ in range(singles):
+        chain = builder.build_chain(_chain_names(rng, index, 1))
+        corpus.chains.append(CorpusChain(tuple(chain), FaultType.NONE,
+                                         truth="single"))
+        index += 1
+    for _ in range(valid):
+        chain = builder.build_chain(_chain_names(rng, index, lengths()))
+        corpus.chains.append(CorpusChain(tuple(chain), FaultType.NONE,
+                                         truth="valid"))
+        index += 1
+    for _ in range(broken):
+        # A server delivering the wrong intermediate: splice an unrelated
+        # self-signed certificate into an otherwise valid chain.  Both
+        # methods flag it, at the same pair positions.
+        length = max(3, lengths())
+        position = rng.randrange(1, length - 1)
+        chain = list(builder.build_chain(_chain_names(rng, index, length)))
+        intruder_name = name(f"Unrelated CA {index}", o=f"Elsewhere {index}")
+        intruder = builder.build_chain([intruder_name])[0]
+        chain[position] = intruder
+        corpus.chains.append(CorpusChain(tuple(chain), FaultType.NONE,
+                                         position, truth="name-broken"))
+        index += 1
+    for _ in range(impersonated):
+        length = lengths()
+        position = rng.randrange(length - 1)
+        chain = builder.build_chain(_chain_names(rng, index, length),
+                                    fault=FaultType.WRONG_KEY,
+                                    fault_position=position)
+        corpus.chains.append(CorpusChain(tuple(chain), FaultType.WRONG_KEY,
+                                         position, truth="impersonated"))
+        index += 1
+    for _ in range(unrecognized):
+        length = lengths()
+        position = rng.randrange(1, length)  # damage a parent's key
+        chain = builder.build_chain(_chain_names(rng, index, length),
+                                    fault=FaultType.UNRECOGNIZED_KEY,
+                                    fault_position=position)
+        corpus.chains.append(CorpusChain(
+            tuple(chain), FaultType.UNRECOGNIZED_KEY, position,
+            truth="unrecognized"))
+        index += 1
+    for _ in range(malformed):
+        length = lengths()
+        position = rng.randrange(length)
+        chain = builder.build_chain(_chain_names(rng, index, length),
+                                    fault=FaultType.TRUNCATED_DER,
+                                    fault_position=position)
+        corpus.chains.append(CorpusChain(
+            tuple(chain), FaultType.TRUNCATED_DER, position,
+            truth="malformed"))
+        index += 1
+    rng.shuffle(corpus.chains)
+    return corpus

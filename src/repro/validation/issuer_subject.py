@@ -1,0 +1,71 @@
+"""Issuer–subject chain validation (Appendix D.1) over scanned chains.
+
+This is the paper's log-compatible method applied to the Appendix D
+corpus: walk the chain leaf-upward and check that each certificate's issuer
+field matches the next certificate's subject field, recording the positions
+of conflicting pairs.  Cross-sign disclosures can bridge known pairs.
+
+The method consumes *structured name fields*, never key material — when the
+same chain's DER is malformed, this validator still renders a verdict
+(which is exactly how the paper's one disagreement with the key–signature
+method arises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+from ..core.crosssign import CrossSignDisclosures
+from ..x509.dn import DistinguishedName
+
+__all__ = ["ISVerdict", "ISResult", "validate_issuer_subject"]
+
+
+class ISVerdict(str, Enum):
+    SINGLE = "single"
+    VALID = "valid"
+    BROKEN = "broken"
+
+
+@dataclass(frozen=True, slots=True)
+class ISResult:
+    verdict: ISVerdict
+    #: Indexes of mismatched (child, parent) pairs.
+    mismatch_positions: Tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is not ISVerdict.BROKEN
+
+
+def validate_issuer_subject(
+        names: Sequence[Tuple[DistinguishedName, DistinguishedName]], *,
+        disclosures: Optional[CrossSignDisclosures] = None) -> ISResult:
+    """Validate a chain given its ``(subject, issuer)`` name pairs,
+    leaf first.
+
+    ``disclosures`` bridging is name-level: a pair also matches when the
+    child's issuer is a disclosed cross-signed subject and the parent is one
+    of its disclosed alternate issuers.
+    """
+    if not names:
+        raise ValueError("cannot validate an empty chain")
+    if len(names) == 1:
+        return ISResult(ISVerdict.SINGLE)
+    mismatches: list[int] = []
+    for index in range(len(names) - 1):
+        _child_subject, child_issuer = names[index]
+        parent_subject, _parent_issuer = names[index + 1]
+        if parent_subject.matches(child_issuer):
+            continue
+        if disclosures is not None:
+            alternates = disclosures.disclosed_issuers_for(child_issuer)
+            parent_key = tuple(sorted(parent_subject.normalized()))
+            if parent_key in alternates:
+                continue
+        mismatches.append(index)
+    if mismatches:
+        return ISResult(ISVerdict.BROKEN, tuple(mismatches))
+    return ISResult(ISVerdict.VALID)

@@ -1,0 +1,187 @@
+"""X.509 v3 extension models used by the chain analyzer.
+
+The paper repeatedly leans on extension *presence* semantics — e.g. §4.3
+observes that 55.31 % of non-public-DB certificates first presented in a
+chain omit ``basicConstraints`` entirely, rather than setting it to a
+boolean, which is why the analyzer cannot reliably identify leaves in
+non-public chains.  We therefore model extensions with an explicit
+"absent" state rather than defaulting missing extensions to ``False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+__all__ = [
+    "BasicConstraints",
+    "KeyUsage",
+    "ExtendedKeyUsage",
+    "SubjectAltName",
+    "AuthorityKeyIdentifier",
+    "SubjectKeyIdentifier",
+    "ExtensionSet",
+    "EKU",
+]
+
+
+class EKU(str, Enum):
+    """Extended key usage purposes relevant to TLS chain analysis."""
+
+    SERVER_AUTH = "serverAuth"
+    CLIENT_AUTH = "clientAuth"
+    CODE_SIGNING = "codeSigning"
+    EMAIL_PROTECTION = "emailProtection"
+    OCSP_SIGNING = "OCSPSigning"
+    ANY = "anyExtendedKeyUsage"
+
+
+@dataclass(frozen=True, slots=True)
+class BasicConstraints:
+    """``basicConstraints`` — marks a certificate as a CA and bounds its path.
+
+    ``ca`` is a real boolean here; absence of the whole extension is
+    modelled at the :class:`ExtensionSet` level (``basic_constraints is
+    None``), mirroring RFC 5280 §4.2.1.9 and the paper's §4.3 discussion.
+    """
+
+    ca: bool
+    path_len: Optional[int] = None
+    critical: bool = True
+
+    def permits_depth(self, below: int) -> bool:
+        """Whether this CA may have ``below`` further CA certificates under it."""
+        if not self.ca:
+            return False
+        if self.path_len is None:
+            return True
+        return below <= self.path_len
+
+
+@dataclass(frozen=True, slots=True)
+class KeyUsage:
+    """``keyUsage`` bit flags (only the bits the analyzer consults)."""
+
+    digital_signature: bool = False
+    key_encipherment: bool = False
+    key_cert_sign: bool = False
+    crl_sign: bool = False
+    critical: bool = True
+
+    def can_sign_certificates(self) -> bool:
+        return self.key_cert_sign
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedKeyUsage:
+    purposes: tuple[EKU, ...] = ()
+    critical: bool = False
+
+    def allows(self, purpose: EKU) -> bool:
+        return purpose in self.purposes or EKU.ANY in self.purposes
+
+
+@dataclass(frozen=True, slots=True)
+class SubjectAltName:
+    """``subjectAltName`` DNS/IP entries; drives SNI ↔ certificate matching."""
+
+    dns_names: tuple[str, ...] = ()
+    ip_addresses: tuple[str, ...] = ()
+    critical: bool = False
+
+    def matches_host(self, host: str) -> bool:
+        """RFC 6125-style host matching including single-label wildcards."""
+        host = host.lower().rstrip(".")
+        for name in self.dns_names:
+            if _dns_name_matches(name.lower().rstrip("."), host):
+                return True
+        return host in self.ip_addresses
+
+
+def _dns_name_matches(pattern: str, host: str) -> bool:
+    if pattern == host:
+        return True
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        if not suffix:
+            return False
+        head, _, tail = host.partition(".")
+        return bool(head) and tail == suffix
+    return False
+
+
+@dataclass(frozen=True, slots=True)
+class AuthorityKeyIdentifier:
+    key_id: str
+    critical: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SubjectKeyIdentifier:
+    key_id: str
+    critical: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ExtensionSet:
+    """The extensions attached to one certificate.
+
+    Every field is ``None`` when the extension is absent — distinct from an
+    extension that is present with default/false contents.
+    """
+
+    basic_constraints: Optional[BasicConstraints] = None
+    key_usage: Optional[KeyUsage] = None
+    extended_key_usage: Optional[ExtendedKeyUsage] = None
+    subject_alt_name: Optional[SubjectAltName] = None
+    authority_key_id: Optional[AuthorityKeyIdentifier] = None
+    subject_key_id: Optional[SubjectKeyIdentifier] = None
+    extra: tuple[str, ...] = field(default=())
+
+    def has_basic_constraints(self) -> bool:
+        return self.basic_constraints is not None
+
+    def declares_ca(self) -> bool:
+        """True only when basicConstraints is present *and* asserts CA=TRUE."""
+        return self.basic_constraints is not None and self.basic_constraints.ca
+
+    def declares_leaf(self) -> bool:
+        """True only when basicConstraints is present and asserts CA=FALSE."""
+        return self.basic_constraints is not None and not self.basic_constraints.ca
+
+    @classmethod
+    def for_root(cls, key_id: str) -> "ExtensionSet":
+        return cls(
+            basic_constraints=BasicConstraints(ca=True, path_len=None),
+            key_usage=KeyUsage(key_cert_sign=True, crl_sign=True),
+            subject_key_id=SubjectKeyIdentifier(key_id),
+        )
+
+    @classmethod
+    def for_intermediate(cls, key_id: str, issuer_key_id: str,
+                         path_len: Optional[int] = 0) -> "ExtensionSet":
+        return cls(
+            basic_constraints=BasicConstraints(ca=True, path_len=path_len),
+            key_usage=KeyUsage(key_cert_sign=True, crl_sign=True,
+                               digital_signature=True),
+            subject_key_id=SubjectKeyIdentifier(key_id),
+            authority_key_id=AuthorityKeyIdentifier(issuer_key_id),
+        )
+
+    @classmethod
+    def for_leaf(cls, key_id: str, issuer_key_id: str,
+                 dns_names: Iterable[str] = ()) -> "ExtensionSet":
+        return cls(
+            basic_constraints=BasicConstraints(ca=False, critical=False),
+            key_usage=KeyUsage(digital_signature=True, key_encipherment=True),
+            extended_key_usage=ExtendedKeyUsage((EKU.SERVER_AUTH, EKU.CLIENT_AUTH)),
+            subject_alt_name=SubjectAltName(tuple(dns_names)),
+            subject_key_id=SubjectKeyIdentifier(key_id),
+            authority_key_id=AuthorityKeyIdentifier(issuer_key_id),
+        )
+
+    @classmethod
+    def bare(cls) -> "ExtensionSet":
+        """No extensions at all — the common non-public-DB issuer style (§4.3)."""
+        return cls()

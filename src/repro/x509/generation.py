@@ -1,0 +1,248 @@
+"""Synthetic certificate-hierarchy generation.
+
+The campus simulator needs thousands of certificates spanning public CAs,
+private enterprise CAs, interception appliances, and badly managed servers.
+This module provides a deterministic factory for building those hierarchies
+at the *structured-field* level (no key material — see
+:mod:`repro.x509.pem` for crypto-backed generation).
+
+Everything is driven by a ``random.Random`` seeded by the caller, so a given
+seed always yields byte-identical certificates and therefore byte-identical
+Zeek logs downstream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+from typing import Iterable, Optional, Sequence
+
+from .certificate import Certificate, CertificateRole, KeyAlgorithm, ValidityPeriod
+from .dn import DistinguishedName
+from .extensions import ExtensionSet
+
+__all__ = [
+    "CertificateFactory",
+    "IssuingAuthority",
+    "name",
+    "DEFAULT_EPOCH",
+]
+
+#: Start of the paper's measurement window (2020-09-01).
+DEFAULT_EPOCH = datetime(2020, 9, 1, tzinfo=timezone.utc)
+
+
+def name(cn: str, o: Optional[str] = None, ou: Optional[str] = None,
+         c: Optional[str] = None, **extra: str) -> DistinguishedName:
+    """Convenience constructor: ``name("R3", o="Let's Encrypt", c="US")``."""
+    pairs: list[tuple[str, str]] = [("CN", cn)]
+    if ou is not None:
+        pairs.append(("OU", ou))
+    if o is not None:
+        pairs.append(("O", o))
+    for attr, value in extra.items():
+        pairs.append((attr, value))
+    if c is not None:
+        pairs.append(("C", c))
+    return DistinguishedName.from_pairs(pairs)
+
+
+@dataclass
+class IssuingAuthority:
+    """A CA certificate plus the state needed to issue below it."""
+
+    certificate: Certificate
+    key_id: str
+
+    @property
+    def subject(self) -> DistinguishedName:
+        return self.certificate.subject
+
+
+class CertificateFactory:
+    """Deterministic builder for roots, intermediates, leaves, and oddities.
+
+    All validity periods default to realistic envelopes: roots 20 years,
+    intermediates 5 years, leaves 90 days – 2 years, with seeded jitter.
+    """
+
+    def __init__(self, seed: int | str = 0, epoch: datetime = DEFAULT_EPOCH):
+        self._rng = random.Random(f"certfactory:{seed}")
+        self.epoch = epoch
+
+    # -- low-level id generation -------------------------------------------
+
+    def serial(self) -> str:
+        return format(self._rng.getrandbits(64), "016x")
+
+    def key_id(self) -> str:
+        return format(self._rng.getrandbits(160), "040x")
+
+    def _jitter_days(self, spread: int) -> timedelta:
+        return timedelta(days=self._rng.randint(0, max(spread, 0)))
+
+    # -- hierarchy building --------------------------------------------------
+
+    def root(self, subject: DistinguishedName, *, lifetime_years: int = 20,
+             key_algorithm: KeyAlgorithm = KeyAlgorithm.RSA,
+             key_bits: int = 4096,
+             not_before: Optional[datetime] = None) -> IssuingAuthority:
+        """A self-signed trust anchor."""
+        kid = self.key_id()
+        if not_before is None:
+            not_before = (self.epoch - timedelta(days=365 * 5)
+                          - self._jitter_days(180))
+        start = not_before
+        cert = Certificate(
+            subject=subject,
+            issuer=subject,
+            serial=self.serial(),
+            validity=ValidityPeriod(start, start + timedelta(days=365 * lifetime_years)),
+            key_algorithm=key_algorithm,
+            key_bits=key_bits,
+            extensions=ExtensionSet.for_root(kid),
+            true_role=CertificateRole.ROOT,
+            signing_key_id=kid,
+        )
+        return IssuingAuthority(cert, kid)
+
+    def intermediate(self, issuer: IssuingAuthority, subject: DistinguishedName, *,
+                     lifetime_years: int = 5,
+                     path_len: Optional[int] = 0,
+                     key_algorithm: KeyAlgorithm = KeyAlgorithm.RSA,
+                     key_bits: int = 2048,
+                     not_before: Optional[datetime] = None) -> IssuingAuthority:
+        kid = self.key_id()
+        if not_before is None:
+            not_before = (self.epoch - timedelta(days=365)
+                          - self._jitter_days(90))
+        start = not_before
+        cert = Certificate(
+            subject=subject,
+            issuer=issuer.subject,
+            serial=self.serial(),
+            validity=ValidityPeriod(start, start + timedelta(days=365 * lifetime_years)),
+            key_algorithm=key_algorithm,
+            key_bits=key_bits,
+            extensions=ExtensionSet.for_intermediate(kid, issuer.key_id,
+                                                     path_len=path_len),
+            true_role=CertificateRole.INTERMEDIATE,
+            signing_key_id=issuer.key_id,
+        )
+        return IssuingAuthority(cert, kid)
+
+    def cross_sign(self, new_issuer: IssuingAuthority,
+                   existing: IssuingAuthority) -> IssuingAuthority:
+        """Re-issue ``existing``'s subject/key under a different issuer.
+
+        Cross-signed twins share the subject name and subject key id but have
+        distinct serials and issuer names — the situation Appendix D.1 warns
+        can surface as a *false* issuer–subject mismatch.
+        """
+        base = existing.certificate
+        cert = Certificate(
+            subject=base.subject,
+            issuer=new_issuer.subject,
+            serial=self.serial(),
+            validity=base.validity,
+            key_algorithm=base.key_algorithm,
+            key_bits=base.key_bits,
+            extensions=base.extensions,
+            true_role=CertificateRole.INTERMEDIATE,
+            signing_key_id=new_issuer.key_id,
+        )
+        return IssuingAuthority(cert, existing.key_id)
+
+    def leaf(self, issuer: IssuingAuthority, subject: DistinguishedName, *,
+             dns_names: Iterable[str] = (),
+             lifetime_days: int = 398,
+             key_algorithm: KeyAlgorithm = KeyAlgorithm.RSA,
+             key_bits: int = 2048,
+             not_before: Optional[datetime] = None,
+             omit_basic_constraints: bool = False) -> Certificate:
+        """An end-entity certificate.
+
+        ``omit_basic_constraints`` reproduces the widespread non-public-DB
+        practice (§4.3: 55–78 % omit the extension) that defeats leaf
+        identification.
+        """
+        kid = self.key_id()
+        if not_before is None:
+            not_before = self.epoch + self._jitter_days(30)
+        start = not_before
+        ext = ExtensionSet.for_leaf(kid, issuer.key_id, dns_names=dns_names)
+        if omit_basic_constraints:
+            ext = ExtensionSet(
+                subject_alt_name=ext.subject_alt_name,
+                subject_key_id=ext.subject_key_id,
+            )
+        return Certificate(
+            subject=subject,
+            issuer=issuer.subject,
+            serial=self.serial(),
+            validity=ValidityPeriod(start, start + timedelta(days=lifetime_days)),
+            key_algorithm=key_algorithm,
+            key_bits=key_bits,
+            extensions=ext,
+            true_role=CertificateRole.LEAF,
+            signing_key_id=issuer.key_id,
+        )
+
+    def self_signed(self, subject: DistinguishedName, *,
+                    lifetime_days: int = 3650,
+                    include_extensions: bool = False,
+                    not_before: Optional[datetime] = None) -> Certificate:
+        """A standalone self-signed certificate (issuer == subject).
+
+        These dominate single-certificate non-public-DB chains (94.19 %
+        self-signed in §4.3); most carry no extensions at all.
+        """
+        kid = self.key_id()
+        if not_before is None:
+            not_before = self.epoch - self._jitter_days(365)
+        start = not_before
+        ext = ExtensionSet.for_root(kid) if include_extensions else ExtensionSet.bare()
+        return Certificate(
+            subject=subject,
+            issuer=subject,
+            serial=self.serial(),
+            validity=ValidityPeriod(start, start + timedelta(days=lifetime_days)),
+            extensions=ext,
+            true_role=CertificateRole.LEAF,
+            signing_key_id=kid,
+        )
+
+    def mismatched_pair_cert(self, issuer_dn: DistinguishedName,
+                             subject_dn: DistinguishedName, *,
+                             lifetime_days: int = 365,
+                             not_before: Optional[datetime] = None) -> Certificate:
+        """A certificate whose issuer name matches nothing in particular —
+        used to synthesise broken chains and DGA-style certificates."""
+        kid = self.key_id()
+        if not_before is None:
+            not_before = self.epoch + self._jitter_days(60)
+        start = not_before
+        return Certificate(
+            subject=subject_dn,
+            issuer=issuer_dn,
+            serial=self.serial(),
+            validity=ValidityPeriod(start, start + timedelta(days=lifetime_days)),
+            extensions=ExtensionSet.bare(),
+            true_role=CertificateRole.LEAF,
+            signing_key_id=kid,
+        )
+
+    # -- whole-chain helpers --------------------------------------------------
+
+    def simple_chain(self, *, root_cn: str, intermediate_cns: Sequence[str],
+                     leaf_cn: str, org: Optional[str] = None,
+                     dns_names: Iterable[str] = ()) -> list[Certificate]:
+        """Build leaf → intermediates → root, returned leaf-first (wire order)."""
+        authority = self.root(name(root_cn, o=org))
+        chain_tail: list[Certificate] = [authority.certificate]
+        for cn in intermediate_cns:
+            authority = self.intermediate(authority, name(cn, o=org))
+            chain_tail.insert(0, authority.certificate)
+        leaf = self.leaf(authority, name(leaf_cn, o=org), dns_names=dns_names)
+        return [leaf, *chain_tail]

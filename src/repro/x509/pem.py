@@ -1,0 +1,268 @@
+"""Crypto-backed certificates for the Appendix D validation comparison.
+
+The paper validates its issuer–subject methodology against real
+key–signature validation using the Python ``cryptography`` package on
+12,676 PEM chains retrieved by active scanning (Appendix D.2, Table 5).
+This module generates such chains *with real keys and signatures* and can
+inject the three fault classes that produce Table 5's disagreement cells:
+
+* ``WRONG_KEY`` — the child's signature does not verify under the parent's
+  key (a genuinely broken pair even though the names chain);
+* ``TRUNCATED_DER`` — the PEM decodes but the DER is malformed, raising an
+  ASN.1 parse error (the paper's single issuer–subject/key–signature
+  discrepancy);
+* ``UNRECOGNIZED_KEY`` — the parent's SubjectPublicKeyInfo carries an
+  algorithm OID the ``cryptography`` package does not recognise
+  (the paper's 3 "unrecognized key" chains).
+
+ECDSA P-256 keys are used throughout for speed; the validation logic is
+algorithm-agnostic.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as _dt
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from cryptography import x509 as cx509
+from cryptography.hazmat.primitives import hashes, serialization
+from cryptography.hazmat.primitives.asymmetric import ec
+from cryptography.x509.oid import NameOID
+
+from .certificate import Certificate, CertificateRole, KeyAlgorithm, ValidityPeriod
+from .dn import DistinguishedName
+
+__all__ = [
+    "FaultType",
+    "PemCertificate",
+    "CryptoChainBuilder",
+    "encode_pem_bundle",
+    "decode_pem_bundle",
+    "crypto_cert_to_record",
+]
+
+#: DER encoding of the id-ecPublicKey OID (1.2.840.10045.2.1).
+_EC_PUBKEY_OID = bytes.fromhex("06072a8648ce3d0201")
+#: Same-length bogus OID (1.2.840.10045.2.99) — parses, but is unknown.
+_BOGUS_PUBKEY_OID = bytes.fromhex("06072a8648ce3d0263")
+#: rsaEncryption OID (1.2.840.113549.1.1.1) and a bogus same-length twin.
+_RSA_PUBKEY_OID = bytes.fromhex("06092a864886f70d010101")
+_BOGUS_RSA_OID = bytes.fromhex("06092a864886f70d010163")
+
+_NAME_OID_MAP = {
+    "CN": NameOID.COMMON_NAME,
+    "O": NameOID.ORGANIZATION_NAME,
+    "OU": NameOID.ORGANIZATIONAL_UNIT_NAME,
+    "C": NameOID.COUNTRY_NAME,
+    "L": NameOID.LOCALITY_NAME,
+    "ST": NameOID.STATE_OR_PROVINCE_NAME,
+    "emailAddress": NameOID.EMAIL_ADDRESS,
+    "serialNumber": NameOID.SERIAL_NUMBER,
+    "DC": NameOID.DOMAIN_COMPONENT,
+}
+_OID_NAME_MAP = {oid: short for short, oid in _NAME_OID_MAP.items()}
+
+
+class FaultType(str, Enum):
+    NONE = "none"
+    WRONG_KEY = "wrong_key"
+    TRUNCATED_DER = "truncated_der"
+    UNRECOGNIZED_KEY = "unrecognized_key"
+
+
+@dataclass
+class PemCertificate:
+    """One certificate's wire form plus bookkeeping for the comparison."""
+
+    der: bytes
+    subject: DistinguishedName
+    issuer: DistinguishedName
+    fault: FaultType = FaultType.NONE
+
+    def pem(self) -> str:
+        body = base64.encodebytes(self.der).decode("ascii")
+        return f"-----BEGIN CERTIFICATE-----\n{body}-----END CERTIFICATE-----\n"
+
+
+def _dn_to_x509_name(dn: DistinguishedName) -> cx509.Name:
+    attrs = []
+    for atv in dn:
+        oid = _NAME_OID_MAP.get(atv.attr_type)
+        if oid is None:
+            raise ValueError(f"unsupported attribute type for crypto cert: {atv.attr_type}")
+        attrs.append(cx509.NameAttribute(oid, atv.value))
+    return cx509.Name(attrs)
+
+
+def x509_name_to_dn(x509name: cx509.Name) -> DistinguishedName:
+    """Convert a ``cryptography`` Name back into our structured DN."""
+    pairs = []
+    for attr in x509name:
+        short = _OID_NAME_MAP.get(attr.oid, attr.oid.dotted_string)
+        pairs.append((short, str(attr.value)))
+    return DistinguishedName.from_pairs(pairs)
+
+
+def crypto_cert_to_record(cert: cx509.Certificate) -> Certificate:
+    """Project a real certificate onto the structured record the Zeek-style
+    pipeline sees — exactly what the paper's X509.log contained."""
+    try:
+        pub = cert.public_key()
+        if isinstance(pub, ec.EllipticCurvePublicKey):
+            algorithm, bits = KeyAlgorithm.ECDSA, pub.curve.key_size
+        else:
+            from cryptography.hazmat.primitives.asymmetric import rsa
+            if isinstance(pub, rsa.RSAPublicKey):
+                algorithm, bits = KeyAlgorithm.RSA, pub.key_size
+            else:  # pragma: no cover - only EC/RSA generated here
+                algorithm, bits = KeyAlgorithm.UNKNOWN, 0
+    except Exception:
+        algorithm, bits = KeyAlgorithm.UNKNOWN, 0
+    return Certificate(
+        subject=x509_name_to_dn(cert.subject),
+        issuer=x509_name_to_dn(cert.issuer),
+        serial=format(cert.serial_number, "x"),
+        validity=ValidityPeriod(
+            cert.not_valid_before_utc, cert.not_valid_after_utc
+        ),
+        key_algorithm=algorithm,
+        key_bits=bits,
+    )
+
+
+class CryptoChainBuilder:
+    """Builds real signed chains (leaf-first) with optional fault injection.
+
+    Key generation dominates runtime, so a small pool of keys is reused
+    across certificates; uniqueness of certificates comes from names and
+    serials, which is all the validators inspect.
+
+    ``algorithm`` selects the key type: ``"ec"`` (default, fast),
+    ``"rsa"``, or ``"mixed"`` (alternating pool) — the validators must be
+    algorithm-agnostic, and the mixed mode proves it.
+    """
+
+    def __init__(self, *, key_pool_size: int = 8,
+                 not_before: Optional[_dt.datetime] = None,
+                 not_after: Optional[_dt.datetime] = None,
+                 algorithm: str = "ec"):
+        if algorithm not in ("ec", "rsa", "mixed"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        pool = max(2, key_pool_size)
+        self._keys = []
+        for index in range(pool):
+            use_rsa = (algorithm == "rsa"
+                       or (algorithm == "mixed" and index % 2 == 1))
+            if use_rsa:
+                from cryptography.hazmat.primitives.asymmetric import rsa
+                self._keys.append(rsa.generate_private_key(
+                    public_exponent=65537, key_size=2048))
+            else:
+                self._keys.append(ec.generate_private_key(ec.SECP256R1()))
+        self._next_key = 0
+        self._serial = 1
+        self.not_before = not_before or _dt.datetime(2024, 1, 1, tzinfo=_dt.timezone.utc)
+        self.not_after = not_after or _dt.datetime(2026, 1, 1, tzinfo=_dt.timezone.utc)
+
+    def _take_key(self) -> ec.EllipticCurvePrivateKey:
+        key = self._keys[self._next_key % len(self._keys)]
+        self._next_key += 1
+        return key
+
+    def _take_serial(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def _build(self, subject: DistinguishedName, issuer: DistinguishedName,
+               subject_key: ec.EllipticCurvePrivateKey,
+               signing_key: ec.EllipticCurvePrivateKey,
+               is_ca: bool) -> bytes:
+        builder = (
+            cx509.CertificateBuilder()
+            .subject_name(_dn_to_x509_name(subject))
+            .issuer_name(_dn_to_x509_name(issuer))
+            .public_key(subject_key.public_key())
+            .serial_number(self._take_serial())
+            .not_valid_before(self.not_before)
+            .not_valid_after(self.not_after)
+            .add_extension(cx509.BasicConstraints(ca=is_ca, path_length=None),
+                           critical=True)
+        )
+        cert = builder.sign(signing_key, hashes.SHA256())
+        return cert.public_bytes(serialization.Encoding.DER)
+
+    def build_chain(self, names: Sequence[DistinguishedName], *,
+                    fault: FaultType = FaultType.NONE,
+                    fault_position: int = 0) -> list[PemCertificate]:
+        """Build a leaf-first chain through ``names``.
+
+        ``names[0]`` is the leaf subject; ``names[-1]`` is the (self-signed)
+        root subject.  ``fault_position`` indexes the adjacent pair
+        (child ``i``, parent ``i+1``) the fault should break; for
+        ``TRUNCATED_DER`` it indexes the certificate to damage.
+        """
+        if not names:
+            raise ValueError("chain needs at least one name")
+        keys = [self._take_key() for _ in names]
+        certs: list[PemCertificate] = []
+        for i, subject in enumerate(names):
+            parent = i + 1
+            if parent < len(names):
+                issuer_name, signing_key = names[parent], keys[parent]
+            else:
+                issuer_name, signing_key = subject, keys[i]
+            if fault is FaultType.WRONG_KEY and i == fault_position and parent < len(names):
+                # Sign with a key unrelated to the parent certificate's key.
+                signing_key = self._rogue_key(exclude=keys)
+            der = self._build(subject, issuer_name, keys[i], signing_key,
+                              is_ca=i > 0)
+            cert_fault = FaultType.NONE
+            if fault is FaultType.WRONG_KEY and i == fault_position:
+                cert_fault = fault
+            if fault is FaultType.TRUNCATED_DER and i == fault_position:
+                der = der[:-7]
+                cert_fault = fault
+            if fault is FaultType.UNRECOGNIZED_KEY and i == fault_position:
+                if _EC_PUBKEY_OID in der:
+                    der = der.replace(_EC_PUBKEY_OID, _BOGUS_PUBKEY_OID, 1)
+                elif _RSA_PUBKEY_OID in der:
+                    der = der.replace(_RSA_PUBKEY_OID, _BOGUS_RSA_OID, 1)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError("public key OID not found in DER")
+                cert_fault = fault
+            certs.append(PemCertificate(der=der, subject=subject,
+                                        issuer=issuer_name, fault=cert_fault))
+        return certs
+
+    def _rogue_key(self, exclude: Sequence[ec.EllipticCurvePrivateKey]):
+        for key in self._keys:
+            if key not in exclude:
+                return key
+        return ec.generate_private_key(ec.SECP256R1())
+
+
+def encode_pem_bundle(chain: Sequence[PemCertificate]) -> str:
+    """Concatenate a chain the way ``openssl s_client -showcerts`` prints it."""
+    return "".join(cert.pem() for cert in chain)
+
+
+def decode_pem_bundle(text: str) -> list[bytes]:
+    """Split a PEM bundle into DER blobs (tolerates malformed members —
+    the bytes are returned as-is for the validator to reject)."""
+    blobs: list[bytes] = []
+    lines = text.splitlines()
+    collecting = False
+    body: list[str] = []
+    for line in lines:
+        if line.strip() == "-----BEGIN CERTIFICATE-----":
+            collecting, body = True, []
+        elif line.strip() == "-----END CERTIFICATE-----":
+            if collecting:
+                blobs.append(base64.b64decode("".join(body)))
+            collecting = False
+        elif collecting:
+            body.append(line.strip())
+    return blobs

@@ -1,0 +1,133 @@
+"""Revocation substrate: CRLs and an OCSP-style responder.
+
+Chain validation "involves checking issuer–subject name matches, verifying
+digital signatures …, and ensuring revocation status and validity periods"
+(§2).  The measurement pipeline itself never checked revocation (the logs
+carried no status), but the validation-policy substrate supports it so the
+library models the full §2 procedure: a :class:`RevocationChecker` backed
+by per-issuer CRLs and/or an OCSP responder can be attached to the client
+policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from enum import Enum
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from .certificate import Certificate
+from .dn import DistinguishedName
+
+__all__ = [
+    "RevocationStatus",
+    "CertificateRevocationList",
+    "OCSPResponder",
+    "RevocationChecker",
+]
+
+
+class RevocationStatus(str, Enum):
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+
+def _dn_key(dn: DistinguishedName) -> tuple:
+    return tuple(sorted(dn.normalized()))
+
+
+@dataclass
+class CertificateRevocationList:
+    """A CRL: the issuer's signed list of revoked serial numbers."""
+
+    issuer: DistinguishedName
+    this_update: datetime
+    next_update: datetime
+    revoked_serials: Set[str] = field(default_factory=set)
+
+    def revoke(self, certificate: Certificate,
+               *, check_issuer: bool = True) -> None:
+        if check_issuer and not certificate.issuer.matches(self.issuer):
+            raise ValueError(
+                f"{certificate.short_name()!r} was not issued by this CRL's "
+                f"issuer")
+        self.revoked_serials.add(certificate.serial)
+
+    def is_current(self, at: datetime) -> bool:
+        return self.this_update <= at <= self.next_update
+
+    def status_of(self, certificate: Certificate, *,
+                  at: datetime) -> RevocationStatus:
+        if not certificate.issuer.matches(self.issuer):
+            return RevocationStatus.UNKNOWN
+        if not self.is_current(at):
+            return RevocationStatus.UNKNOWN  # stale CRL proves nothing
+        if certificate.serial in self.revoked_serials:
+            return RevocationStatus.REVOKED
+        return RevocationStatus.GOOD
+
+
+class OCSPResponder:
+    """An OCSP-style responder: per-certificate status with freshness."""
+
+    def __init__(self, *, validity: timedelta = timedelta(days=7)):
+        self._status: Dict[tuple, Tuple[RevocationStatus, datetime]] = {}
+        self.validity = validity
+
+    @staticmethod
+    def _key(certificate: Certificate) -> tuple:
+        return (_dn_key(certificate.issuer), certificate.serial)
+
+    def set_status(self, certificate: Certificate,
+                   status: RevocationStatus, *,
+                   produced_at: datetime) -> None:
+        self._status[self._key(certificate)] = (status, produced_at)
+
+    def query(self, certificate: Certificate, *,
+              at: datetime) -> RevocationStatus:
+        entry = self._status.get(self._key(certificate))
+        if entry is None:
+            return RevocationStatus.UNKNOWN
+        status, produced_at = entry
+        if at > produced_at + self.validity or at < produced_at:
+            return RevocationStatus.UNKNOWN
+        return status
+
+
+class RevocationChecker:
+    """Aggregates CRLs and OCSP into the check policies consult.
+
+    OCSP wins when it has a fresh answer (it is more current); CRLs answer
+    otherwise; with neither, the status is UNKNOWN and the policy decides
+    whether to soft-fail (browsers) or hard-fail.
+    """
+
+    def __init__(self, crls: Iterable[CertificateRevocationList] = (),
+                 ocsp: Optional[OCSPResponder] = None):
+        self._crls: Dict[tuple, CertificateRevocationList] = {}
+        for crl in crls:
+            self.add_crl(crl)
+        self.ocsp = ocsp
+
+    def add_crl(self, crl: CertificateRevocationList) -> None:
+        self._crls[_dn_key(crl.issuer)] = crl
+
+    def status_of(self, certificate: Certificate, *,
+                  at: datetime) -> RevocationStatus:
+        if self.ocsp is not None:
+            status = self.ocsp.query(certificate, at=at)
+            if status is not RevocationStatus.UNKNOWN:
+                return status
+        crl = self._crls.get(_dn_key(certificate.issuer))
+        if crl is not None:
+            return crl.status_of(certificate, at=at)
+        return RevocationStatus.UNKNOWN
+
+    def any_revoked(self, chain: Iterable[Certificate], *,
+                    at: datetime) -> Optional[Certificate]:
+        """First revoked certificate in the chain, or None."""
+        for certificate in chain:
+            if self.status_of(certificate, at=at) is RevocationStatus.REVOKED:
+                return certificate
+        return None

@@ -1,0 +1,39 @@
+"""Zeek substrate: SSL/X509 log records, the ASCII log format, dynamic
+protocol detection, and the monitoring tap that produces/consumes logs."""
+
+from .dpd import FlowSample, client_hello_bytes, looks_like_tls, sniff_version
+from .format import ZeekLogReader, ZeekLogWriter, read_zeek_log, write_zeek_log
+from .legacy import FilesRecord, fuid_for, join_legacy_logs, to_legacy_logs
+from .sensor import BorderSensor, RawFlow
+from .records import (
+    SSLRecord,
+    X509Record,
+    ssl_record_from_connection,
+    x509_record_from_certificate,
+)
+from .tap import JoinedConnection, MonitoringTap, join_logs, reconstruct_certificate
+
+__all__ = [
+    "BorderSensor",
+    "FilesRecord",
+    "FlowSample",
+    "JoinedConnection",
+    "MonitoringTap",
+    "RawFlow",
+    "SSLRecord",
+    "X509Record",
+    "ZeekLogReader",
+    "ZeekLogWriter",
+    "client_hello_bytes",
+    "fuid_for",
+    "join_legacy_logs",
+    "join_logs",
+    "looks_like_tls",
+    "read_zeek_log",
+    "reconstruct_certificate",
+    "to_legacy_logs",
+    "sniff_version",
+    "ssl_record_from_connection",
+    "write_zeek_log",
+    "x509_record_from_certificate",
+]

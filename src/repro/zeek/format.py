@@ -1,0 +1,182 @@
+"""Zeek ASCII (TSV) log format writer and reader.
+
+Implements the classic Zeek log layout — ``#separator``, ``#fields``,
+``#types`` headers, tab-separated rows, ``-`` for unset, ``(empty)`` for
+empty collections, comma-joined vectors — so the analyzer can consume
+either our simulated logs or real Zeek output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Iterable, Iterator, Optional, Sequence, TextIO
+
+__all__ = ["ZeekLogWriter", "ZeekLogReader", "read_zeek_log", "write_zeek_log"]
+
+_UNSET = "-"
+_EMPTY = "(empty)"
+_SET_SEP = ","
+
+
+def _render_scalar(value: object, zeek_type: str) -> str:
+    if value is None:
+        return _UNSET
+    if zeek_type == "bool":
+        return "T" if value else "F"
+    if zeek_type == "time":
+        return f"{float(value):.6f}"
+    if zeek_type in ("count", "int", "port"):
+        return str(int(value))
+    if zeek_type == "double":
+        return repr(float(value))
+    text = str(value)
+    if text == "":
+        return _EMPTY
+    # Zeek escapes embedded separators.
+    return text.replace("\t", "\\x09").replace("\n", "\\x0a")
+
+
+def _render(value: object, zeek_type: str) -> str:
+    if zeek_type.startswith(("vector[", "set[")):
+        inner = zeek_type[zeek_type.index("[") + 1 : -1]
+        if value is None:
+            return _UNSET
+        items = list(value)  # type: ignore[arg-type]
+        if not items:
+            return _EMPTY
+        return _SET_SEP.join(_render_scalar(item, inner) for item in items)
+    return _render_scalar(value, zeek_type)
+
+
+def _parse_scalar(text: str, zeek_type: str) -> object:
+    if text == _UNSET:
+        return None
+    if zeek_type == "bool":
+        return text == "T"
+    if zeek_type == "time":
+        return float(text)
+    if zeek_type in ("count", "int", "port"):
+        return int(text)
+    if zeek_type == "double":
+        return float(text)
+    if text == _EMPTY:
+        return ""
+    return text.replace("\\x09", "\t").replace("\\x0a", "\n")
+
+
+def _parse(text: str, zeek_type: str) -> object:
+    if zeek_type.startswith(("vector[", "set[")):
+        inner = zeek_type[zeek_type.index("[") + 1 : -1]
+        if text == _UNSET:
+            return None
+        if text == _EMPTY:
+            return []
+        return [_parse_scalar(part, inner) for part in text.split(_SET_SEP)]
+    return _parse_scalar(text, zeek_type)
+
+
+class ZeekLogWriter:
+    """Streams rows into a Zeek ASCII log."""
+
+    def __init__(self, stream: TextIO, path: str,
+                 fields: Sequence[str], types: Sequence[str]):
+        if len(fields) != len(types):
+            raise ValueError("fields and types must be the same length")
+        self.stream = stream
+        self.path = path
+        self.fields = tuple(fields)
+        self.types = tuple(types)
+        self._closed = False
+        self._write_header()
+
+    def _write_header(self) -> None:
+        opened = datetime.now(timezone.utc).strftime("%Y-%m-%d-%H-%M-%S")
+        header = (
+            "#separator \\x09\n"
+            f"#set_separator\t{_SET_SEP}\n"
+            f"#empty_field\t{_EMPTY}\n"
+            f"#unset_field\t{_UNSET}\n"
+            f"#path\t{self.path}\n"
+            f"#open\t{opened}\n"
+            "#fields\t" + "\t".join(self.fields) + "\n"
+            "#types\t" + "\t".join(self.types) + "\n"
+        )
+        self.stream.write(header)
+
+    def write_row(self, values: Sequence[object]) -> None:
+        if self._closed:
+            raise ValueError("log already closed")
+        if len(values) != len(self.fields):
+            raise ValueError(
+                f"row has {len(values)} values; log has {len(self.fields)} fields")
+        rendered = (_render(v, t) for v, t in zip(values, self.types))
+        self.stream.write("\t".join(rendered) + "\n")
+
+    def close(self) -> None:
+        if not self._closed:
+            closed = datetime.now(timezone.utc).strftime("%Y-%m-%d-%H-%M-%S")
+            self.stream.write(f"#close\t{closed}\n")
+            self._closed = True
+
+    def __enter__(self) -> "ZeekLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ZeekLogReader:
+    """Parses a Zeek ASCII log into typed dict rows."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self.path: Optional[str] = None
+        self.fields: tuple[str, ...] = ()
+        self.types: tuple[str, ...] = ()
+
+    def __iter__(self) -> Iterator[dict]:
+        for line in self.stream:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                self._consume_header(line)
+                continue
+            if not self.fields:
+                raise ValueError("data row encountered before #fields header")
+            parts = line.split("\t")
+            if len(parts) != len(self.fields):
+                raise ValueError(
+                    f"row has {len(parts)} columns, expected {len(self.fields)}")
+            yield {
+                field: _parse(text, zeek_type)
+                for field, text, zeek_type in zip(self.fields, parts, self.types)
+            }
+
+    def _consume_header(self, line: str) -> None:
+        if line.startswith("#path\t"):
+            self.path = line.split("\t", 1)[1]
+        elif line.startswith("#fields\t"):
+            self.fields = tuple(line.split("\t")[1:])
+        elif line.startswith("#types\t"):
+            self.types = tuple(line.split("\t")[1:])
+
+
+def write_zeek_log(path_on_disk: str, log_path: str, fields: Sequence[str],
+                   types: Sequence[str], rows: Iterable[Sequence[object]]) -> int:
+    """Write a whole log file; returns the number of data rows written."""
+    count = 0
+    with open(path_on_disk, "w", encoding="utf-8") as handle:
+        with ZeekLogWriter(handle, log_path, fields, types) as writer:
+            for row in rows:
+                writer.write_row(row)
+                count += 1
+    return count
+
+
+def read_zeek_log(path_on_disk: str) -> tuple[ZeekLogReader, list[dict]]:
+    """Read a whole log file; returns the reader (for metadata) and rows."""
+    with open(path_on_disk, "r", encoding="utf-8") as handle:
+        reader = ZeekLogReader(handle)
+        rows = list(reader)
+    return reader, rows

@@ -1,0 +1,149 @@
+"""Legacy Zeek compatibility: the ssl → files → x509 three-way join.
+
+Zeek 3.x (the version deployed during the paper's 2020–2021 collection
+window) did not put certificate hashes in ``ssl.log``.  Instead:
+
+* ``ssl.log`` carried ``cert_chain_fuids`` — per-transfer file IDs;
+* ``files.log`` mapped each fuid to the certificate's SHA-256;
+* ``x509.log`` was keyed by fuid (one row per observed transfer).
+
+This module converts the modern tap output into that legacy layout and
+joins legacy logs back into analyzer input, so the pipeline consumes
+either generation of Zeek output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from .records import SSLRecord, X509Record
+from .tap import JoinedConnection, join_logs
+
+__all__ = [
+    "FilesRecord",
+    "fuid_for",
+    "to_legacy_logs",
+    "join_legacy_logs",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FilesRecord:
+    """A ``files.log`` row (certificate-transfer fields only)."""
+
+    ts: float
+    fuid: str
+    tx_hosts: Tuple[str, ...]
+    rx_hosts: Tuple[str, ...]
+    source: str
+    mime_type: str
+    sha256: str
+
+    FIELDS = ("ts", "fuid", "tx_hosts", "rx_hosts", "source", "mime_type",
+              "sha256")
+    TYPES = ("time", "string", "set[addr]", "set[addr]", "string", "string",
+             "string")
+
+    def to_row(self) -> list[object]:
+        return [self.ts, self.fuid, list(self.tx_hosts), list(self.rx_hosts),
+                self.source, self.mime_type, self.sha256]
+
+    @classmethod
+    def from_row(cls, row: dict) -> "FilesRecord":
+        return cls(
+            ts=row["ts"],
+            fuid=row["fuid"],
+            tx_hosts=tuple(row["tx_hosts"] or ()),
+            rx_hosts=tuple(row["rx_hosts"] or ()),
+            source=row["source"],
+            mime_type=row["mime_type"],
+            sha256=row["sha256"],
+        )
+
+
+def fuid_for(uid: str, fingerprint: str, position: int) -> str:
+    """Deterministic Zeek-style file ID for one certificate transfer."""
+    digest = hashlib.sha256(
+        f"{uid}|{fingerprint}|{position}".encode("ascii")).hexdigest()
+    return "F" + digest[:17]
+
+
+def to_legacy_logs(ssl_records: Sequence[SSLRecord],
+                   x509_records: Sequence[X509Record]
+                   ) -> Tuple[List[SSLRecord], List[FilesRecord],
+                              List[X509Record]]:
+    """Convert modern (fingerprint-keyed) logs into the legacy triple.
+
+    The returned ssl rows carry fuids in ``cert_chain_fps`` (legacy field
+    name ``cert_chain_fuids``); files rows map fuids to hashes; x509 rows
+    are re-keyed by fuid, duplicated per transfer as Zeek 3.x did.
+    """
+    by_fingerprint = {record.fingerprint: record for record in x509_records}
+    legacy_ssl: List[SSLRecord] = []
+    files: List[FilesRecord] = []
+    legacy_x509: List[X509Record] = []
+    for ssl in ssl_records:
+        fuids: List[str] = []
+        for position, fingerprint in enumerate(ssl.cert_chain_fps):
+            certificate = by_fingerprint.get(fingerprint)
+            if certificate is None:
+                continue
+            fuid = fuid_for(ssl.uid, fingerprint, position)
+            fuids.append(fuid)
+            mime = ("application/x-x509-user-cert" if position == 0
+                    else "application/x-x509-ca-cert")
+            files.append(FilesRecord(
+                ts=ssl.ts,
+                fuid=fuid,
+                tx_hosts=(ssl.id_resp_h,),
+                rx_hosts=(ssl.id_orig_h,),
+                source="SSL",
+                mime_type=mime,
+                sha256=fingerprint,
+            ))
+            legacy_x509.append(replace(certificate, ts=ssl.ts,
+                                       fingerprint=fuid))
+        legacy_ssl.append(replace(ssl, cert_chain_fps=tuple(fuids)))
+    return legacy_ssl, files, legacy_x509
+
+
+def join_legacy_logs(ssl_records: Sequence[SSLRecord],
+                     files_records: Sequence[FilesRecord],
+                     x509_records: Sequence[X509Record],
+                     *, strict: bool = False) -> List[JoinedConnection]:
+    """Join a legacy log triple into analyzer input.
+
+    Resolution order per chain entry: fuid → files.log → sha256 → the
+    canonical certificate record.  The x509 rows themselves are fuid-keyed
+    duplicates; the files.log hash restores the stable identity the
+    analysis needs for chain de-duplication.
+    """
+    sha_by_fuid: Dict[str, str] = {f.fuid: f.sha256 for f in files_records}
+    record_by_fuid: Dict[str, X509Record] = {
+        record.fingerprint: record for record in x509_records}
+    canonical: Dict[str, X509Record] = {}
+    for record in x509_records:
+        sha = sha_by_fuid.get(record.fingerprint)
+        if sha is not None and sha not in canonical:
+            canonical[sha] = replace(record, fingerprint=sha)
+
+    modern_ssl: List[SSLRecord] = []
+    for ssl in ssl_records:
+        hashes: List[str] = []
+        for fuid in ssl.cert_chain_fps:
+            sha = sha_by_fuid.get(fuid)
+            if sha is None:
+                if fuid in record_by_fuid:
+                    # files.log row lost (rotation race): fall back to the
+                    # fuid-keyed x509 row itself.
+                    sha = fuid
+                    canonical.setdefault(fuid, record_by_fuid[fuid])
+                elif strict:
+                    raise KeyError(f"fuid {fuid} resolves to no certificate")
+                else:
+                    continue
+            hashes.append(sha)
+        modern_ssl.append(replace(ssl, cert_chain_fps=tuple(hashes)))
+    return join_logs(modern_ssl, list(canonical.values()), strict=strict)

@@ -1,0 +1,141 @@
+"""Monitoring tap: turns simulated handshake outcomes into Zeek logs, and
+reconstructs analyzer input from those logs.
+
+``MonitoringTap`` is the border-gateway sensor: it observes
+:class:`~repro.tls.connection.ConnectionRecord` streams and maintains the
+two log streams the paper worked from.  ``reconstruct_certificate`` /
+``join_logs`` is the inverse direction: given SSL and X509 rows (ours or
+real Zeek's), rebuild the per-connection chain view the analyzer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..tls.connection import ConnectionRecord
+from ..x509.certificate import Certificate, KeyAlgorithm, ValidityPeriod
+from ..x509.dn import DistinguishedName
+from ..x509.extensions import BasicConstraints, ExtensionSet, SubjectAltName
+from .records import (
+    SSLRecord,
+    X509Record,
+    ssl_record_from_connection,
+    x509_record_from_certificate,
+)
+
+__all__ = ["MonitoringTap", "reconstruct_certificate", "join_logs", "JoinedConnection"]
+
+
+class MonitoringTap:
+    """Accumulates SSL rows and de-duplicated X509 rows like a Zeek worker."""
+
+    def __init__(self) -> None:
+        self.ssl_records: List[SSLRecord] = []
+        self._x509_by_fingerprint: Dict[str, X509Record] = {}
+
+    def observe(self, connection: ConnectionRecord) -> SSLRecord:
+        record = ssl_record_from_connection(connection)
+        self.ssl_records.append(record)
+        for certificate in connection.chain:
+            if certificate.fingerprint not in self._x509_by_fingerprint:
+                self._x509_by_fingerprint[certificate.fingerprint] = (
+                    x509_record_from_certificate(certificate, connection.timestamp)
+                )
+        return record
+
+    def observe_all(self, connections: Iterable[ConnectionRecord]) -> int:
+        count = 0
+        for connection in connections:
+            self.observe(connection)
+            count += 1
+        return count
+
+    @property
+    def x509_records(self) -> list[X509Record]:
+        return list(self._x509_by_fingerprint.values())
+
+    def ssl_rows(self) -> list[list[object]]:
+        return [record.to_row() for record in self.ssl_records]
+
+    def x509_rows(self) -> list[list[object]]:
+        return [record.to_row() for record in self.x509_records]
+
+
+def reconstruct_certificate(record: X509Record) -> Certificate:
+    """Rebuild a :class:`Certificate` from an X509 log row.
+
+    The result carries no generator ground truth (no signing key id, no true
+    role) — by construction the analyzer operates with exactly the paper's
+    information set.
+    """
+    bc: Optional[BasicConstraints] = None
+    if record.basic_constraints_ca is not None:
+        bc = BasicConstraints(ca=record.basic_constraints_ca,
+                              path_len=record.basic_constraints_path_len)
+    san: Optional[SubjectAltName] = None
+    if record.san_dns:
+        san = SubjectAltName(tuple(record.san_dns))
+    return Certificate(
+        subject=DistinguishedName.parse(record.certificate_subject),
+        issuer=DistinguishedName.parse(record.certificate_issuer),
+        serial=record.certificate_serial,
+        validity=ValidityPeriod(
+            datetime.fromtimestamp(record.certificate_not_valid_before, timezone.utc),
+            datetime.fromtimestamp(record.certificate_not_valid_after, timezone.utc),
+        ),
+        key_algorithm=_key_algorithm(record.certificate_key_alg),
+        key_bits=record.certificate_key_length,
+        signature_algorithm=record.certificate_sig_alg,
+        extensions=ExtensionSet(basic_constraints=bc, subject_alt_name=san),
+        version=record.certificate_version,
+        fingerprint_override=record.fingerprint,
+    )
+
+
+def _key_algorithm(text: str) -> KeyAlgorithm:
+    try:
+        return KeyAlgorithm(text)
+    except ValueError:
+        return KeyAlgorithm.UNKNOWN
+
+
+@dataclass(frozen=True, slots=True)
+class JoinedConnection:
+    """One SSL row joined with its certificate chain — analyzer input."""
+
+    ssl: SSLRecord
+    chain: tuple[Certificate, ...]
+
+    @property
+    def chain_key(self) -> tuple[str, ...]:
+        return tuple(cert.fingerprint for cert in self.chain)
+
+
+def join_logs(ssl_records: Sequence[SSLRecord],
+              x509_records: Sequence[X509Record],
+              *, strict: bool = False) -> list[JoinedConnection]:
+    """Join SSL rows to their certificates via chain fingerprints.
+
+    With ``strict=False`` (the default), connections referencing
+    fingerprints missing from the X509 log are joined with the certificates
+    that *are* present dropped out — matching how real pipelines tolerate
+    log rotation races.  ``strict=True`` raises instead.
+    """
+    certificates = {record.fingerprint: reconstruct_certificate(record)
+                    for record in x509_records}
+    joined: list[JoinedConnection] = []
+    for ssl in ssl_records:
+        chain: list[Certificate] = []
+        for fingerprint in ssl.cert_chain_fps:
+            certificate = certificates.get(fingerprint)
+            if certificate is None:
+                if strict:
+                    raise KeyError(
+                        f"SSL row {ssl.uid} references unknown certificate "
+                        f"{fingerprint}")
+                continue
+            chain.append(certificate)
+        joined.append(JoinedConnection(ssl, tuple(chain)))
+    return joined

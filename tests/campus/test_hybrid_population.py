@@ -1,0 +1,140 @@
+"""The 321-chain hybrid population: taxonomy fidelity against ground truth
+and against the analyzer."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.campus.hybrid_population import build_hybrid_population
+from repro.campus.profiles import PAPER
+from repro.core.chain import ObservedChain
+from repro.core.classification import CertificateClassifier
+from repro.core.crosssign import CrossSignDisclosures
+from repro.core.hybrid import HybridAnalyzer, HybridCategory, NoPathCategory
+from repro.ct import CTLog
+
+
+@pytest.fixture(scope="module")
+def specs(pki):
+    log = CTLog("t", accepted_roots=[ca.root.certificate
+                                     for ca in pki.cas.values()])
+    built = build_hybrid_population(pki, seed=3, mean_connections=10,
+                                    ct_log=log)
+    return built, log
+
+
+@pytest.fixture(scope="module")
+def analyzed(specs, pki):
+    built, _ = specs
+    analyzer = HybridAnalyzer(CertificateClassifier(pki.registry),
+                              CrossSignDisclosures.from_pki(pki))
+    chains = []
+    for spec in built:
+        chain = ObservedChain(spec.chain)
+        chain.usage.record(established=True, client_ip="1", server_ip="2",
+                           port=443, sni=spec.hostname, ts=0.0)
+        chains.append(chain)
+    return analyzer.analyze(chains)
+
+
+class TestGroundTruth:
+    def test_exactly_321_chains(self, specs):
+        assert len(specs[0]) == PAPER.hybrid_chains
+
+    def test_chain_keys_distinct(self, specs):
+        keys = [s.key for s in specs[0]]
+        assert len(keys) == len(set(keys))
+
+    def test_19_dual_chain_servers(self, specs):
+        servers = Counter(s.server_id for s in specs[0])
+        assert sum(1 for c in servers.values() if c == 2) == \
+            PAPER.multi_chain_servers
+        assert all(c <= 2 for c in servers.values())
+
+    def test_truth_labels_match_paper_counts(self, specs):
+        truth = Counter(s.labels["hybrid_category"] for s in specs[0])
+        assert truth["is-complete-matched-path"] == PAPER.hybrid_complete_only
+        assert truth["contains-complete-matched-path"] == \
+            PAPER.hybrid_contains_complete
+        assert truth["no-complete-matched-path"] == PAPER.hybrid_no_path
+
+    def test_ct_holds_all_26_anchored_leaves(self, specs):
+        _, log = specs
+        assert len(log) == PAPER.hybrid_nonpub_to_pub
+
+    def test_fake_le_chains(self, specs):
+        fake = [s for s in specs[0] if s.labels.get("pattern") == "fake-le"]
+        assert len(fake) == PAPER.fake_le_chains
+        for spec in fake:
+            assert spec.chain[-1].subject.common_name == \
+                "Fake LE Intermediate X1"
+
+
+class TestAnalyzerRecovery:
+    def test_table3_exact(self, analyzed):
+        rows = {(r["category"], r["subcategory"]): r["chains"]
+                for r in analyzed.table3_rows()}
+        assert rows[("(1) Chain is a complete matched path",
+                     "Non-pub. chained to Pub.")] == PAPER.hybrid_nonpub_to_pub
+        assert rows[("(1) Chain is a complete matched path",
+                     "Pub. chained to Prv.")] == PAPER.hybrid_pub_to_private
+        assert rows[("(2) Chain contains a complete matched path", "-")] == \
+            PAPER.hybrid_contains_complete
+        assert rows[("(3) No complete matched path", "-")] == \
+            PAPER.hybrid_no_path
+
+    def test_table6_exact(self, analyzed):
+        rows = {r["category"]: r["chains"] for r in analyzed.table6_rows()}
+        assert rows["Corporate"] == PAPER.anchored_corporate
+        assert rows["Government"] == PAPER.anchored_government
+
+    def test_table7_exact(self, analyzed):
+        rows = {r["category"]: r["chains"] for r in analyzed.table7_rows()}
+        for category, count in PAPER.no_path_taxonomy:
+            assert rows[category] == count, category
+
+    def test_missing_issuer_exact(self, analyzed):
+        assert analyzed.missing_issuer_stats()["chains"] == \
+            PAPER.no_path_public_leaf_missing_issuer
+
+    def test_per_chain_truth_agreement(self, specs, analyzed):
+        """Every single chain's analyzer verdict matches its generator
+        ground-truth label (not just the marginals)."""
+        truth_by_key = {s.key: s.labels for s in specs[0]}
+        mapping = {
+            HybridCategory.COMPLETE_PATH_ONLY: "is-complete-matched-path",
+            HybridCategory.CONTAINS_COMPLETE_PATH:
+                "contains-complete-matched-path",
+            HybridCategory.NO_COMPLETE_PATH: "no-complete-matched-path",
+        }
+        for analysis in analyzed.analyses:
+            labels = truth_by_key[analysis.chain.key]
+            assert mapping[analysis.category] == labels["hybrid_category"], \
+                analysis.chain
+            if analysis.no_path_category is not None:
+                assert analysis.no_path_category.value == \
+                    labels["no_path_category"], analysis.chain
+
+    def test_high_mismatch_share_matches_paper(self, analyzed):
+        assert analyzed.high_mismatch_share(0.5) == pytest.approx(
+            PAPER.no_path_high_mismatch_share_pct, abs=0.5)
+
+    def test_mismatch_ratios_span_paper_range(self, analyzed):
+        ratios = [a.mismatch_ratio for a in
+                  analyzed.by_category(HybridCategory.NO_COMPLETE_PATH)]
+        assert min(ratios) <= 0.15
+        assert max(ratios) == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_chains(self, pki):
+        a = build_hybrid_population(pki, seed=9, mean_connections=10)
+        b = build_hybrid_population(pki, seed=9, mean_connections=10)
+        assert [s.key for s in a] == [s.key for s in b]
+
+    def test_different_seed_different_chains(self, pki):
+        a = build_hybrid_population(pki, seed=9, mean_connections=10)
+        b = build_hybrid_population(pki, seed=10, mean_connections=10)
+        assert [s.key for s in a] != [s.key for s in b]

@@ -1,0 +1,141 @@
+"""Bulk populations: non-public, public, interception."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.campus.population import (
+    PUBLIC_DOMAINS,
+    build_interception_population,
+    build_nonpublic_population,
+    build_public_population,
+)
+from repro.campus.profiles import PAPER, SMALL_SCALE
+from repro.core.classification import CertificateClassifier, IssuerClass
+
+
+@pytest.fixture(scope="module")
+def nonpub(pki):
+    return build_nonpublic_population(pki, seed=4, scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="module")
+def public(pki):
+    return build_public_population(pki, seed=4, scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="module")
+def interception(pki):
+    return build_interception_population(pki, seed=4, scale=SMALL_SCALE)
+
+
+class TestNonPublic:
+    def test_every_cert_non_public(self, nonpub, registry):
+        classifier = CertificateClassifier(registry)
+        for spec in nonpub:
+            for cert in spec.chain:
+                assert classifier.classify(cert) is IssuerClass.NON_PUBLIC_DB
+
+    def test_single_share_near_paper(self, nonpub):
+        regular = [s for s in nonpub if not s.labels.get("outlier")]
+        singles = sum(1 for s in regular if s.length == 1)
+        share = 100.0 * singles / len(regular)
+        assert abs(share - PAPER.nonpub_len1_share_pct) < 6.0
+
+    def test_self_signed_share_of_singles(self, nonpub):
+        singles = [s for s in nonpub if s.length == 1]
+        ss = sum(1 for s in singles if s.chain[0].is_self_signed)
+        assert 85.0 < 100.0 * ss / len(singles) < 99.0
+
+    def test_outliers_present_with_paper_lengths(self, nonpub):
+        outliers = sorted(s.length for s in nonpub
+                          if s.labels.get("outlier"))
+        assert outliers == sorted(PAPER.outlier_lengths)
+
+    def test_outlier_mix_rejects_everything(self, nonpub):
+        for spec in nonpub:
+            if spec.labels.get("outlier"):
+                weights = dict(spec.mix.weights())
+                assert weights == {"strict": 1.0}
+
+    def test_dga_chains_have_template_names(self, nonpub):
+        from repro.core.dga import domain_template
+        dga = [s for s in nonpub if s.labels.get("dga")]
+        assert len(dga) >= 3
+        for spec in dga:
+            cert = spec.chain[0]
+            assert domain_template(cert.subject.common_name or "")
+            assert not cert.is_self_signed
+
+    def test_mesh_orgs_exist(self, nonpub):
+        meshes = {s.labels.get("mesh") for s in nonpub
+                  if s.labels.get("population") == "nonpub-mesh"}
+        assert len(meshes) == 2
+
+    def test_broken_multi_tails_exist(self, nonpub):
+        populations = Counter(s.labels["population"] for s in nonpub)
+        assert populations["nonpub-multi-contains"] >= 1
+        assert populations["nonpub-multi-none"] >= 1
+
+
+class TestPublic:
+    def test_every_cert_public(self, public, registry):
+        classifier = CertificateClassifier(registry)
+        for spec in public:
+            for cert in spec.chain:
+                assert classifier.classify(cert) is IssuerClass.PUBLIC_DB
+
+    def test_length_two_dominates(self, public):
+        lengths = Counter(s.length for s in public)
+        assert lengths[2] / len(public) > 0.5
+
+    def test_known_domains_first(self, public):
+        hosts = {s.hostname for s in public}
+        assert set(PUBLIC_DOMAINS) <= hosts
+
+    def test_ct_logged_when_log_given(self, pki):
+        from repro.ct import CTLog
+        log = CTLog("p", accepted_roots=[ca.root.certificate
+                                         for ca in pki.cas.values()])
+        specs = build_public_population(pki, seed=4, scale=SMALL_SCALE,
+                                        ct_log=log)
+        assert len(log) == len(specs)
+
+
+class TestInterception:
+    def test_one_middlebox_per_vendor(self, interception):
+        _, middleboxes = interception
+        assert len(middleboxes) == PAPER.interception_issuers
+
+    def test_every_vendor_has_a_chain(self, interception):
+        specs, _ = interception
+        vendors = {s.labels["vendor"] for s in specs}
+        assert len(vendors) == PAPER.interception_issuers
+
+    def test_chains_target_public_domains(self, interception):
+        specs, _ = interception
+        ct_known = sum(1 for s in specs if s.hostname in PUBLIC_DOMAINS)
+        assert ct_known / len(specs) > 0.5
+
+    def test_trusting_clients_carry_appliance_root(self, interception):
+        specs, middleboxes = interception
+        roots = {mb.vendor: mb.root.certificate.fingerprint
+                 for mb in middleboxes}
+        for spec in specs:
+            if spec.labels["population"] == "interception":
+                assert spec.extra_anchors
+                assert spec.extra_anchors[0].fingerprint == \
+                    roots[spec.labels["vendor"]]
+
+    def test_three_cert_chains_dominate(self, interception):
+        specs, _ = interception
+        lengths = Counter(s.length for s in specs)
+        assert lengths[3] / len(specs) > 0.6
+
+    def test_broken_tail_exists(self, interception):
+        specs, _ = interception
+        broken = [s for s in specs
+                  if s.labels["population"] == "interception-broken"]
+        assert len(broken) >= 2

@@ -1,0 +1,109 @@
+"""Calibration profiles: fleet composition, paper targets, scale presets."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.campus.profiles import (
+    DEFAULT_SCALE,
+    INTERCEPTION_FLEET,
+    PAPER,
+    PORT_MODELS,
+    SMALL_SCALE,
+    build_vendor_directory,
+)
+
+
+class TestPaperTargets:
+    def test_interception_issuers_sum_to_80(self):
+        total = sum(count for _, count, _, _
+                    in PAPER.interception_issuer_categories)
+        assert total == PAPER.interception_issuers == 80
+
+    def test_no_path_taxonomy_sums_to_215(self):
+        assert sum(c for _, c in PAPER.no_path_taxonomy) == PAPER.hybrid_no_path
+
+    def test_hybrid_taxonomy_sums(self):
+        assert (PAPER.hybrid_complete_only + PAPER.hybrid_contains_complete
+                + PAPER.hybrid_no_path) == PAPER.hybrid_chains
+        assert (PAPER.hybrid_nonpub_to_pub + PAPER.hybrid_pub_to_private
+                == PAPER.hybrid_complete_only)
+
+    def test_table6_sums_to_26(self):
+        assert (PAPER.anchored_corporate + PAPER.anchored_government
+                == PAPER.hybrid_nonpub_to_pub)
+
+    def test_derived_chain_counts_consistent(self):
+        assert (PAPER.nonpub_chains + PAPER.interception_chains
+                + PAPER.hybrid_chains + PAPER.public_chains
+                == PAPER.total_chains)
+
+    def test_table5_columns_balance(self):
+        # IS column: single + valid + broken = total.
+        assert (PAPER.validation_single + PAPER.validation_is_valid
+                + PAPER.validation_is_broken
+                == PAPER.validation_total_chains)
+        # KS column: single + valid + broken + unrecognized = total.
+        assert (PAPER.validation_single + PAPER.validation_ks_valid
+                + PAPER.validation_ks_broken + PAPER.validation_unrecognized
+                == PAPER.validation_total_chains)
+
+
+class TestFleet:
+    def test_category_counts_match_table1(self):
+        counts = Counter(v.category for v in INTERCEPTION_FLEET)
+        for category, issuers, _, _ in PAPER.interception_issuer_categories:
+            assert counts[category] == issuers, category
+
+    def test_vendor_names_unique(self):
+        names = [v.vendor for v in INTERCEPTION_FLEET]
+        assert len(names) == len(set(names))
+
+    def test_security_category_dominates_weight(self):
+        by_category = Counter()
+        for vendor in INTERCEPTION_FLEET:
+            by_category[vendor.category] += vendor.weight
+        total = sum(by_category.values())
+        assert by_category["Security & Network"] / total > 0.80
+
+    def test_single_chain_vendor_weight_share(self):
+        # Single-presenting vendors carry roughly the 13.24 % share of §4.3.
+        single_weight = sum(v.weight for v in INTERCEPTION_FLEET
+                            if v.single_self_signed or v.single_leaf_only)
+        total = sum(v.weight for v in INTERCEPTION_FLEET)
+        assert 0.08 < single_weight / total < 0.22
+
+    def test_directory_covers_fleet(self):
+        directory = build_vendor_directory()
+        for vendor in INTERCEPTION_FLEET:
+            from repro.x509 import name
+            resolved, category = directory.lookup(
+                name("proxy", o=vendor.vendor))
+            assert resolved == vendor.vendor
+            assert category == vendor.category
+
+
+class TestPortModels:
+    @pytest.mark.parametrize("model", sorted(PORT_MODELS))
+    def test_weights_normalize(self, model):
+        total = sum(w for _, w in PORT_MODELS[model])
+        assert 0.95 < total <= 1.001
+
+    def test_table4_top_ports(self):
+        assert PORT_MODELS["hybrid"][0] == (443, 0.9721)
+        assert PORT_MODELS["interception"][0] == (8013, 0.3540)
+        assert PORT_MODELS["nonpub_single"][0][0] == 443
+
+
+class TestScales:
+    def test_small_smaller_than_default(self):
+        assert (SMALL_SCALE.scaled_nonpub_chains()
+                < DEFAULT_SCALE.scaled_nonpub_chains())
+        assert (SMALL_SCALE.conns_per_hybrid_chain
+                < DEFAULT_SCALE.conns_per_hybrid_chain)
+
+    def test_interception_scale_keeps_all_vendors(self):
+        assert SMALL_SCALE.scaled_interception_chains() >= len(
+            INTERCEPTION_FLEET)

@@ -1,0 +1,114 @@
+"""Statistical validation of the workload generator: port models and
+establishment-by-policy behaviour over many connections."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.campus import SMALL_SCALE, WorkloadGenerator
+from repro.campus.profiles import PORT_MODELS
+from repro.campus.spec import ChainSpec, ClientMix
+from repro.x509 import CertificateFactory, name
+
+
+def _spec(chain, mix, *, port_model="nonpub_single", mean=40,
+          server_id="stat-srv", pool="nonpub"):
+    return ChainSpec(chain=tuple(chain), hostname="stat.example",
+                     category_truth="nonpub", mix=mix, port_model=port_model,
+                     mean_connections=mean, sni_rate=0.5,
+                     server_id=server_id, client_pool=pool)
+
+
+@pytest.fixture()
+def self_signed_chain(factory):
+    return (factory.self_signed(name("stat.example")),)
+
+
+@pytest.fixture()
+def public_chain(pki):
+    own = CertificateFactory(seed=808)
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    leaf = own.leaf(r3, name("stat.example"), dns_names=["stat.example"])
+    return (leaf, r3.certificate)
+
+
+class TestEstablishmentByPolicy:
+    def test_permissive_always_establishes(self, registry, self_signed_chain):
+        generator = WorkloadGenerator(registry, seed=10, scale=SMALL_SCALE)
+        records = list(generator.generate_for_spec(
+            _spec(self_signed_chain, ClientMix(permissive=1.0))))
+        assert records
+        assert all(r.established for r in records)
+
+    def test_strict_rejects_untrusted_self_signed(self, registry,
+                                                  self_signed_chain):
+        generator = WorkloadGenerator(registry, seed=10, scale=SMALL_SCALE)
+        records = list(generator.generate_for_spec(
+            _spec(self_signed_chain, ClientMix(strict=1.0))))
+        assert all(not r.established for r in records)
+
+    def test_browser_accepts_public_chain(self, registry, public_chain):
+        generator = WorkloadGenerator(registry, seed=10, scale=SMALL_SCALE)
+        records = list(generator.generate_for_spec(
+            _spec(public_chain, ClientMix(browser=1.0))))
+        assert all(r.established for r in records)
+
+    def test_mixed_policy_rate_matches_weights(self, registry,
+                                               self_signed_chain):
+        """permissive=0.6 / strict=0.4 against an untrusted chain should
+        establish ~60 % of connections."""
+        generator = WorkloadGenerator(registry, seed=10, scale=SMALL_SCALE)
+        spec = _spec(self_signed_chain,
+                     ClientMix(permissive=0.6, strict=0.4), mean=500)
+        records = list(generator.generate_for_spec(spec))
+        rate = sum(r.established for r in records) / len(records)
+        assert abs(rate - 0.6) < 0.08
+
+    def test_trusting_mix_requires_extra_anchor(self, registry, factory):
+        from datetime import datetime, timezone
+        private = factory.root(name("Trusting Root"))
+        # Mint before the study window so every connection sees it valid.
+        leaf = factory.leaf(private, name("stat.example"),
+                            not_before=datetime(2020, 6, 1,
+                                                tzinfo=timezone.utc),
+                            lifetime_days=600)
+        spec = _spec((leaf, private.certificate), ClientMix(trusting=1.0))
+        spec.extra_anchors = (private.certificate,)
+        generator = WorkloadGenerator(registry, seed=10, scale=SMALL_SCALE)
+        records = list(generator.generate_for_spec(spec))
+        assert all(r.established for r in records)
+
+
+class TestPortModelStatistics:
+    @pytest.mark.parametrize("model", ["nonpub_single", "interception",
+                                       "hybrid"])
+    def test_port_draw_respects_model_support(self, registry,
+                                              self_signed_chain, model):
+        """Ports drawn per spec always come from the configured model."""
+        allowed = {port for port, _ in PORT_MODELS[model]}
+        generator = WorkloadGenerator(registry, seed=11, scale=SMALL_SCALE)
+        seen = set()
+        for i in range(60):
+            spec = _spec(self_signed_chain, ClientMix(permissive=1.0),
+                         port_model=model, mean=3, server_id=f"ps-{model}-{i}")
+            for record in generator.generate_for_spec(spec):
+                seen.add(record.server.port)
+        assert seen <= allowed
+        assert len(seen) >= 2  # the distribution actually varies
+
+    def test_top_port_dominates_over_many_specs(self, registry,
+                                                self_signed_chain):
+        """Over many servers, the weighted top port of the model wins."""
+        generator = WorkloadGenerator(registry, seed=12, scale=SMALL_SCALE)
+        counts: Counter = Counter()
+        for i in range(200):
+            spec = _spec(self_signed_chain, ClientMix(permissive=1.0),
+                         port_model="hybrid", mean=2,
+                         server_id=f"dom-{i}")
+            record = next(iter(generator.generate_for_spec(spec)))
+            counts[record.server.port] += 1
+        top_port, top_count = counts.most_common(1)[0]
+        assert top_port == 443
+        assert top_count / sum(counts.values()) > 0.85  # model says 97 %

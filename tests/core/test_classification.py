@@ -1,0 +1,123 @@
+"""Certificate classification and chain categorisation (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.categorization import ChainCategorizer, ChainCategory
+from repro.core.chain import ObservedChain
+from repro.core.classification import CertificateClassifier, IssuerClass
+from repro.x509 import CertificateFactory, name
+
+
+def _observed(certs):
+    chain = ObservedChain(tuple(certs))
+    chain.usage.record(established=True, client_ip="10.0.0.1",
+                       server_ip="203.0.113.5", port=443, sni=None,
+                       ts=1_600_000_000.0)
+    return chain
+
+
+class TestClassifier:
+    def test_public_leaf(self, classifier, pki, factory):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("a.example"))
+        assert classifier.classify(leaf) is IssuerClass.PUBLIC_DB
+
+    def test_private_leaf(self, classifier, factory):
+        private = factory.root(name("Private Root"))
+        leaf = factory.leaf(private, name("b.example"))
+        assert classifier.classify(leaf) is IssuerClass.NON_PUBLIC_DB
+
+    def test_cache_hit(self, classifier, factory):
+        cert = factory.self_signed(name("c.local"))
+        classifier.classify(cert)
+        before = classifier.cache_size()
+        classifier.classify(cert)
+        assert classifier.cache_size() == before
+
+    def test_chain_profile(self, classifier, pki, factory):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("d.example"))
+        private = factory.self_signed(name("e.local"))
+        profile = classifier.classify_chain([leaf, private])
+        assert profile.mixed
+        assert profile.count(IssuerClass.PUBLIC_DB) == 1
+
+    def test_anchored_check_via_final_issuer(self, classifier, pki, factory):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("f.example"))
+        # Chain ends at R3 whose issuer (ISRG Root X1) is a store anchor.
+        assert classifier.chain_anchored_to_public_root([leaf, r3.certificate])
+
+    def test_not_anchored(self, classifier, factory):
+        private = factory.root(name("P Root"))
+        leaf = factory.leaf(private, name("g.example"))
+        assert not classifier.chain_anchored_to_public_root(
+            [leaf, private.certificate])
+
+    def test_empty_chain_not_anchored(self, classifier):
+        assert not classifier.chain_anchored_to_public_root([])
+
+
+class TestCategorizer:
+    @pytest.fixture()
+    def parts(self, pki, factory):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        pub_leaf = factory.leaf(r3, name("pub.example"))
+        private = factory.root(name("NP Root"))
+        np_leaf = factory.leaf(private, name("np.example"))
+        return r3, pub_leaf, private, np_leaf
+
+    def test_public_only(self, classifier, parts):
+        r3, pub_leaf, *_ = parts
+        categorizer = ChainCategorizer(classifier)
+        chain = _observed((pub_leaf, r3.certificate))
+        assert categorizer.category(chain) is ChainCategory.PUBLIC_ONLY
+
+    def test_non_public_only(self, classifier, parts):
+        *_, private, np_leaf = parts
+        categorizer = ChainCategorizer(classifier)
+        chain = _observed((np_leaf, private.certificate))
+        assert categorizer.category(chain) is ChainCategory.NON_PUBLIC_ONLY
+
+    def test_hybrid(self, classifier, parts):
+        r3, pub_leaf, private, np_leaf = parts
+        categorizer = ChainCategorizer(classifier)
+        chain = _observed((np_leaf, pub_leaf))
+        assert categorizer.category(chain) is ChainCategory.HYBRID
+
+    def test_interception_takes_precedence(self, classifier, parts, factory):
+        *_, private, np_leaf = parts
+        key = tuple(sorted(np_leaf.issuer.normalized()))
+        categorizer = ChainCategorizer(classifier,
+                                       interception_name_keys={key})
+        chain = _observed((np_leaf, private.certificate))
+        assert categorizer.category(chain) is ChainCategory.INTERCEPTION
+
+    def test_categorize_buckets_and_summary(self, classifier, parts):
+        r3, pub_leaf, private, np_leaf = parts
+        categorizer = ChainCategorizer(classifier)
+        result = categorizer.categorize([
+            _observed((pub_leaf, r3.certificate)),
+            _observed((np_leaf, private.certificate)),
+            _observed((np_leaf, pub_leaf)),
+        ])
+        assert result.total_chains == 3
+        assert result.chain_count(ChainCategory.PUBLIC_ONLY) == 1
+        assert result.chain_count(ChainCategory.HYBRID) == 1
+        rows = result.summary_rows()
+        assert sum(r["chains"] for r in rows) == 3
+        assert all(r["connections"] == 1 for r in rows if r["chains"])
+
+    def test_port_distribution(self, classifier, parts):
+        r3, pub_leaf, *_ = parts
+        categorizer = ChainCategorizer(classifier)
+        chain = ObservedChain((pub_leaf, r3.certificate))
+        chain.usage.record(established=True, client_ip="10.0.0.1",
+                           server_ip="x", port=8443, sni=None, ts=0.0)
+        chain.usage.record(established=True, client_ip="10.0.0.1",
+                           server_ip="x", port=443, sni=None, ts=0.0)
+        result = categorizer.categorize([chain])
+        ports = result.port_distribution(ChainCategory.PUBLIC_ONLY)
+        assert ports[8443] == 1 and ports[443] == 1

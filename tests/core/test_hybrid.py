@@ -1,0 +1,262 @@
+"""Hybrid chain taxonomy: Tables 3, 6, 7 and Figures 4, 6 semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import ObservedChain
+from repro.core.classification import CertificateClassifier
+from repro.core.hybrid import (
+    CellLabel,
+    CompletePathKind,
+    EntityKind,
+    HybridAnalyzer,
+    HybridCategory,
+    NoPathCategory,
+    classify_entity,
+)
+from repro.x509 import CertificateFactory, name
+from repro.x509.dn import DistinguishedName
+
+
+def _observed(certs, connections=10, established=9):
+    chain = ObservedChain(tuple(certs))
+    for i in range(connections):
+        chain.usage.record(established=i < established,
+                           client_ip=f"10.0.0.{i}", server_ip="203.0.113.1",
+                           port=443, sni="svc.example", ts=1_600_000_000.0 + i)
+    return chain
+
+
+@pytest.fixture()
+def analyzer(classifier, disclosures):
+    return HybridAnalyzer(classifier, disclosures)
+
+
+@pytest.fixture()
+def va_chain(pki, factory):
+    """The Veterans Affairs pattern: non-public leaf anchored to the
+    (Microsoft-only) Federal PKI root via a CCADB intermediate."""
+    verizon = pki.ca("federal_pki").intermediates["verizon_ssp"]
+    va_ca = factory.intermediate(verizon, name("Veterans Affairs CA B3",
+                                               o="U.S. Government"))
+    leaf = factory.leaf(va_ca, name("www.va.gov"), dns_names=["www.va.gov"])
+    return (leaf, va_ca.certificate, verizon.certificate)
+
+
+@pytest.fixture()
+def scalyr_chain(pki, factory):
+    """The Scalyr pattern: public complete path followed by a private
+    re-issue of the public root's subject (Appendix F.1)."""
+    usertrust = pki.ca("usertrust")
+    dv = usertrust.intermediates["sectigo_dv"]
+    leaf = factory.leaf(dv, name("app.scalyr.com"), dns_names=["app.scalyr.com"])
+    aaa = pki.ca("sectigo").root
+    private_reissue = factory.mismatched_pair_cert(
+        name("Scalyr Inc", o="Scalyr"), aaa.subject)
+    # usertrust cert's issuer is its own subject (self-signed root) — build
+    # delivered order: leaf, DV intermediate, USERTrust root, private cert
+    # whose subject matches the preceding certificate's issuer.
+    reissue_of_usertrust_issuer = factory.mismatched_pair_cert(
+        name("Scalyr Inc", o="Scalyr"), usertrust.root.subject)
+    return (leaf, dv.certificate, reissue_of_usertrust_issuer)
+
+
+class TestCompletePathOnly:
+    def test_va_chain_is_non_pub_chained_to_pub(self, analyzer, va_chain):
+        analysis = analyzer.analyze_chain(_observed(va_chain))
+        assert analysis.category is HybridCategory.COMPLETE_PATH_ONLY
+        assert analysis.complete_kind is \
+            CompletePathKind.NON_PUBLIC_CHAINED_TO_PUBLIC
+        assert analysis.anchored_to_public_root
+        assert analysis.entity is EntityKind.GOVERNMENT
+
+    def test_scalyr_chain_is_pub_chained_to_private(self, analyzer,
+                                                    scalyr_chain):
+        analysis = analyzer.analyze_chain(_observed(scalyr_chain))
+        assert analysis.category is HybridCategory.COMPLETE_PATH_ONLY
+        assert analysis.complete_kind is \
+            CompletePathKind.PUBLIC_CHAINED_TO_PRIVATE
+
+    def test_corporate_entity(self, analyzer, pki, factory):
+        symantec = pki.ca("symantec").intermediates["class3_g4"]
+        private = factory.intermediate(
+            symantec, name("Symantec Private SSL SHA1 CA",
+                           o="Symantec Corporation"))
+        leaf = factory.leaf(private, name("internal.acme.com"))
+        analysis = analyzer.analyze_chain(
+            _observed((leaf, private.certificate, symantec.certificate)))
+        assert analysis.complete_kind is \
+            CompletePathKind.NON_PUBLIC_CHAINED_TO_PUBLIC
+        assert analysis.entity is EntityKind.CORPORATE
+
+
+class TestContainsCompletePath:
+    def test_fake_le_staging(self, analyzer, pki, factory):
+        le = pki.ca("lets_encrypt")
+        leaf = factory.leaf(le.intermediates["R3"], name("blog.example"))
+        fake = factory.mismatched_pair_cert(
+            name("Fake LE Root X1"), name("Fake LE Intermediate X1"))
+        chain = (leaf, le.intermediates["R3"].certificate,
+                 le.root.certificate, fake)
+        analysis = analyzer.analyze_chain(_observed(chain))
+        assert analysis.category is HybridCategory.CONTAINS_COMPLETE_PATH
+        assert analysis.structure.unnecessary_indices == (3,)
+
+    def test_athenz_appended(self, analyzer, pki, factory):
+        dg = pki.ca("digicert")
+        leaf = factory.leaf(dg.intermediates["tls2020"], name("api.example"))
+        athenz = factory.self_signed(name("athenz.example", o="Athenz"))
+        chain = (leaf, dg.intermediates["tls2020"].certificate,
+                 dg.root.certificate, athenz)
+        analysis = analyzer.analyze_chain(_observed(chain))
+        assert analysis.category is HybridCategory.CONTAINS_COMPLETE_PATH
+
+
+class TestNoPathTaxonomy:
+    def test_self_signed_leaf_then_mismatches(self, analyzer, pki, factory):
+        localhost_dn = DistinguishedName.parse(
+            "emailAddress=webmaster@localhost,CN=localhost,OU=none,O=none,"
+            "L=Sometown,ST=Someprovince,C=US")
+        ss_leaf = factory.self_signed(localhost_dn)
+        random_pub = pki.ca("godaddy").intermediates["g2"].certificate
+        analysis = analyzer.analyze_chain(_observed((ss_leaf, random_pub)))
+        assert analysis.category is HybridCategory.NO_COMPLETE_PATH
+        assert analysis.no_path_category is \
+            NoPathCategory.SELF_SIGNED_LEAF_THEN_MISMATCHES
+
+    def test_self_signed_leaf_then_valid_subchain(self, analyzer, pki, factory):
+        ss_leaf = factory.self_signed(name("replaced.example"))
+        dg = pki.ca("digicert")
+        chain = (ss_leaf, dg.intermediates["sha2"].certificate,
+                 dg.root.certificate)
+        analysis = analyzer.analyze_chain(_observed(chain))
+        assert analysis.no_path_category is \
+            NoPathCategory.SELF_SIGNED_LEAF_THEN_VALID_SUBCHAIN
+
+    def test_all_mismatched(self, analyzer, pki, factory):
+        dv_leaf = factory.leaf(
+            pki.ca("usertrust").intermediates["sectigo_dv"], name("m.example"))
+        unrelated_pub = pki.ca("globalsign").intermediates["ov2018"].certificate
+        nonpub = factory.mismatched_pair_cert(name("weird issuer"),
+                                              name("weird subject"))
+        analysis = analyzer.analyze_chain(
+            _observed((dv_leaf, unrelated_pub, nonpub)))
+        assert analysis.no_path_category is NoPathCategory.ALL_MISMATCHED
+        assert analysis.mismatch_ratio == 1.0
+
+    def test_partial_mismatched(self, analyzer, pki, factory):
+        # Public leaf missing its issuer, followed by a matched CA pair.
+        dv_leaf = factory.leaf(
+            pki.ca("usertrust").intermediates["sectigo_dv"], name("p.example"))
+        ut_root = pki.ca("usertrust").root.certificate
+        aaa_reissue = factory.mismatched_pair_cert(
+            name("Private CA", o="Acme"), ut_root.issuer)
+        analysis = analyzer.analyze_chain(
+            _observed((dv_leaf, ut_root, aaa_reissue)))
+        assert analysis.category is HybridCategory.NO_COMPLETE_PATH
+        assert analysis.no_path_category is NoPathCategory.PARTIAL_MISMATCHED
+
+    def test_root_appended_to_truncated_public_subchain(self, analyzer, pki,
+                                                        factory):
+        dg = pki.ca("digicert")
+        truncated = (dg.intermediates["tls2020"].certificate,
+                     dg.root.certificate)  # matched, but no leaf
+        nonpub_root = factory.self_signed(name("Corp Root", o="Corp"),
+                                          include_extensions=True)
+        analysis = analyzer.analyze_chain(
+            _observed((*truncated, nonpub_root)))
+        assert analysis.no_path_category is \
+            NoPathCategory.ROOT_APPENDED_TO_PUBLIC_SUBCHAIN
+
+    def test_root_and_mismatched(self, analyzer, pki, factory):
+        dg = pki.ca("digicert")
+        gd = pki.ca("godaddy")
+        nonpub_root = factory.self_signed(name("Corp Root 2", o="Corp"),
+                                          include_extensions=True)
+        # Head pairs do not match each other.
+        analysis = analyzer.analyze_chain(_observed((
+            dg.intermediates["tls2020"].certificate,
+            gd.intermediates["g2"].certificate,
+            nonpub_root)))
+        assert analysis.no_path_category is NoPathCategory.ROOT_AND_MISMATCHED
+
+    def test_missing_issuer_flag(self, analyzer, pki, factory):
+        dv_leaf = factory.leaf(
+            pki.ca("usertrust").intermediates["sectigo_dv"], name("q.example"))
+        nonpub = factory.mismatched_pair_cert(name("x issuer"), name("x subject"))
+        analysis = analyzer.analyze_chain(_observed((dv_leaf, nonpub)))
+        assert analysis.leaf_missing_issuer
+
+
+class TestReportTables:
+    @pytest.fixture()
+    def report(self, analyzer, va_chain, scalyr_chain, pki, factory):
+        le = pki.ca("lets_encrypt")
+        leaf = factory.leaf(le.intermediates["R3"], name("r.example"))
+        fake = factory.mismatched_pair_cert(
+            name("Fake LE Root X1"), name("Fake LE Intermediate X1"))
+        contains = (leaf, le.intermediates["R3"].certificate,
+                    le.root.certificate, fake)
+        ss = factory.self_signed(name("busted.local"))
+        nopath = (ss, pki.ca("godaddy").intermediates["g2"].certificate)
+        return analyzer.analyze([
+            _observed(va_chain, connections=100, established=98),
+            _observed(scalyr_chain, connections=100, established=99),
+            _observed(contains, connections=100, established=92),
+            _observed(nopath, connections=100, established=57),
+        ])
+
+    def test_table3_counts(self, report):
+        rows = {(r["category"], r["subcategory"]): r["chains"]
+                for r in report.table3_rows()}
+        assert rows[("(1) Chain is a complete matched path",
+                     "Non-pub. chained to Pub.")] == 1
+        assert rows[("(1) Chain is a complete matched path",
+                     "Pub. chained to Prv.")] == 1
+        assert rows[("(2) Chain contains a complete matched path", "-")] == 1
+        assert rows[("(3) No complete matched path", "-")] == 1
+        assert rows[("Total", "")] == 4
+
+    def test_establishment_rates_ordered(self, report):
+        complete = report.establishment_rate(HybridCategory.COMPLETE_PATH_ONLY)
+        contains = report.establishment_rate(HybridCategory.CONTAINS_COMPLETE_PATH)
+        nopath = report.establishment_rate(HybridCategory.NO_COMPLETE_PATH)
+        assert complete > contains > nopath
+
+    def test_table6(self, report):
+        rows = {r["category"]: r["chains"] for r in report.table6_rows()}
+        assert rows["Government"] == 1
+        assert rows["Corporate"] == 0
+
+    def test_table7(self, report):
+        rows = {r["category"]: r["chains"] for r in report.table7_rows()}
+        assert rows[NoPathCategory.SELF_SIGNED_LEAF_THEN_MISMATCHES.value] == 1
+        assert sum(rows.values()) == 1
+
+    def test_figure4_grid_labels(self, report):
+        grid = report.figure4_grid()
+        assert len(grid) == 1
+        column = grid[0]
+        assert column[:3] == [CellLabel.PUB_COMPLETE] * 3
+        assert column[3] in (CellLabel.NON_PUB_SINGLE, CellLabel.SINGLE_LEAF)
+
+    def test_figure6_histogram_totals(self, report):
+        histogram = report.figure6_histogram()
+        assert sum(count for _, count in histogram) == 1
+
+    def test_high_mismatch_share(self, report):
+        assert report.high_mismatch_share(0.5) == 100.0
+
+
+class TestEntityClassifier:
+    @pytest.mark.parametrize("dn_text,expected", [
+        ("CN=Veterans Affairs CA B3,O=U.S. Government", EntityKind.GOVERNMENT),
+        ("CN=GPKIRootCA1,O=Government of Korea", EntityKind.GOVERNMENT),
+        ("CN=AC Raiz,O=ICP-Brasil", EntityKind.GOVERNMENT),
+        ("CN=Symantec Private SSL,O=Symantec Corporation", EntityKind.CORPORATE),
+        ("CN=SignKorea CA,O=SignKorea", EntityKind.CORPORATE),
+        ("CN=Some CA,O=Acme Widgets", EntityKind.CORPORATE),
+    ])
+    def test_cases(self, dn_text, expected):
+        assert classify_entity(DistinguishedName.parse(dn_text)) is expected

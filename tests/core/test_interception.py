@@ -1,0 +1,153 @@
+"""CT-mismatch interception detection (§3.2.1, Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import ObservedChain
+from repro.core.interception import (
+    InterceptionDetector,
+    VendorDirectory,
+)
+from repro.ct import CTLog, CrtShIndex
+from repro.tls import build_middlebox
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def ct_setup(pki):
+    """CT logs know the legitimate issuer for portal.example.com."""
+    factory = CertificateFactory(seed=61)
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    real_leaf = factory.leaf(r3, name("portal.example.com"),
+                             dns_names=["portal.example.com"])
+    log = CTLog("campus-log",
+                accepted_roots=[ca.root.certificate for ca in pki.cas.values()])
+    log.add_chain([real_leaf, r3.certificate,
+                   pki.ca("lets_encrypt").root.certificate])
+    return CrtShIndex([log]), real_leaf, r3
+
+
+@pytest.fixture()
+def directory():
+    return VendorDirectory([
+        ("zscaler", "Zscaler", "Security & Network"),
+        ("fortinet", "Fortinet", "Security & Network"),
+        ("freddie mac", "Freddie Mac", "Business & Corporate"),
+    ])
+
+
+def _observed_with_sni(certs, sni, connections=5):
+    chain = ObservedChain(tuple(certs))
+    for i in range(connections):
+        chain.usage.record(established=True, client_ip=f"10.0.1.{i}",
+                           server_ip="203.0.113.80", port=443, sni=sni,
+                           ts=1_600_000_000.0 + i)
+    return chain
+
+
+class TestDetection:
+    def test_intercepted_chain_flagged(self, classifier, ct_setup, directory):
+        ct_index, *_ = ct_setup
+        mb = build_middlebox("Zscaler Inc", "Security & Network", seed=62)
+        chain = _observed_with_sni(mb.substitute_chain("portal.example.com"),
+                                   "portal.example.com")
+        detector = InterceptionDetector(classifier, ct_index, directory)
+        report = detector.detect([chain])
+        assert report.issuer_count == 1
+        assert report.issuers[0].vendor == "Zscaler"
+        assert report.issuers[0].category == "Security & Network"
+        assert chain.key in report.flagged_chains
+
+    def test_appliance_ca_names_collected(self, classifier, ct_setup,
+                                          directory):
+        ct_index, *_ = ct_setup
+        mb = build_middlebox("Fortinet", "Security & Network", seed=63)
+        chain = _observed_with_sni(mb.substitute_chain("portal.example.com"),
+                                   "portal.example.com")
+        report = InterceptionDetector(classifier, ct_index,
+                                      directory).detect([chain])
+        root_key = tuple(sorted(mb.root.subject.normalized()))
+        assert root_key in report.issuer_name_keys
+
+    def test_legitimate_chain_not_flagged(self, classifier, ct_setup,
+                                          directory, pki):
+        ct_index, real_leaf, r3 = ct_setup
+        chain = _observed_with_sni((real_leaf, r3.certificate),
+                                   "portal.example.com")
+        report = InterceptionDetector(classifier, ct_index,
+                                      directory).detect([chain])
+        assert report.issuer_count == 0
+
+    def test_non_public_issuer_absent_from_ct_not_flagged(self, classifier,
+                                                          ct_setup, directory,
+                                                          factory):
+        """Appendix B: original cert from a non-public issuer is not in CT,
+        so its interception is undetectable."""
+        ct_index, *_ = ct_setup
+        private = factory.root(name("Internal Root", o="Campus"))
+        leaf = factory.leaf(private, name("intranet.campus.edu"),
+                            dns_names=["intranet.campus.edu"])
+        chain = _observed_with_sni((leaf, private.certificate),
+                                   "intranet.campus.edu")
+        report = InterceptionDetector(classifier, ct_index,
+                                      directory).detect([chain])
+        assert report.issuer_count == 0
+
+    def test_no_sni_chain_not_flagged(self, classifier, ct_setup, directory):
+        ct_index, *_ = ct_setup
+        mb = build_middlebox("Zscaler Inc", "Security & Network", seed=64)
+        chain = ObservedChain(mb.substitute_chain("x.example"))
+        chain.usage.record(established=True, client_ip="10.0.0.1",
+                           server_ip="h", port=443, sni=None, ts=0.0)
+        # SAN on the minted leaf can still expose the host; use a host CT
+        # does not know.
+        report = InterceptionDetector(classifier, ct_index,
+                                      directory).detect([chain])
+        assert report.issuer_count == 0
+
+    def test_unknown_vendor_categorized_other(self, classifier, ct_setup):
+        ct_index, *_ = ct_setup
+        mb = build_middlebox("Obscure Appliance", "Other", seed=65)
+        chain = _observed_with_sni(mb.substitute_chain("portal.example.com"),
+                                   "portal.example.com")
+        report = InterceptionDetector(classifier, ct_index,
+                                      VendorDirectory()).detect([chain])
+        assert report.issuer_count == 1
+        assert report.issuers[0].category == "Other"
+
+
+class TestTable1:
+    def test_category_table_aggregation(self, classifier, ct_setup, directory):
+        ct_index, *_ = ct_setup
+        zscaler = build_middlebox("Zscaler Inc", "Security & Network", seed=66)
+        freddie = build_middlebox("Freddie Mac", "Business & Corporate", seed=67)
+        chains = {}
+        c1 = _observed_with_sni(zscaler.substitute_chain("portal.example.com"),
+                                "portal.example.com", connections=90)
+        c2 = _observed_with_sni(freddie.substitute_chain("portal.example.com"),
+                                "portal.example.com", connections=10)
+        chains[c1.key] = c1
+        chains[c2.key] = c2
+        report = InterceptionDetector(classifier, ct_index,
+                                      directory).detect(chains.values())
+        rows = {r["category"]: r for r in report.category_table(chains)}
+        assert rows["Security & Network"]["issuers"] == 1
+        assert rows["Security & Network"]["pct_connections"] == pytest.approx(90.0)
+        assert rows["Business & Corporate"]["pct_connections"] == pytest.approx(10.0)
+        assert rows["Bank & Finance"]["issuers"] == 0
+
+
+class TestVendorDirectory:
+    def test_lookup_by_organization(self, directory):
+        vendor, category = directory.lookup(name("proxy", o="Zscaler Inc"))
+        assert (vendor, category) == ("Zscaler", "Security & Network")
+
+    def test_lookup_falls_back_to_other(self, directory):
+        vendor, category = directory.lookup(name("mystery", o="Unknown Corp"))
+        assert category == "Other"
+        assert vendor == "Unknown Corp"
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError):
+            VendorDirectory([("x", "X", "Nonsense")])

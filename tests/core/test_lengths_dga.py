@@ -1,0 +1,162 @@
+"""Chain length distributions (Figure 1) and DGA cluster detection (§4.3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.categorization import CategorizedChains, ChainCategory
+from repro.core.chain import ObservedChain
+from repro.core.dga import DGADetector, domain_template, looks_random
+from repro.core.lengths import (
+    LengthDistribution,
+    exclude_outliers,
+    length_distributions,
+)
+from repro.x509 import CertificateFactory, name
+
+
+def _chain_of_length(factory, n, connections=5):
+    certs = [factory.self_signed(name(f"c{i}.local")) for i in range(n)]
+    chain = ObservedChain(tuple(certs))
+    for i in range(connections):
+        chain.usage.record(established=True, client_ip="10.0.0.1",
+                           server_ip="x", port=443, sni=None, ts=float(i))
+    return chain
+
+
+class TestLengthDistribution:
+    def test_cdf_monotone_and_terminates_at_one(self):
+        dist = LengthDistribution(ChainCategory.PUBLIC_ONLY,
+                                  Counter({1: 10, 2: 60, 3: 30}))
+        cdf = dist.cdf()
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_cumulative_fraction(self):
+        dist = LengthDistribution(ChainCategory.PUBLIC_ONLY,
+                                  Counter({1: 10, 2: 60, 3: 30}))
+        assert dist.cumulative_fraction_at(2) == pytest.approx(0.7)
+
+    def test_dominant_length(self):
+        dist = LengthDistribution(ChainCategory.INTERCEPTION,
+                                  Counter({3: 80, 1: 20}))
+        assert dist.dominant_length() == 3
+
+    def test_empty(self):
+        dist = LengthDistribution(ChainCategory.HYBRID, Counter())
+        assert dist.cdf() == []
+        assert dist.dominant_length() is None
+        assert dist.fraction_at(2) == 0.0
+
+
+class TestOutlierExclusion:
+    def test_paper_rule(self, factory):
+        normal = _chain_of_length(factory, 3)
+        monster_once = _chain_of_length(factory, 3822, connections=1)
+        long_but_frequent = _chain_of_length(factory, 50, connections=100)
+        kept, excluded = exclude_outliers([normal, monster_once,
+                                           long_but_frequent])
+        assert monster_once in excluded
+        assert normal in kept
+        assert long_but_frequent in kept
+
+    def test_distributions_apply_rule(self, factory):
+        categorized = CategorizedChains()
+        categorized.add(ChainCategory.NON_PUBLIC_ONLY,
+                        _chain_of_length(factory, 1))
+        categorized.add(ChainCategory.NON_PUBLIC_ONLY,
+                        _chain_of_length(factory, 921, connections=1))
+        dists = length_distributions(categorized)
+        dist = dists[ChainCategory.NON_PUBLIC_ONLY]
+        assert dist.total == 1
+        assert dist.max_length() == 1
+
+
+class TestLooksRandom:
+    @pytest.mark.parametrize("label", [
+        "qkzjtvwyxp", "x7f3k9q2m", "zzkqwjxv", "bq7xkpz3vw",
+    ])
+    def test_random_strings_detected(self, label):
+        assert looks_random(label)
+
+    @pytest.mark.parametrize("label", [
+        "google", "facebook", "campusnet", "mailserver", "university",
+        "sometown",
+    ])
+    def test_natural_words_not_detected(self, label):
+        assert not looks_random(label)
+
+    def test_too_short_rejected(self):
+        assert not looks_random("ab3")
+
+
+class TestDomainTemplate:
+    def test_dga_domain(self):
+        assert domain_template("www.qkzjtvwyxp.com") == "www.<rand>.com"
+
+    def test_brand_domain(self):
+        assert domain_template("www.facebook.com") is None
+
+    def test_wrong_shape(self):
+        assert domain_template("mail.qkzjtvwyxp.com") is None
+        assert domain_template("qkzjtvwyxp.com") is None
+
+
+class TestDGADetector:
+    def _dga_chain(self, factory, rng_label_a, rng_label_b):
+        cert = factory.mismatched_pair_cert(
+            name(f"www.{rng_label_a}.com"), name(f"www.{rng_label_b}.com"),
+            lifetime_days=180)
+        chain = ObservedChain((cert,))
+        chain.usage.record(established=True, client_ip="10.0.0.1",
+                           server_ip="x", port=443, sni=None, ts=0.0)
+        return chain
+
+    def test_cluster_detected(self, factory):
+        labels = ["qkzjtvwyxp", "bq7xkpz3vw", "zzkqwjxvtt", "x7f3k9q2mh",
+                  "wjqkzvxpth", "kqzjwtxvbn"]
+        chains = [self._dga_chain(factory, a, b)
+                  for a, b in zip(labels, labels[1:])]
+        clusters = DGADetector().detect(chains)
+        assert len(clusters) == 1
+        assert clusters[0].template == "www.<rand>.com"
+        assert len(clusters[0].chains) == len(chains)
+
+    def test_self_signed_not_candidate(self, factory):
+        cert = factory.self_signed(name("www.qkzjtvwyxp.com"))
+        chain = ObservedChain((cert,))
+        assert DGADetector().candidate(chain) is None
+
+    def test_multi_cert_chain_not_candidate(self, factory):
+        root = factory.root(name("R"))
+        leaf = factory.leaf(root, name("www.qkzjtvwyxp.com"))
+        chain = ObservedChain((leaf, root.certificate))
+        assert DGADetector().candidate(chain) is None
+
+    def test_natural_domains_not_clustered(self, factory):
+        chains = [self._dga_chain(factory, "campusmail", "campusweb")]
+        assert DGADetector(min_cluster_size=1).detect(chains) == []
+
+    def test_validity_range(self, factory):
+        chains = [self._dga_chain(factory, a, b) for a, b in
+                  [("qkzjtvwyxp", "bq7xkpz3vw"),
+                   ("zzkqwjxvtt", "x7f3k9q2mh"),
+                   ("wjqkzvxpth", "kqzjwtxvbn")]]
+        clusters = DGADetector().detect(chains)
+        low, high = clusters[0].validity_range_days()
+        assert 1 <= low <= high <= 365
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=0,
+               max_size=40))
+def test_property_looks_random_never_crashes(label):
+    looks_random(label)
+
+
+@given(st.text(max_size=60))
+def test_property_domain_template_never_crashes(domain):
+    domain_template(domain)

@@ -1,0 +1,177 @@
+"""Issuer–subject matching, segments, complete matched paths, mismatch ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crosssign import CrossSignDisclosures
+from repro.core.matching import PairMatch, analyze_structure, is_leaf_like
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def chain_parts(factory):
+    root = factory.root(name("Root", o="CA"))
+    inter = factory.intermediate(root, name("Inter", o="CA"))
+    leaf = factory.leaf(inter, name("site.example"), dns_names=["site.example"])
+    return leaf, inter.certificate, root.certificate
+
+
+class TestPairMatching:
+    def test_fully_matched_chain(self, chain_parts):
+        structure = analyze_structure(chain_parts)
+        assert structure.pair_matches == (PairMatch.DIRECT, PairMatch.DIRECT)
+        assert structure.is_fully_matched
+        assert structure.mismatch_ratio == 0.0
+
+    def test_mismatch_detected_with_position(self, chain_parts, factory):
+        leaf, inter, root = chain_parts
+        stranger = factory.self_signed(name("stray"))
+        structure = analyze_structure((leaf, inter, stranger))
+        assert structure.pair_matches[1] is PairMatch.MISMATCH
+        assert structure.mismatch_positions == (1,)
+        assert structure.mismatch_ratio == pytest.approx(0.5)
+
+    def test_single_certificate_has_no_pairs(self, factory):
+        structure = analyze_structure([factory.self_signed(name("solo"))])
+        assert structure.pair_matches == ()
+        assert structure.mismatch_ratio == 0.0
+        assert structure.is_fully_matched  # vacuously
+
+    def test_empty_chain(self):
+        structure = analyze_structure([])
+        assert structure.segments == ()
+        assert not structure.contains_complete_matched_path
+
+
+class TestSegments:
+    def test_one_segment_for_matched_chain(self, chain_parts):
+        structure = analyze_structure(chain_parts)
+        assert len(structure.segments) == 1
+        assert structure.segments[0].indices() == range(0, 3)
+
+    def test_segment_boundaries(self, chain_parts, factory):
+        leaf, inter, root = chain_parts
+        stray = factory.self_signed(name("tester", o="HP Inc"))
+        structure = analyze_structure((leaf, inter, root, stray))
+        assert [(s.start, s.end) for s in structure.segments] == [(0, 2), (3, 3)]
+
+    def test_all_mismatched_gives_singletons(self, factory):
+        certs = [factory.self_signed(name(f"s{i}")) for i in range(3)]
+        structure = analyze_structure(certs)
+        assert all(s.is_singleton for s in structure.segments)
+        assert len(structure.segments) == 3
+
+
+class TestCompletePath:
+    def test_whole_chain_is_complete_path(self, chain_parts):
+        structure = analyze_structure(chain_parts)
+        assert structure.is_complete_matched_path
+        assert not structure.has_unnecessary
+
+    def test_unnecessary_cert_detected(self, chain_parts, factory):
+        leaf, inter, root = chain_parts
+        stray = factory.self_signed(name("tester", o="HP Inc"))
+        structure = analyze_structure((leaf, inter, root, stray))
+        assert not structure.is_complete_matched_path
+        assert structure.contains_complete_matched_path
+        assert structure.unnecessary_indices == (3,)
+        assert structure.unnecessary_certificates()[0].short_name() == "tester"
+
+    def test_stray_leaf_before_path(self, chain_parts, factory):
+        leaf, inter, root = chain_parts
+        other_root = factory.root(name("Other Root"))
+        stray_leaf = factory.leaf(other_root, name("old.example"))
+        structure = analyze_structure((stray_leaf, leaf, inter, root))
+        assert structure.contains_complete_matched_path
+        assert structure.unnecessary_indices == (0,)
+
+    def test_segment_without_leaf_is_not_complete(self, chain_parts):
+        # Intermediate + root only: a matched run, but no valid leaf.
+        _, inter, root = chain_parts
+        structure = analyze_structure((inter, root))
+        assert structure.segments[0].length == 2
+        assert not structure.contains_complete_matched_path
+
+    def test_require_leaf_false_relaxes(self, chain_parts):
+        _, inter, root = chain_parts
+        structure = analyze_structure((inter, root), require_leaf=False)
+        assert structure.is_complete_matched_path
+
+    def test_best_path_is_longest(self, factory):
+        # Two complete paths of different lengths in one chain.
+        a_root = factory.root(name("A Root"))
+        a_inter = factory.intermediate(a_root, name("A Inter"))
+        a_leaf = factory.leaf(a_inter, name("a.example"), dns_names=["a.example"])
+        b_root = factory.root(name("B Root"))
+        b_leaf = factory.leaf(b_root, name("b.example"), dns_names=["b.example"])
+        chain = (b_leaf, b_root.certificate,
+                 a_leaf, a_inter.certificate, a_root.certificate)
+        structure = analyze_structure(chain)
+        assert len(structure.complete_paths) == 2
+        assert structure.best_path.indices() == range(2, 5)
+        assert structure.unnecessary_indices == (0, 1)
+
+
+class TestCrossSignBridging:
+    def test_signer_bridge(self, pki, disclosures):
+        """Leaf names issuer R3; server delivers the cross-signer's root
+        (DST Root CA X3) instead of the R3 certificate."""
+        factory = CertificateFactory(seed=55)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("bridge.example"))
+        dst_root = pki.ca("identrust").root.certificate
+        chain = (leaf, dst_root)
+        plain = analyze_structure(chain)
+        aware = analyze_structure(chain, disclosures=disclosures)
+        assert plain.pair_matches[0] is PairMatch.MISMATCH
+        assert aware.pair_matches[0] is PairMatch.CROSS_SIGN
+        assert aware.is_fully_matched
+
+    def test_twin_bridge(self, pki, disclosures):
+        """Both variants of the cross-signed R3 delivered back-to-back."""
+        factory = CertificateFactory(seed=56)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        twin = pki.cross_signed["R3-cross"]
+        leaf = factory.leaf(r3, name("twin.example"))
+        chain = (leaf, r3.certificate, twin.certificate)
+        aware = analyze_structure(chain, disclosures=disclosures)
+        assert aware.pair_matches[1] is PairMatch.CROSS_SIGN
+        assert aware.is_fully_matched
+
+    def test_bridge_does_not_apply_to_direct_match(self, pki, disclosures):
+        factory = CertificateFactory(seed=57)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("ok.example"))
+        aware = analyze_structure((leaf, r3.certificate),
+                                  disclosures=disclosures)
+        assert aware.pair_matches[0] is PairMatch.DIRECT
+
+    def test_undisclosed_mismatch_stays_mismatch(self, pki, disclosures):
+        factory = CertificateFactory(seed=58)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("bad.example"))
+        unrelated = pki.ca("godaddy").root.certificate
+        aware = analyze_structure((leaf, unrelated), disclosures=disclosures)
+        assert aware.pair_matches[0] is PairMatch.MISMATCH
+
+
+class TestLeafLike:
+    def test_declared_leaf(self, chain_parts):
+        leaf, *_ = chain_parts
+        assert is_leaf_like(leaf, chain_parts)
+
+    def test_declared_ca_is_not_leaf(self, chain_parts):
+        _, inter, _ = chain_parts
+        assert not is_leaf_like(inter, chain_parts)
+
+    def test_bare_cert_first_in_chain_is_leaf_like(self, factory):
+        bare = factory.self_signed(name("dev.local"))
+        assert is_leaf_like(bare, (bare,))
+
+    def test_bare_cert_that_issues_is_not_leaf(self, factory):
+        issuer = factory.root(name("Bare CA"))
+        # Strip extensions by rebuilding as a bare self-signed with same name.
+        bare_ca = factory.self_signed(name("Bare CA"))
+        child = factory.leaf(issuer, name("child.example"))
+        assert not is_leaf_like(bare_ca, (child, bare_ca))

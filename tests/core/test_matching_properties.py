@@ -1,0 +1,122 @@
+"""Property-based tests for issuer–subject matching invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crosssign import CrossSignDisclosures
+from repro.core.matching import PairMatch, analyze_structure
+from repro.truststores import build_public_pki
+from repro.x509 import CertificateFactory, name
+
+# A fixed pool of diverse certificates: a proper hierarchy, self-signed
+# oddballs, and cross-signed material.  Chains are arbitrary sequences
+# drawn from the pool, so matched/mismatched pairs occur in all shapes.
+_PKI = build_public_pki(seed=404)
+_FACTORY = CertificateFactory(seed=404)
+_ROOT = _FACTORY.root(name("Prop Root", o="Prop"))
+_INTER_A = _FACTORY.intermediate(_ROOT, name("Prop Inter A", o="Prop"))
+_INTER_B = _FACTORY.intermediate(_INTER_A, name("Prop Inter B", o="Prop"),
+                                 path_len=None)
+_POOL = [
+    _FACTORY.leaf(_INTER_B, name("prop-leaf.example"),
+                  dns_names=["prop-leaf.example"]),
+    _INTER_B.certificate,
+    _INTER_A.certificate,
+    _ROOT.certificate,
+    _FACTORY.self_signed(name("prop-ss.local")),
+    _FACTORY.mismatched_pair_cert(name("prop-x"), name("prop-y")),
+    _FACTORY.leaf(_PKI.ca("lets_encrypt").intermediates["R3"],
+                  name("prop-le.example")),
+    _PKI.ca("identrust").root.certificate,
+    _PKI.cross_signed["R3-cross"].certificate,
+]
+_DISCLOSURES = CrossSignDisclosures.from_pki(_PKI)
+
+chains = st.lists(st.integers(0, len(_POOL) - 1), min_size=1, max_size=8).map(
+    lambda idx: tuple(_POOL[i] for i in idx))
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_segments_partition_the_chain(chain):
+    structure = analyze_structure(chain)
+    covered = []
+    for segment in structure.segments:
+        covered.extend(segment.indices())
+    assert covered == list(range(len(chain)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_mismatch_ratio_definition(chain):
+    structure = analyze_structure(chain)
+    pairs = len(chain) - 1
+    mismatches = sum(1 for m in structure.pair_matches
+                     if m is PairMatch.MISMATCH)
+    expected = mismatches / pairs if pairs else 0.0
+    assert structure.mismatch_ratio == pytest.approx(expected)
+    assert 0.0 <= structure.mismatch_ratio <= 1.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_fully_matched_iff_single_segment(chain):
+    structure = analyze_structure(chain)
+    assert structure.is_fully_matched == (len(structure.segments) == 1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_best_path_is_longest_complete_path(chain):
+    structure = analyze_structure(chain)
+    if structure.best_path is None:
+        assert structure.complete_paths == ()
+    else:
+        assert structure.best_path in structure.complete_paths
+        assert structure.best_path.length == max(
+            s.length for s in structure.complete_paths)
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_unnecessary_complements_best_path(chain):
+    structure = analyze_structure(chain)
+    if structure.best_path is None:
+        assert structure.unnecessary_indices == ()
+    else:
+        combined = sorted(set(structure.best_path.indices())
+                          | set(structure.unnecessary_indices))
+        assert combined == list(range(len(chain)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_analysis_deterministic(chain):
+    first = analyze_structure(chain)
+    second = analyze_structure(chain)
+    assert first.pair_matches == second.pair_matches
+    assert first.segments == second.segments
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_disclosures_only_widen_matches(chain):
+    """Cross-sign awareness can repair mismatches but never break matches."""
+    naive = analyze_structure(chain)
+    aware = analyze_structure(chain, disclosures=_DISCLOSURES)
+    for before, after in zip(naive.pair_matches, aware.pair_matches):
+        if before.matched:
+            assert after.matched
+
+
+@settings(max_examples=150, deadline=None)
+@given(chain=chains)
+def test_relaxed_leaf_requirement_is_monotone(chain):
+    """Every complete path under require_leaf=True is complete without it."""
+    strict = analyze_structure(chain, require_leaf=True)
+    relaxed = analyze_structure(chain, require_leaf=False)
+    strict_spans = {(s.start, s.end) for s in strict.complete_paths}
+    relaxed_spans = {(s.start, s.end) for s in relaxed.complete_paths}
+    assert strict_spans <= relaxed_spans

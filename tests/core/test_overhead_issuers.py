@@ -1,0 +1,158 @@
+"""§6.1 overhead estimation and issuer statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import ObservedChain
+from repro.core.classification import CertificateClassifier
+from repro.core.issuers import concentration_index, issuer_statistics
+from repro.core.overhead import (
+    INITCWND_BYTES,
+    chain_wire_size,
+    estimate_overhead,
+    estimated_der_size,
+)
+from repro.x509 import CertificateFactory, KeyAlgorithm, name
+
+
+def _observed(certs, connections=10):
+    chain = ObservedChain(tuple(certs))
+    for i in range(connections):
+        chain.usage.record(established=True, client_ip=f"10.0.0.{i}",
+                           server_ip="s", port=443, sni=None, ts=float(i))
+    return chain
+
+
+class TestDerSizeModel:
+    def test_exact_size_matches_encoder(self, factory):
+        from repro.x509.der import encode_certificate_der
+        cert = factory.self_signed(name("exact.example"))
+        assert estimated_der_size(cert) == len(encode_certificate_der(cert))
+
+    def test_heuristic_tracks_reality(self, pki, factory):
+        """The closed-form model stays within 40 % of the real encoding."""
+        from repro.core.overhead import _heuristic_der_size
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        for cert in (factory.leaf(r3, name("h.example"),
+                                  dns_names=["h.example"]),
+                     r3.certificate,
+                     pki.ca("lets_encrypt").root.certificate,
+                     factory.self_signed(name("h.local"))):
+            exact = estimated_der_size(cert)
+            heuristic = _heuristic_der_size(cert)
+            assert abs(heuristic - exact) / exact < 0.40, cert
+
+    def test_rsa_leaf_in_realistic_band(self, pki, factory):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("size.example"),
+                            dns_names=["size.example"])
+        size = estimated_der_size(leaf)
+        assert 700 < size < 1500
+
+    def test_rsa_4096_root_larger_than_2048_leaf(self, pki, factory):
+        root = pki.ca("lets_encrypt").root.certificate  # 4096-bit
+        leaf = factory.leaf(pki.ca("lets_encrypt").intermediates["R3"],
+                            name("x.example"))
+        assert estimated_der_size(root) > estimated_der_size(leaf)
+
+    def test_ec_smaller_than_rsa(self, factory):
+        from dataclasses import replace
+        cert = factory.self_signed(name("algo.example"))
+        rsa_size = estimated_der_size(cert)
+        ec_cert = replace(cert, key_algorithm=KeyAlgorithm.ECDSA,
+                          key_bits=256)
+        assert estimated_der_size(ec_cert) < rsa_size
+
+    def test_wire_size_adds_length_prefixes(self, factory):
+        a = factory.self_signed(name("a.example"))
+        b = factory.self_signed(name("b.example"))
+        assert chain_wire_size([a, b]) == (estimated_der_size(a)
+                                           + estimated_der_size(b) + 6)
+
+
+class TestOverheadEstimation:
+    @pytest.fixture()
+    def clean_and_junk(self, pki, factory):
+        le = pki.ca("lets_encrypt")
+        leaf = factory.leaf(le.intermediates["R3"], name("o.example"))
+        clean = (leaf, le.intermediates["R3"].certificate)
+        junk = factory.self_signed(name("tester", o="HP Inc"))
+        dirty = (*clean, le.root.certificate, junk)
+        return clean, dirty, junk
+
+    def test_clean_chains_cost_nothing(self, clean_and_junk):
+        clean, *_ = clean_and_junk
+        report = estimate_overhead([_observed(clean)])
+        assert report.chains_with_unnecessary == 0
+        assert report.total_wasted_bytes == 0
+
+    def test_junk_cost_counted_per_connection(self, clean_and_junk):
+        _, dirty, junk = clean_and_junk
+        report = estimate_overhead([_observed(dirty, connections=10)])
+        assert report.chains_with_unnecessary == 1
+        assert report.connections_affected == 10
+        per = estimated_der_size(junk) + 3
+        assert report.total_wasted_bytes == per * 10
+        assert report.wasted_bytes_per_affected_handshake == pytest.approx(per)
+
+    def test_initcwnd_crossing_counted(self, pki, factory):
+        le = pki.ca("lets_encrypt")
+        leaf = factory.leaf(le.intermediates["R3"], name("fat.example"))
+        base = [leaf, le.intermediates["R3"].certificate,
+                le.root.certificate]
+        junk = [factory.root(name(f"Fat Root {i}", o="Fat Corp"),
+                             key_bits=4096).certificate for i in range(9)]
+        chain = tuple(base + junk)
+        assert chain_wire_size(base) <= INITCWND_BYTES < chain_wire_size(chain)
+        report = estimate_overhead([_observed(chain, connections=5)])
+        assert report.extra_round_trips == 5
+
+    def test_no_path_chain_not_counted(self, factory):
+        a = factory.self_signed(name("na.example"))
+        b = factory.self_signed(name("nb.example"))
+        report = estimate_overhead([_observed((a, b))])
+        assert report.chains_with_unnecessary == 0
+
+
+class TestIssuerStats:
+    @pytest.fixture()
+    def chains(self, pki, factory):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        chains = []
+        for i in range(3):
+            leaf = factory.leaf(r3, name(f"i{i}.example"))
+            chains.append(_observed((leaf, r3.certificate), connections=5))
+        private = factory.root(name("Private Root", o="P"))
+        chains.append(_observed(
+            (factory.leaf(private, name("p.example")), private.certificate),
+            connections=50))
+        return chains
+
+    def test_leaf_issuer_pivot(self, chains, classifier):
+        stats = issuer_statistics(chains, classifier, leaf_only=True)
+        by_name = {s.display_name: s for s in stats}
+        assert by_name["R3"].chains == 3
+        assert by_name["R3"].issuer_class.value == "public-db"
+        assert by_name["Private Root"].connections == 50
+        assert by_name["Private Root"].issuer_class.value == "non-public-db"
+
+    def test_all_cert_pivot_includes_ca_issuers(self, chains, classifier):
+        stats = issuer_statistics(chains, classifier, leaf_only=False)
+        names = {s.display_name for s in stats}
+        assert "ISRG Root X1" in names  # issuer of the R3 certificate
+
+    def test_sorted_by_chain_count(self, chains, classifier):
+        stats = issuer_statistics(chains, classifier, leaf_only=True)
+        counts = [s.chains for s in stats]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_concentration_bounds(self, chains, classifier):
+        stats = issuer_statistics(chains, classifier, leaf_only=True)
+        hhi = concentration_index(stats)
+        assert 0.0 < hhi <= 1.0
+        solo = concentration_index(stats[:1])
+        assert solo == 1.0
+
+    def test_concentration_empty(self):
+        assert concentration_index([]) == 0.0

@@ -1,0 +1,112 @@
+"""Multi-chain server detection and change classification (§4.2's 19)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import ObservedChain
+from repro.core.serverchains import (
+    ChainChangeKind,
+    analyze_multi_chain_servers,
+    classify_change,
+    group_by_server,
+)
+from repro.x509 import CertificateFactory, name
+
+
+def _observed(certs, server_ip="203.0.113.7", first_seen=0.0):
+    chain = ObservedChain(tuple(certs))
+    chain.usage.record(established=True, client_ip="10.0.0.1",
+                       server_ip=server_ip, port=443, sni=None, ts=first_seen)
+    return chain
+
+
+@pytest.fixture()
+def le_path(pki, factory):
+    le = pki.ca("lets_encrypt")
+    r3 = le.intermediates["R3"]
+    leaf = factory.leaf(r3, name("sc.example"))
+    return leaf, r3, le.root.certificate
+
+
+class TestClassifyChange:
+    def test_leaf_replacement(self, pki, factory, le_path):
+        leaf_a, r3, root = le_path
+        leaf_b = factory.leaf(r3, name("sc.example"))  # renewed serial
+        kind = classify_change(_observed((leaf_a, r3.certificate)),
+                               _observed((leaf_b, r3.certificate)))
+        assert kind is ChainChangeKind.LEAF_REPLACEMENT
+
+    def test_same_leaf_not_replacement(self, le_path):
+        leaf, r3, _ = le_path
+        a = _observed((leaf, r3.certificate))
+        b = _observed((leaf, r3.certificate))
+        # Identical chains: falls through to restructured (callers only
+        # compare *distinct* chains, but the function must not crash).
+        assert classify_change(a, b) is not ChainChangeKind.LEAF_REPLACEMENT
+
+    def test_different_unnecessary(self, pki, factory, le_path):
+        leaf, r3, root = le_path
+        junk_a = factory.self_signed(name("junk-a", o="Corp"))
+        junk_b = factory.self_signed(name("junk-b", o="Corp"))
+        kind = classify_change(
+            _observed((leaf, r3.certificate, root, junk_a)),
+            _observed((leaf, r3.certificate, root, junk_b)))
+        assert kind is ChainChangeKind.DIFFERENT_UNNECESSARY
+
+    def test_migration_is_restructured(self, pki, factory, le_path):
+        leaf, r3, _ = le_path
+        dg = pki.ca("digicert")
+        other_leaf = factory.leaf(dg.intermediates["tls2020"],
+                                  name("sc.example"))
+        kind = classify_change(
+            _observed((leaf, r3.certificate)),
+            _observed((other_leaf, dg.intermediates["tls2020"].certificate)))
+        assert kind is ChainChangeKind.RESTRUCTURED
+
+    def test_different_issuer_leaf_swap_is_restructured(self, pki, factory,
+                                                        le_path):
+        leaf, r3, _ = le_path
+        impostor = factory.self_signed(name("sc.example"))
+        kind = classify_change(_observed((leaf, r3.certificate)),
+                               _observed((impostor, r3.certificate)))
+        assert kind is ChainChangeKind.RESTRUCTURED
+
+
+class TestGrouping:
+    def test_groups_by_server_ip(self, factory):
+        a = _observed((factory.self_signed(name("a.local")),), "198.51.100.1")
+        b = _observed((factory.self_signed(name("b.local")),), "198.51.100.1")
+        c = _observed((factory.self_signed(name("c.local")),), "198.51.100.2")
+        groups = group_by_server([a, b, c])
+        sizes = sorted(len(g.chains) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_report_counts(self, pki, factory, le_path):
+        leaf, r3, root = le_path
+        renewed = factory.leaf(r3, name("sc.example"))
+        report = analyze_multi_chain_servers([
+            _observed((leaf, r3.certificate), "198.51.100.9", 1.0),
+            _observed((renewed, r3.certificate), "198.51.100.9", 2.0),
+            _observed((factory.self_signed(name("solo.local")),),
+                      "198.51.100.10"),
+        ])
+        assert report.multi_chain_servers == 1
+        assert report.change_counts() == {
+            ChainChangeKind.LEAF_REPLACEMENT: 1}
+
+
+class TestCampusRecovery:
+    def test_nineteen_servers_and_both_factors(self):
+        from repro.campus import cached_campus_dataset
+        from repro.core import ChainCategory
+        dataset = cached_campus_dataset(seed=5, scale="small")
+        result = dataset.analyze()
+        report = analyze_multi_chain_servers(
+            result.categorized.chains(ChainCategory.HYBRID),
+            disclosures=dataset.disclosures)
+        assert report.multi_chain_servers == 19
+        counts = report.change_counts()
+        assert counts[ChainChangeKind.LEAF_REPLACEMENT] == 9
+        assert counts[ChainChangeKind.DIFFERENT_UNNECESSARY] == 10
+        assert ChainChangeKind.RESTRUCTURED not in counts

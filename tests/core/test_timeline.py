@@ -1,0 +1,81 @@
+"""Monthly activity and churn analysis."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.core.chain import ObservedChain
+from repro.core.timeline import churn_summary, month_key, monthly_activity
+from repro.x509 import CertificateFactory, name
+
+
+def _ts(year, month, day=15):
+    return datetime(year, month, day, tzinfo=timezone.utc).timestamp()
+
+
+def _chain_active(factory, start_ts, end_ts):
+    chain = ObservedChain((factory.self_signed(name(f"t{start_ts}.local")),))
+    chain.usage.record(established=True, client_ip="1", server_ip="s",
+                       port=443, sni=None, ts=start_ts)
+    chain.usage.record(established=True, client_ip="1", server_ip="s",
+                       port=443, sni=None, ts=end_ts)
+    return chain
+
+
+class TestMonthKey:
+    def test_utc_boundaries(self):
+        assert month_key(_ts(2020, 9, 1)) == (2020, 9)
+        assert month_key(_ts(2021, 8, 31)) == (2021, 8)
+
+
+class TestMonthlyActivity:
+    def test_single_long_lived_chain(self, factory):
+        buckets = monthly_activity(
+            [_chain_active(factory, _ts(2020, 9), _ts(2021, 2))])
+        assert [b.label for b in buckets] == [
+            "2020-09", "2020-10", "2020-11", "2020-12", "2021-01", "2021-02"]
+        assert all(b.active_chains == 1 for b in buckets)
+        assert [b.new_chains for b in buckets] == [1, 0, 0, 0, 0, 0]
+
+    def test_disjoint_chains(self, factory):
+        buckets = monthly_activity([
+            _chain_active(factory, _ts(2020, 9), _ts(2020, 9, 20)),
+            _chain_active(factory, _ts(2020, 11), _ts(2020, 11, 20)),
+        ])
+        by_label = {b.label: b for b in buckets}
+        assert by_label["2020-09"].active_chains == 1
+        assert by_label["2020-10"].active_chains == 0
+        assert by_label["2020-11"].active_chains == 1
+        assert sum(b.new_chains for b in buckets) == 2
+
+    def test_year_rollover(self, factory):
+        buckets = monthly_activity(
+            [_chain_active(factory, _ts(2020, 12), _ts(2021, 1))])
+        assert [b.label for b in buckets] == ["2020-12", "2021-01"]
+
+    def test_empty(self):
+        assert monthly_activity([]) == []
+
+    def test_new_chain_totals_equal_chain_count(self, factory):
+        chains = [_chain_active(factory, _ts(2020, 9 + i % 4), _ts(2021, 1))
+                  for i in range(10)]
+        buckets = monthly_activity(chains)
+        assert sum(b.new_chains for b in buckets) == 10
+
+
+class TestChurn:
+    def test_median_and_one_shot(self, factory):
+        chains = [
+            _chain_active(factory, _ts(2020, 9, 1), _ts(2020, 9, 1)),  # one day
+            _chain_active(factory, _ts(2020, 9, 1), _ts(2020, 10, 1)),
+            _chain_active(factory, _ts(2020, 9, 1), _ts(2021, 8, 1)),
+        ]
+        summary = churn_summary(chains)
+        assert summary["chains"] == 3
+        assert summary["median_active_days"] == pytest.approx(30, abs=1)
+        assert summary["one_shot_share_pct"] == pytest.approx(100.0 / 3)
+
+    def test_empty(self):
+        assert churn_summary([])["chains"] == 0

@@ -1,0 +1,136 @@
+"""CT log submission policy, SCTs, and proofs."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.ct import CTLog, CrtShIndex
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def setup():
+    factory = CertificateFactory(seed=3)
+    root = factory.root(name("Root", o="TestCA"))
+    inter = factory.intermediate(root, name("Inter", o="TestCA"))
+    leaf = factory.leaf(inter, name("site.example"), dns_names=["site.example"])
+    log = CTLog("test-log", accepted_roots=[root.certificate])
+    chain = [leaf, inter.certificate, root.certificate]
+    return factory, root, inter, leaf, log, chain
+
+
+class TestSubmission:
+    def test_accepts_chain_to_accepted_root(self, setup):
+        *_, leaf, log, chain = setup
+        sct = log.add_chain(chain)
+        assert sct.leaf_index == 0
+        assert sct.covers(leaf)
+        assert log.contains(leaf)
+
+    def test_accepts_chain_ending_below_root(self, setup):
+        factory, root, inter, leaf, log, _ = setup
+        # Chain without the root itself; last cert names the accepted root.
+        sct = log.add_chain([leaf, inter.certificate])
+        assert sct.leaf_index == 0
+
+    def test_rejects_unanchored_chain(self, setup):
+        factory, *_ , log, _ = setup
+        other = factory.self_signed(name("rogue"))
+        with pytest.raises(ValueError):
+            log.add_chain([other])
+
+    def test_rejects_broken_chain(self, setup):
+        factory, root, inter, leaf, log, _ = setup
+        stranger = factory.leaf(factory.root(name("Other Root")), name("x"))
+        with pytest.raises(ValueError):
+            log.add_chain([stranger, inter.certificate, root.certificate])
+
+    def test_rejects_empty_chain(self, setup):
+        *_, log, _ = setup
+        with pytest.raises(ValueError):
+            log.add_chain([])
+
+    def test_duplicate_submission_returns_same_index(self, setup):
+        *_, log, chain = setup
+        first = log.add_chain(chain)
+        second = log.add_chain(chain)
+        assert first.leaf_index == second.leaf_index
+        assert len(log) == 1
+
+    def test_sct_signature_binds_certificate(self, setup):
+        factory, root, inter, leaf, log, chain = setup
+        sct = log.add_chain(chain)
+        other = factory.leaf(inter, name("other.example"))
+        assert not sct.covers(other)
+
+
+class TestProofs:
+    def test_inclusion_proof_checks(self, setup):
+        factory, root, inter, _, log, chain = setup
+        log.add_chain(chain)
+        for i in range(5):
+            extra = factory.leaf(inter, name(f"s{i}.example"),
+                                 dns_names=[f"s{i}.example"])
+            log.add_chain([extra, inter.certificate, root.certificate])
+        leaf = chain[0]
+        proof = log.prove_inclusion(leaf)
+        assert log.check_inclusion(leaf, proof)
+
+    def test_proof_for_absent_certificate_raises(self, setup):
+        factory, *_ , log, _ = setup
+        stranger = factory.self_signed(name("absent"))
+        with pytest.raises(KeyError):
+            log.prove_inclusion(stranger)
+
+
+class TestCrtShIndex:
+    def test_issuers_for_domain(self, setup):
+        factory, root, inter, leaf, log, chain = setup
+        log.add_chain(chain)
+        index = CrtShIndex([log])
+        issuers = index.issuers_for_domain("site.example")
+        assert len(issuers) == 1
+        assert issuers[0].matches(inter.certificate.subject)
+
+    def test_validity_overlap_filter(self, setup):
+        factory, root, inter, leaf, log, chain = setup
+        log.add_chain(chain)
+        index = CrtShIndex([log])
+        from repro.x509 import ValidityPeriod
+        far_future = ValidityPeriod(
+            datetime(2031, 1, 1, tzinfo=timezone.utc),
+            datetime(2031, 6, 1, tzinfo=timezone.utc))
+        assert index.issuers_for_domain("site.example",
+                                        overlapping=far_future) == []
+
+    def test_unknown_domain(self, setup):
+        *_, log, chain = setup
+        log.add_chain(chain)
+        index = CrtShIndex([log])
+        assert not index.knows_domain("nowhere.example")
+        assert index.issuers_for_domain("nowhere.example") == []
+
+    def test_wildcard_san_covers_subdomain(self, setup):
+        factory, root, inter, _, log, _ = setup
+        wild = factory.leaf(inter, name("*.corp.example"),
+                            dns_names=["*.corp.example"])
+        log.add_chain([wild, inter.certificate, root.certificate])
+        index = CrtShIndex([log])
+        assert index.knows_domain("mail.corp.example")
+
+    def test_incremental_refresh(self, setup):
+        factory, root, inter, leaf, log, chain = setup
+        index = CrtShIndex([log])
+        assert not index.knows_domain("site.example")
+        log.add_chain(chain)
+        added = index.refresh()
+        assert added >= 1
+        assert index.knows_domain("site.example")
+
+    def test_contains_certificate(self, setup):
+        *_, leaf, log, chain = setup
+        log.add_chain(chain)
+        index = CrtShIndex([log])
+        assert index.contains_certificate(leaf)

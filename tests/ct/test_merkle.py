@@ -1,0 +1,153 @@
+"""RFC 6962 Merkle tree invariants, unit + property-based."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ct.merkle import (
+    MerkleTree,
+    leaf_hash,
+    node_hash,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+class TestHashing:
+    def test_empty_tree_root_is_sha256_of_empty(self):
+        assert MerkleTree().root() == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = MerkleTree([b"a"])
+        assert tree.root() == leaf_hash(b"a")
+
+    def test_two_leaves(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+    def test_leaf_and_node_domains_are_separated(self):
+        # 0x00/0x01 prefixes prevent second-preimage attacks.
+        assert leaf_hash(b"xy") != node_hash(b"x", b"y")
+
+    def test_rfc6962_known_structure_seven_leaves(self):
+        # For 7 leaves the split is 4|3 per RFC 6962 §2.1.
+        entries = [bytes([i]) for i in range(7)]
+        tree = MerkleTree(entries)
+        left = MerkleTree(entries[:4]).root()
+        right = MerkleTree(entries[4:]).root()
+        assert tree.root() == node_hash(left, right)
+
+
+class TestAppend:
+    def test_append_returns_index(self):
+        tree = MerkleTree()
+        assert tree.append(b"a") == 0
+        assert tree.append(b"b") == 1
+        assert tree.size == 2
+
+    def test_append_changes_root(self):
+        tree = MerkleTree([b"a"])
+        before = tree.root()
+        tree.append(b"b")
+        assert tree.root() != before
+
+    def test_historic_root_stable_after_append(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        old = tree.root(3)
+        tree.append(b"d")
+        assert tree.root(3) == old
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError):
+            MerkleTree([b"a"]).root(5)
+
+
+class TestInclusionProofs:
+    def test_proof_verifies_every_leaf(self):
+        entries = [f"entry-{i}".encode() for i in range(13)]
+        tree = MerkleTree(entries)
+        root = tree.root()
+        for index, entry in enumerate(entries):
+            proof = tree.inclusion_proof(index)
+            assert verify_inclusion(entry, index, tree.size, proof, root)
+
+    def test_proof_rejects_wrong_leaf(self):
+        entries = [f"e{i}".encode() for i in range(8)]
+        tree = MerkleTree(entries)
+        proof = tree.inclusion_proof(3)
+        assert not verify_inclusion(b"forged", 3, tree.size, proof,
+                                    tree.root())
+
+    def test_proof_rejects_wrong_index(self):
+        entries = [f"e{i}".encode() for i in range(8)]
+        tree = MerkleTree(entries)
+        proof = tree.inclusion_proof(3)
+        assert not verify_inclusion(entries[3], 4, tree.size, proof,
+                                    tree.root())
+
+    def test_proof_out_of_range(self):
+        with pytest.raises(ValueError):
+            MerkleTree([b"a"]).inclusion_proof(1)
+
+
+class TestConsistencyProofs:
+    def test_consistency_between_all_size_pairs(self):
+        entries = [f"e{i}".encode() for i in range(10)]
+        tree = MerkleTree(entries)
+        for old in range(0, 11):
+            for new in range(old, 11):
+                proof = tree.consistency_proof(old, new)
+                assert verify_consistency(old, new, tree.root(old),
+                                          tree.root(new), proof), (old, new)
+
+    def test_consistency_rejects_tampered_history(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d", b"e"])
+        proof = tree.consistency_proof(3, 5)
+        fake_old_root = MerkleTree([b"a", b"b", b"x"]).root()
+        assert not verify_consistency(3, 5, fake_old_root, tree.root(), proof)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            MerkleTree([b"a"]).consistency_proof(2, 1)
+
+
+@st.composite
+def _entry_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    return [f"leaf-{i}-{draw(st.integers(0, 1000))}".encode() for i in range(n)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=_entry_lists(), data=st.data())
+def test_property_inclusion_proofs_verify(entries, data):
+    tree = MerkleTree(entries)
+    index = data.draw(st.integers(0, len(entries) - 1))
+    proof = tree.inclusion_proof(index)
+    assert verify_inclusion(entries[index], index, tree.size, proof,
+                            tree.root())
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=_entry_lists(), data=st.data())
+def test_property_consistency_proofs_verify(entries, data):
+    tree = MerkleTree(entries)
+    old = data.draw(st.integers(0, len(entries)))
+    proof = tree.consistency_proof(old)
+    assert verify_consistency(old, tree.size, tree.root(old), tree.root(),
+                              proof)
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=_entry_lists())
+def test_property_append_preserves_prefix_roots(entries):
+    """Appending never changes any historic root (append-only invariant)."""
+    tree = MerkleTree()
+    roots = [tree.root()]
+    for entry in entries:
+        tree.append(entry)
+        roots.append(tree.root())
+    for size, root in enumerate(roots):
+        assert tree.root(size) == root

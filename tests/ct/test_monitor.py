@@ -1,0 +1,71 @@
+"""CT log monitor: append-only auditing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ct import CTLog, ConsistencyViolation, LogMonitor
+from repro.ct.merkle import MerkleTree
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def log_setup():
+    factory = CertificateFactory(seed=44)
+    root = factory.root(name("Mon Root"))
+    inter = factory.intermediate(root, name("Mon Inter"))
+    log = CTLog("monitored", accepted_roots=[root.certificate])
+
+    def submit(i: int):
+        leaf = factory.leaf(inter, name(f"m{i}.example"),
+                            dns_names=[f"m{i}.example"])
+        log.add_chain([leaf, inter.certificate, root.certificate])
+
+    return log, submit
+
+
+class TestMonitor:
+    def test_observations_accumulate(self, log_setup):
+        log, submit = log_setup
+        monitor = LogMonitor(log)
+        monitor.observe()
+        submit(0)
+        submit(1)
+        monitor.observe()
+        assert [o.tree_size for o in monitor.observations] == [0, 2]
+
+    def test_growth_verified(self, log_setup):
+        log, submit = log_setup
+        monitor = LogMonitor(log)
+        for batch in range(5):
+            for i in range(batch + 1):
+                submit(batch * 10 + i)
+            monitor.observe()
+        assert monitor.audit_full_history()
+
+    def test_shrinking_log_detected(self, log_setup):
+        log, submit = log_setup
+        monitor = LogMonitor(log)
+        submit(0)
+        submit(1)
+        monitor.observe()
+        # Simulate history rewrite by swapping in a smaller tree.
+        log._tree = MerkleTree([b"rewritten"])
+        with pytest.raises(ConsistencyViolation):
+            monitor.observe()
+
+    def test_rewritten_history_detected(self, log_setup):
+        log, submit = log_setup
+        monitor = LogMonitor(log)
+        submit(0)
+        submit(1)
+        monitor.observe()
+        # Same size, different contents: the consistency proof must fail.
+        log._tree = MerkleTree([b"evil-0", b"evil-1", b"evil-2"])
+        with pytest.raises(ConsistencyViolation):
+            monitor.observe()
+
+    def test_first_observation_never_fails(self, log_setup):
+        log, _ = log_setup
+        observation = LogMonitor(log).observe()
+        assert observation.tree_size == 0

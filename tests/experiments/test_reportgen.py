@@ -1,0 +1,50 @@
+"""EXPERIMENTS.md generation."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campus import cached_campus_dataset
+from repro.experiments import registry
+from repro.experiments.reportgen import EXPERIMENT_ORDER, write_experiments_md
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return cached_campus_dataset(seed=5, scale="small")
+
+
+class TestReportGen:
+    def test_order_covers_registry(self):
+        assert set(EXPERIMENT_ORDER) == set(registry()), (
+            "every registered experiment must appear in EXPERIMENTS.md "
+            "(and vice versa)")
+
+    def test_write_selected(self, dataset, tmp_path):
+        path = str(tmp_path / "EXPERIMENTS.md")
+        text = write_experiments_md(path, dataset,
+                                    experiments=["table6", "figure6"])
+        assert os.path.exists(path)
+        assert "## table6" in text
+        assert "## figure6" in text
+        assert "Government" in text
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == text
+
+    def test_header_mentions_scale_and_seed(self, dataset, tmp_path):
+        path = str(tmp_path / "E.md")
+        text = write_experiments_md(path, dataset, experiments=["table6"])
+        assert "seed=5" in text
+        assert "scale=small" in text
+
+    def test_committed_experiments_md_fresh(self):
+        """The repository's EXPERIMENTS.md covers every experiment."""
+        repo_root = os.path.join(os.path.dirname(__file__), "..", "..")
+        path = os.path.join(repo_root, "EXPERIMENTS.md")
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for exp_id in EXPERIMENT_ORDER:
+            assert f"## {exp_id}:" in text, exp_id

@@ -1,0 +1,146 @@
+"""Active scanner, fleet evolution, and the §5 revisit analysis."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.campus import cached_campus_dataset
+from repro.campus.profiles import PAPER
+from repro.scan import (
+    ActiveScanner,
+    DISPOSITION_STILL_COMPLETE_CLEAN,
+    DISPOSITION_STILL_COMPLETE_UNNECESSARY,
+    DISPOSITION_TO_NONPUB,
+    DISPOSITION_TO_PUBLIC_LE,
+    DISPOSITION_UNREACHABLE,
+    evolve_fleet,
+    render_showcerts,
+    run_revisit,
+)
+from repro.tls import TLSServer
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return cached_campus_dataset(seed=5, scale="small")
+
+
+@pytest.fixture(scope="module")
+def fleet(dataset):
+    return evolve_fleet(dataset, seed=5)
+
+
+@pytest.fixture(scope="module")
+def report(dataset, fleet):
+    return run_revisit(dataset, seed=5, fleet=fleet)
+
+
+class TestScanner:
+    def test_scan_returns_presented_chain(self):
+        factory = CertificateFactory(seed=30)
+        chain = tuple(factory.simple_chain(root_cn="R", intermediate_cns=["I"],
+                                           leaf_cn="scan.example"))
+        server = TLSServer("203.0.113.1", 443, chain,
+                           hostnames=("scan.example",))
+        result = ActiveScanner(seed=1).scan(server, server_id="s1")
+        assert result.reachable
+        assert result.chain_length == 3
+        assert result.hostname == "scan.example"
+
+    def test_unreachable(self):
+        result = ActiveScanner(seed=1).unreachable("gone", "gone.example")
+        assert not result.reachable
+        assert result.chain == ()
+
+    def test_showcerts_rendering(self):
+        factory = CertificateFactory(seed=31)
+        chain = factory.simple_chain(root_cn="R", intermediate_cns=[],
+                                     leaf_cn="x.example")
+        text = render_showcerts(chain, sni="x.example")
+        assert "Certificate chain" in text
+        assert " 0 s:CN=x.example" in text
+        assert " 1 s:CN=R" in text
+
+
+class TestEvolution:
+    def test_every_hybrid_server_dispositioned(self, dataset, fleet):
+        hybrid_servers = {s.server_id
+                          for s in dataset.specs_in_category("hybrid")}
+        assert {s.server_id for s in fleet.hybrid} == hybrid_servers
+
+    def test_reachability_near_paper(self, fleet):
+        reachable = sum(1 for s in fleet.hybrid if s.reachable)
+        pct = 100.0 * reachable / len(fleet.hybrid)
+        assert abs(pct - PAPER.revisit_hybrid_reachable_pct) < 3.0
+
+    def test_exact_small_cells(self, fleet):
+        dispositions = Counter(s.disposition for s in fleet.hybrid)
+        assert dispositions[DISPOSITION_TO_NONPUB] == \
+            PAPER.revisit_hybrid_to_nonpub
+        assert dispositions[DISPOSITION_STILL_COMPLETE_CLEAN] == \
+            PAPER.revisit_still_hybrid_complete_clean
+        assert dispositions[DISPOSITION_STILL_COMPLETE_UNNECESSARY] == \
+            PAPER.revisit_still_hybrid_complete_unnecessary
+
+    def test_le_migration_dominates(self, fleet):
+        dispositions = Counter(s.disposition for s in fleet.hybrid)
+        assert dispositions[DISPOSITION_TO_PUBLIC_LE] > \
+            sum(v for k, v in dispositions.items()
+                if k not in (DISPOSITION_TO_PUBLIC_LE,
+                             DISPOSITION_UNREACHABLE))
+
+    def test_unreachable_servers_have_no_new_chain(self, fleet):
+        for server in fleet.hybrid:
+            if not server.reachable:
+                assert server.new_chain == ()
+            else:
+                assert server.new_chain
+
+    def test_nonpub_fleet_excludes_unscannable(self, dataset, fleet):
+        scanned_ids = {s.server_id for s in fleet.nonpub}
+        for spec in dataset.specs_in_category("nonpub"):
+            if spec.labels.get("dga") or spec.labels.get("outlier"):
+                assert spec.server_id not in scanned_ids
+
+    def test_determinism(self, dataset):
+        a = evolve_fleet(dataset, seed=77)
+        b = evolve_fleet(dataset, seed=77)
+        assert [(s.server_id, s.disposition) for s in a.hybrid] == \
+            [(s.server_id, s.disposition) for s in b.hybrid]
+
+
+class TestRevisit:
+    def test_migration_counts_consistent(self, report):
+        assert (report.hybrid_to_public + report.hybrid_to_nonpub
+                + report.hybrid_still_hybrid) == report.hybrid_reachable
+
+    def test_lets_encrypt_majority(self, report):
+        assert report.hybrid_to_public_lets_encrypt > \
+            report.hybrid_to_public * 0.5
+
+    def test_still_hybrid_breakdown(self, report):
+        assert (report.still_complete_clean
+                + report.still_complete_unnecessary
+                + report.still_no_path) == report.hybrid_still_hybrid
+        assert report.still_complete_clean == \
+            PAPER.revisit_still_hybrid_complete_clean
+
+    def test_divergence_reproduced(self, report):
+        assert report.divergent_chains == \
+            PAPER.revisit_still_hybrid_complete_unnecessary
+        assert report.divergent_browser_ok == report.divergent_chains
+        assert report.divergent_strict_ok == 0
+
+    def test_all_nonpub_servers_stay_nonpub(self, report):
+        assert report.nonpub_still_nonpub == report.nonpub_scanned
+
+    def test_multi_adoption_trend(self, report):
+        assert report.nonpub_now_multi_pct > 60.0
+        assert report.nonpub_multi_complete_pct > 90.0
+
+    def test_prev_state_shares_sum_to_100(self, report):
+        shares = report.prev_state_shares()
+        assert sum(shares.values()) == pytest.approx(100.0)

@@ -1,0 +1,49 @@
+"""§6.3 future-work survey: full-fleet scan joined with usage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campus import cached_campus_dataset
+from repro.scan import run_survey
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return cached_campus_dataset(seed=5, scale="small")
+
+
+@pytest.fixture(scope="module")
+def report(dataset):
+    return run_survey(dataset, seed=5)
+
+
+class TestSurvey:
+    def test_scans_entire_fleet(self, dataset, report):
+        assert report.endpoints == len(dataset.specs)
+
+    def test_mix_shares_sum_to_100(self, report):
+        for weighted in (False, True):
+            shares = report.share_by_mix(weighted=weighted)
+            assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_usage_weighting_changes_the_picture(self, report):
+        """The survey's point: endpoint counts and connection volumes tell
+        different stories (the paper's 'actual usage' motivation)."""
+        flat = report.share_by_mix(weighted=False)
+        weighted = report.share_by_mix(weighted=True)
+        drift = sum(abs(flat.get(m, 0) - weighted.get(m, 0))
+                    for m in set(flat) | set(weighted))
+        assert drift > 5.0
+
+    def test_broken_share_nonzero_but_minor(self, report):
+        assert 0.0 < report.broken_share() < 60.0
+
+    def test_unnecessary_share_present(self, report):
+        assert report.unnecessary_share() > 0.0
+
+    def test_every_finding_has_verdicts(self, report):
+        for finding in report.findings[:200]:
+            assert finding.issuer_mix in ("public", "non-public", "hybrid")
+            assert finding.chain_length >= 1
+            assert finding.observed_connections >= 0

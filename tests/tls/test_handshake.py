@@ -1,0 +1,139 @@
+"""Handshake simulation and interception middleboxes."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.tls import (
+    BrowserPolicy,
+    HandshakeSimulator,
+    PermissivePolicy,
+    StrictPresentedChainPolicy,
+    TLSClient,
+    TLSServer,
+    TLSVersion,
+    ValidationStatus,
+    build_middlebox,
+)
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def when():
+    return datetime(2021, 3, 1, tzinfo=timezone.utc)
+
+
+@pytest.fixture()
+def public_server(pki):
+    factory = CertificateFactory(seed=21)
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    leaf = factory.leaf(r3, name("www.campus.edu"), dns_names=["www.campus.edu"])
+    return TLSServer("198.51.100.7", 443, (leaf, r3.certificate),
+                     hostnames=("www.campus.edu",))
+
+
+class TestHandshake:
+    def test_established_with_browser_client(self, registry, public_server, when):
+        sim = HandshakeSimulator(seed=1)
+        client = TLSClient("10.1.2.3", policy=BrowserPolicy(registry))
+        outcome = sim.connect(client, public_server, sni="www.campus.edu",
+                              when=when)
+        assert outcome.record.established
+        assert outcome.alert is None
+        assert outcome.record.sni == "www.campus.edu"
+        assert len(outcome.record.chain) == 2
+
+    def test_failed_validation_produces_alert(self, registry, when):
+        factory = CertificateFactory(seed=22)
+        server = TLSServer("203.0.113.9", 443,
+                           (factory.self_signed(name("printer.local")),))
+        sim = HandshakeSimulator(seed=1)
+        client = TLSClient("10.0.0.1", policy=BrowserPolicy(registry))
+        outcome = sim.connect(client, server, when=when)
+        assert not outcome.record.established
+        assert outcome.alert is not None and outcome.alert.fatal
+
+    def test_tls13_hides_chain_from_monitor(self, registry, public_server, when):
+        public_server.max_version = TLSVersion.TLS13
+        sim = HandshakeSimulator(seed=1)
+        client = TLSClient("10.0.0.1", policy=BrowserPolicy(registry),
+                           version=TLSVersion.TLS13)
+        outcome = sim.connect(client, public_server, sni="www.campus.edu",
+                              when=when)
+        assert outcome.record.established
+        assert outcome.record.chain == ()  # §6.3 limitation reproduced
+
+    def test_version_negotiation_downgrades(self, registry, public_server, when):
+        sim = HandshakeSimulator(seed=1)
+        client = TLSClient("10.0.0.1", policy=PermissivePolicy(),
+                           version=TLSVersion.TLS13)
+        outcome = sim.connect(client, public_server, when=when)
+        assert outcome.record.version is TLSVersion.TLS12
+
+    def test_client_without_sni(self, registry, public_server, when):
+        sim = HandshakeSimulator(seed=1)
+        client = TLSClient("10.0.0.1", policy=PermissivePolicy(),
+                           sends_sni=False)
+        outcome = sim.connect(client, public_server, sni="www.campus.edu",
+                              when=when)
+        assert outcome.record.sni is None
+
+    def test_uids_unique(self, registry, public_server, when):
+        sim = HandshakeSimulator(seed=1)
+        client = TLSClient("10.0.0.1", policy=PermissivePolicy())
+        uids = {sim.connect(client, public_server, when=when).record.uid
+                for _ in range(50)}
+        assert len(uids) == 50
+
+
+class TestMiddlebox:
+    def test_substitute_chain_shape(self):
+        mb = build_middlebox("Fortinet", "Security & Network", seed=9)
+        chain = mb.substitute_chain("mail.example.com")
+        assert len(chain) == 3
+        leaf, inter, root = chain
+        assert leaf.subject.common_name == "mail.example.com"
+        assert inter.issued(leaf)
+        assert root.issued(inter)
+        assert root.is_self_signed
+
+    def test_chain_cached_per_host(self):
+        mb = build_middlebox("Zscaler", "Security & Network", seed=9)
+        a = mb.substitute_chain("a.example")
+        b = mb.substitute_chain("a.example")
+        assert a is b
+
+    def test_single_self_signed_variant(self):
+        mb = build_middlebox("TinyProxy", "Other", seed=9,
+                             single_self_signed=True)
+        chain = mb.substitute_chain("x.example")
+        assert len(chain) == 1
+        assert chain[0].is_self_signed
+
+    def test_client_with_appliance_root_validates(self, registry, when):
+        mb = build_middlebox("McAfee", "Security & Network", seed=9)
+        chain = mb.substitute_chain("portal.example.com")
+        trusted = BrowserPolicy(registry,
+                                extra_anchors=[mb.root.certificate])
+        untrusted = StrictPresentedChainPolicy(registry)
+        assert trusted.validate(chain, at=when).ok
+        assert not untrusted.validate(chain, at=when).ok
+
+    def test_chain_depth_two(self):
+        mb = build_middlebox("Bluecoat", "Security & Network", seed=9,
+                             chain_depth=2)
+        chain = mb.substitute_chain("y.example")
+        assert len(chain) == 2
+        assert chain[1].is_self_signed
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            build_middlebox("X", "Not A Category", seed=1)
+
+    def test_intercept_discards_original(self, public_server):
+        mb = build_middlebox("FireEye", "Security & Network", seed=9)
+        presented = mb.intercept(public_server.chain, "www.campus.edu")
+        original_fps = {c.fingerprint for c in public_server.chain}
+        assert all(c.fingerprint not in original_fps for c in presented)

@@ -1,0 +1,178 @@
+"""Validation policy divergence: browser vs strict vs permissive (§5, §6.1)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.tls.policy import (
+    BrowserPolicy,
+    PermissivePolicy,
+    StrictPresentedChainPolicy,
+    ValidationStatus,
+    signature_verifies,
+)
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def when():
+    return datetime(2021, 2, 1, tzinfo=timezone.utc)
+
+
+@pytest.fixture()
+def le_chain(pki):
+    factory = CertificateFactory(seed=11)
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    leaf = factory.leaf(r3, name("shop.example"), dns_names=["shop.example"])
+    return (leaf, r3.certificate)
+
+
+@pytest.fixture()
+def stray_cert():
+    return CertificateFactory(seed=12).self_signed(name("tester", o="HP Inc"))
+
+
+class TestPermissive:
+    def test_accepts_anything(self, stray_cert, when):
+        result = PermissivePolicy().validate([stray_cert], at=when)
+        assert result.ok
+
+    def test_rejects_empty(self, when):
+        assert PermissivePolicy().validate([], at=when).status is \
+            ValidationStatus.EMPTY_CHAIN
+
+
+class TestBrowserPolicy:
+    def test_valid_public_chain(self, registry, le_chain, when):
+        result = BrowserPolicy(registry).validate(le_chain, at=when)
+        assert result.ok
+        # Path completed with the locally-known anchor.
+        assert len(result.path) == 3
+
+    def test_unnecessary_cert_is_ignored(self, registry, le_chain,
+                                         stray_cert, when):
+        chain = (*le_chain, stray_cert)
+        result = BrowserPolicy(registry).validate(chain, at=when)
+        assert result.ok  # Chrome's behaviour in §5
+
+    def test_unknown_ca_fails(self, registry, when):
+        factory = CertificateFactory(seed=13)
+        private = factory.root(name("Private Root"))
+        leaf = factory.leaf(private, name("internal.example"))
+        result = BrowserPolicy(registry).validate(
+            [leaf, private.certificate], at=when)
+        # The walk ends at the untrusted self-signed private root.
+        assert not result.ok
+        assert result.status in (ValidationStatus.UNKNOWN_CA,
+                                 ValidationStatus.SELF_SIGNED)
+
+    def test_extra_anchor_trusts_private_chain(self, registry, when):
+        factory = CertificateFactory(seed=13)
+        private = factory.root(name("Private Root"))
+        leaf = factory.leaf(private, name("internal.example"))
+        policy = BrowserPolicy(registry, extra_anchors=[private.certificate])
+        assert policy.validate([leaf, private.certificate], at=when).ok
+
+    def test_self_signed_rejected(self, registry, stray_cert, when):
+        result = BrowserPolicy(registry).validate([stray_cert], at=when)
+        assert result.status is ValidationStatus.SELF_SIGNED
+
+    def test_expired_leaf_rejected(self, registry, pki, when):
+        factory = CertificateFactory(seed=14)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        from datetime import timedelta
+        old_leaf = factory.leaf(r3, name("old.example"),
+                                not_before=when - timedelta(days=400),
+                                lifetime_days=90)
+        result = BrowserPolicy(registry).validate(
+            [old_leaf, r3.certificate], at=when)
+        assert result.status is ValidationStatus.EXPIRED
+
+    def test_missing_intermediate_fails(self, registry, le_chain, when):
+        # Leaf alone: R3 is not an anchor, so the browser cannot complete.
+        result = BrowserPolicy(registry).validate(le_chain[:1], at=when)
+        assert result.status is ValidationStatus.UNKNOWN_CA
+
+    def test_empty_chain(self, registry, when):
+        assert BrowserPolicy(registry).validate([], at=when).status is \
+            ValidationStatus.EMPTY_CHAIN
+
+
+class TestStrictPolicy:
+    def test_valid_public_chain(self, registry, le_chain, when):
+        assert StrictPresentedChainPolicy(registry).validate(
+            le_chain, at=when).ok
+
+    def test_unnecessary_cert_breaks_chain(self, registry, le_chain,
+                                           stray_cert, when):
+        """The §5 divergence: same chain, Chrome OK, strict validation fails."""
+        chain = (*le_chain, stray_cert)
+        browser = BrowserPolicy(registry).validate(chain, at=when)
+        strict = StrictPresentedChainPolicy(registry).validate(chain, at=when)
+        assert browser.ok
+        assert strict.status is ValidationStatus.BROKEN_CHAIN
+
+    def test_unanchored_tail_fails(self, registry, when):
+        factory = CertificateFactory(seed=15)
+        private = factory.root(name("P Root"))
+        inter = factory.intermediate(private, name("P Inter"))
+        leaf = factory.leaf(inter, name("x"))
+        result = StrictPresentedChainPolicy(registry).validate(
+            [leaf, inter.certificate, private.certificate], at=when)
+        assert result.status is ValidationStatus.UNKNOWN_CA
+
+    def test_single_self_signed(self, registry, stray_cert, when):
+        result = StrictPresentedChainPolicy(registry).validate(
+            [stray_cert], at=when)
+        assert result.status is ValidationStatus.SELF_SIGNED
+
+    def test_any_expired_member_fails(self, registry, pki, when):
+        factory = CertificateFactory(seed=16)
+        from datetime import timedelta
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("y.example"), not_before=when)
+        expired_extra = factory.self_signed(
+            name("stale"), not_before=when - timedelta(days=4000),
+            lifetime_days=30)
+        result = StrictPresentedChainPolicy(registry).validate(
+            [leaf, r3.certificate, expired_extra], at=when)
+        assert result.status is ValidationStatus.EXPIRED
+
+
+class TestSignatureVerifies:
+    def test_true_for_real_parent(self, pki):
+        factory = CertificateFactory(seed=17)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("z.example"))
+        assert signature_verifies(leaf, r3.certificate)
+
+    def test_false_for_name_collision_with_wrong_key(self, pki):
+        """An impostor CA with the same DN but a different key must fail."""
+        factory = CertificateFactory(seed=18)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("w.example"))
+        impostor_root = factory.root(name("ISRG Root X1",
+                                          o="Internet Security Research Group",
+                                          c="US"))
+        impostor_r3 = factory.intermediate(impostor_root,
+                                           name("R3", o="Let's Encrypt", c="US"))
+        assert impostor_r3.certificate.issued(leaf)  # names chain...
+        assert not signature_verifies(leaf, impostor_r3.certificate)  # ...keys don't
+
+    def test_cross_signed_twin_verifies(self, pki):
+        """Cross-signed twins carry the same subject key: a leaf signed by
+        the original verifies under the twin too."""
+        factory = CertificateFactory(seed=19)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        twin = pki.cross_signed["R3-cross"]
+        leaf = factory.leaf(r3, name("v.example"))
+        assert signature_verifies(leaf, twin.certificate)
+
+    def test_name_fallback_without_key_ids(self):
+        factory = CertificateFactory(seed=20)
+        a = factory.self_signed(name("bare-a"))
+        b = factory.self_signed(name("bare-b"))
+        assert not signature_verifies(a, b)
+        assert signature_verifies(a, a)

@@ -1,0 +1,94 @@
+"""Validation-policy edge cases: cycles, duplicates, depth limits."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.tls.policy import (
+    BrowserPolicy,
+    StrictPresentedChainPolicy,
+    ValidationStatus,
+)
+from repro.x509 import CertificateFactory, name
+from repro.x509.certificate import Certificate
+
+
+@pytest.fixture()
+def when():
+    return datetime(2021, 3, 1, tzinfo=timezone.utc)
+
+
+class TestBrowserEdgeCases:
+    def test_name_cycle_terminates(self, registry, factory, when):
+        """A → B → A issuer loops must not hang the path builder."""
+        a = factory.mismatched_pair_cert(name("cycle-B"), name("cycle-A"))
+        b = factory.mismatched_pair_cert(name("cycle-A"), name("cycle-B"))
+        # Give them mutual name chaining: a.issuer = B, b.issuer = A.
+        result = BrowserPolicy(registry).validate((a, b), at=when)
+        assert not result.ok  # and, crucially, it returned at all
+
+    def test_duplicate_certificates_in_chain(self, registry, pki, factory,
+                                             when):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("dup.example"))
+        chain = (leaf, r3.certificate, r3.certificate, r3.certificate)
+        assert BrowserPolicy(registry).validate(chain, at=when).ok
+
+    def test_depth_limit_enforced(self, registry, factory, when):
+        """A 40-certificate private ladder exceeds the path-length cap."""
+        parent = factory.root(name("Deep Root"))
+        chain = []
+        authority = parent
+        for level in range(40):
+            authority = factory.intermediate(
+                authority, name(f"Deep L{level}"), path_len=None)
+            chain.append(authority.certificate)
+        leaf = factory.leaf(authority, name("deep.example"))
+        result = BrowserPolicy(registry).validate(
+            (leaf, *reversed(chain), parent.certificate), at=when)
+        assert result.status in (ValidationStatus.BROKEN_CHAIN,
+                                 ValidationStatus.SELF_SIGNED,
+                                 ValidationStatus.UNKNOWN_CA)
+
+    def test_leaf_is_anchor_itself(self, pki, registry, when):
+        root_cert = pki.ca("godaddy").root.certificate
+        result = BrowserPolicy(registry).validate((root_cert,), at=when)
+        assert result.ok  # trusting a presented anchor directly
+
+    def test_validity_check_disabled(self, registry, pki, factory, when):
+        from datetime import timedelta
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        stale = factory.leaf(r3, name("stale.example"),
+                             not_before=when - timedelta(days=500),
+                             lifetime_days=90)
+        lenient = BrowserPolicy(registry, check_validity_period=False)
+        assert lenient.validate((stale, r3.certificate), at=when).ok
+
+
+class TestStrictEdgeCases:
+    def test_single_public_root_accepted(self, pki, registry, when):
+        root_cert = pki.ca("godaddy").root.certificate
+        result = StrictPresentedChainPolicy(registry).validate(
+            (root_cert,), at=when)
+        assert result.ok
+
+    def test_duplicate_pair_still_chains(self, registry, pki, factory, when):
+        # R3 follows R3: subject==issuer? No — R3.issuer is ISRG, so the
+        # duplicated pair breaks the strict sequence.
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("dd.example"))
+        result = StrictPresentedChainPolicy(registry).validate(
+            (leaf, r3.certificate, r3.certificate), at=when)
+        assert result.status is ValidationStatus.BROKEN_CHAIN
+
+    def test_order_matters(self, registry, pki, factory, when):
+        le = pki.ca("lets_encrypt")
+        leaf = factory.leaf(le.intermediates["R3"], name("oo.example"))
+        shuffled = (le.intermediates["R3"].certificate, leaf,
+                    le.root.certificate)
+        result = StrictPresentedChainPolicy(registry).validate(shuffled,
+                                                               at=when)
+        assert not result.ok

@@ -1,0 +1,105 @@
+"""TLS wire encoding: ClientHello/Certificate round trips and DPD interop."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tls.messages import ClientHello, TLSVersion
+from repro.tls.wire import (
+    WireError,
+    extract_sni,
+    parse_certificate_message,
+    parse_client_hello,
+    serialize_certificate_message,
+    serialize_client_hello,
+)
+from repro.zeek.dpd import looks_like_tls, sniff_version
+
+
+class TestClientHello:
+    def test_round_trip_with_sni(self):
+        hello = ClientHello(version=TLSVersion.TLS12, sni="mail.example.com")
+        parsed = parse_client_hello(serialize_client_hello(hello))
+        assert parsed.sni == "mail.example.com"
+        assert parsed.version is TLSVersion.TLS12
+
+    def test_round_trip_without_sni(self):
+        hello = ClientHello(version=TLSVersion.TLS11, sni=None)
+        parsed = parse_client_hello(serialize_client_hello(hello))
+        assert parsed.sni is None
+        assert parsed.version is TLSVersion.TLS11
+
+    def test_dpd_accepts_serialized_hello(self):
+        data = serialize_client_hello(ClientHello(sni="x.example"))
+        assert looks_like_tls(data)
+        assert sniff_version(data) is TLSVersion.TLS12
+
+    def test_extract_sni_helper(self):
+        data = serialize_client_hello(ClientHello(sni="portal.campus.edu"))
+        assert extract_sni(data) == "portal.campus.edu"
+        assert extract_sni(b"GET / HTTP/1.1") is None
+
+    def test_truncated_record_rejected(self):
+        data = serialize_client_hello(ClientHello(sni="t.example"))
+        with pytest.raises(WireError):
+            parse_client_hello(data[:10])
+
+    def test_wrong_handshake_type_rejected(self):
+        data = bytearray(serialize_client_hello(ClientHello()))
+        data[5] = 0x02  # ServerHello
+        with pytest.raises(WireError):
+            parse_client_hello(bytes(data))
+
+    def test_bad_random_length_rejected(self):
+        with pytest.raises(WireError):
+            serialize_client_hello(ClientHello(), random_bytes=b"short")
+
+
+class TestCertificateMessage:
+    def test_round_trip(self):
+        blobs = [b"leaf-der-bytes", b"intermediate", b"root" * 100]
+        data = serialize_certificate_message(blobs)
+        assert parse_certificate_message(data) == blobs
+
+    def test_empty_list(self):
+        assert parse_certificate_message(
+            serialize_certificate_message([])) == []
+
+    def test_dpd_does_not_mistake_certificate_for_hello(self):
+        # DPD looks for ClientHello/ServerHello types (0x01/0x02); a
+        # Certificate record (0x0B) is TLS but not a session start.
+        data = serialize_certificate_message([b"x"])
+        assert not looks_like_tls(data)
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(WireError):
+            serialize_certificate_message([b"x" * (2 ** 15)])
+
+    def test_corrupted_entry_length_rejected(self):
+        data = bytearray(serialize_certificate_message([b"abcdef"]))
+        data[-7] = 0xFF  # inflate the entry length past the record
+        with pytest.raises(WireError):
+            parse_certificate_message(bytes(data))
+
+
+_HOST = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?(\.[a-z]{2,6}){1,3}",
+                      fullmatch=True)
+
+
+@settings(max_examples=80, deadline=None)
+@given(sni=st.one_of(st.none(), _HOST),
+       version=st.sampled_from([TLSVersion.TLS10, TLSVersion.TLS11,
+                                TLSVersion.TLS12]))
+def test_property_client_hello_round_trip(sni, version):
+    hello = ClientHello(version=version, sni=sni)
+    parsed = parse_client_hello(serialize_client_hello(hello))
+    assert parsed.sni == sni
+    assert parsed.version is version
+
+
+@settings(max_examples=80, deadline=None)
+@given(blobs=st.lists(st.binary(min_size=0, max_size=200), max_size=8))
+def test_property_certificate_round_trip(blobs):
+    data = serialize_certificate_message(blobs)
+    assert parse_certificate_message(data) == blobs

@@ -1,0 +1,153 @@
+"""Root stores, CCADB, registry classification, and the builtin public PKI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.truststores import (
+    CCADB,
+    PublicDBRegistry,
+    RootStore,
+    build_public_pki,
+)
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def own_factory():
+    return CertificateFactory(seed=77)
+
+
+class TestRootStore:
+    def test_contains_by_subject(self, own_factory):
+        root = own_factory.root(name("My Root", o="MyCA"))
+        store = RootStore("test")
+        store.add_certificate(root.certificate)
+        assert store.contains_subject(root.certificate.subject)
+        assert root.certificate in store
+
+    def test_subject_lookup_case_insensitive(self, own_factory):
+        root = own_factory.root(name("My Root", o="MyCA"))
+        store = RootStore("test")
+        store.add_certificate(root.certificate)
+        assert store.contains_subject(name("MY ROOT", o="myca"))
+
+    def test_absent_subject(self, own_factory):
+        store = RootStore("test")
+        assert not store.contains_subject(name("ghost"))
+
+    def test_remove(self, own_factory):
+        root = own_factory.root(name("R"))
+        store = RootStore("test")
+        store.add_certificate(root.certificate)
+        store.remove(root.certificate.fingerprint)
+        assert not store.contains_subject(root.certificate.subject)
+
+    def test_distrusted_anchor_excluded_from_tls(self, own_factory):
+        root = own_factory.root(name("Distrusted"))
+        store = RootStore("test")
+        store.add_certificate(root.certificate, trust_tls=False)
+        assert not store.contains_subject(root.certificate.subject)
+        assert store.contains_subject(root.certificate.subject, tls_only=False)
+
+
+class TestCCADB:
+    def test_eligible_intermediate(self, own_factory):
+        root = own_factory.root(name("R"))
+        inter = own_factory.intermediate(root, name("I"))
+        ccadb = CCADB()
+        ccadb.add_intermediate(inter.certificate, audited=True)
+        assert ccadb.contains_subject(inter.certificate.subject)
+
+    def test_unaudited_unconstrained_not_eligible(self, own_factory):
+        root = own_factory.root(name("R"))
+        inter = own_factory.intermediate(root, name("I"))
+        ccadb = CCADB()
+        ccadb.add_intermediate(inter.certificate, audited=False,
+                               technically_constrained=False)
+        assert not ccadb.contains_subject(inter.certificate.subject)
+
+    def test_technically_constrained_is_eligible(self, own_factory):
+        root = own_factory.root(name("R"))
+        inter = own_factory.intermediate(root, name("I"))
+        ccadb = CCADB()
+        ccadb.add_intermediate(inter.certificate, audited=False,
+                               technically_constrained=True)
+        assert ccadb.contains_subject(inter.certificate.subject)
+
+    def test_bad_record_type_rejected(self, own_factory):
+        from repro.truststores.ccadb import CCADBRecord
+        root = own_factory.root(name("R"))
+        with pytest.raises(ValueError):
+            CCADB([CCADBRecord(root.certificate, "banana")])
+
+
+class TestRegistryClassification:
+    def test_leaf_issued_by_public_intermediate(self, pki, registry):
+        factory = CertificateFactory(seed=5)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("a.example"))
+        assert registry.issued_by_public_db(leaf)
+
+    def test_leaf_issued_by_private_ca(self, registry):
+        factory = CertificateFactory(seed=5)
+        private_root = factory.root(name("Corp Internal Root", o="Corp"))
+        leaf = factory.leaf(private_root, name("intranet.corp"))
+        assert not registry.issued_by_public_db(leaf)
+
+    def test_self_signed_random_is_non_public(self, registry):
+        factory = CertificateFactory(seed=5)
+        cert = factory.self_signed(name("device.local"))
+        assert not registry.issued_by_public_db(cert)
+
+    def test_public_root_itself_is_public(self, pki, registry):
+        root_cert = pki.ca("lets_encrypt").root.certificate
+        assert registry.issued_by_public_db(root_cert)
+        assert registry.is_trust_anchor_name(root_cert.subject)
+
+    def test_intermediate_in_ccadb_is_public_issuer_name(self, pki, registry):
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        assert registry.is_public_issuer_name(r3.certificate.subject)
+        # ...but it is not a trust anchor.
+        assert not registry.is_trust_anchor_name(r3.certificate.subject)
+
+    def test_restricted_to_mozilla_drops_microsoft_only_roots(self, pki, registry):
+        federal = pki.ca("federal_pki").root.certificate
+        assert registry.is_trust_anchor_name(federal.subject)
+        nss_only = registry.restricted_to(["Mozilla"], include_ccadb=False)
+        assert not nss_only.is_trust_anchor_name(federal.subject)
+
+    def test_store_accessor(self, registry):
+        assert registry.store("Mozilla").name == "Mozilla"
+        with pytest.raises(KeyError):
+            registry.store("Netscape")
+
+
+class TestBuiltinPKI:
+    def test_deterministic(self):
+        a = build_public_pki(seed=7)
+        b = build_public_pki(seed=7)
+        fp_a = sorted(c.fingerprint for c in a.all_public_certificates())
+        fp_b = sorted(c.fingerprint for c in b.all_public_certificates())
+        assert fp_a == fp_b
+
+    def test_expected_cast_present(self, pki):
+        for ca_name in ("lets_encrypt", "digicert", "sectigo", "godaddy",
+                        "symantec", "federal_pki", "kisa", "icp_brasil"):
+            assert ca_name in pki.cas
+
+    def test_cross_sign_disclosures(self, pki):
+        disclosures = pki.cross_sign_disclosures()
+        assert len(disclosures) == 2
+        subjects = {s.common_name for s, _ in disclosures}
+        assert "R3" in subjects
+
+    def test_cross_signed_twin_in_ccadb(self, pki, registry):
+        twin = pki.cross_signed["R3-cross"]
+        assert registry.ccadb.contains_subject(twin.certificate.subject)
+
+    def test_store_membership_asymmetry(self, pki, registry):
+        kisa = pki.ca("kisa").root.certificate
+        assert registry.store("Microsoft").contains_subject(kisa.subject)
+        assert registry.store("Apple").contains_subject(kisa.subject)
+        assert not registry.store("Mozilla").contains_subject(kisa.subject)

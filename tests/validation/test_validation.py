@@ -1,0 +1,164 @@
+"""Appendix D: both validators, the corpus, and the Table 5 comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation import (
+    ISVerdict,
+    KSVerdict,
+    build_validation_corpus,
+    compare_validators,
+    validate_issuer_subject,
+    validate_key_signature,
+)
+from repro.x509 import name
+from repro.x509.pem import CryptoChainBuilder, FaultType
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return CryptoChainBuilder(key_pool_size=4)
+
+
+def _names(*cns):
+    return [name(cn, o="V") for cn in cns]
+
+
+class TestIssuerSubjectValidator:
+    def test_valid_chain(self, builder):
+        chain = builder.build_chain(_names("l", "i", "r"))
+        result = validate_issuer_subject([(c.subject, c.issuer)
+                                          for c in chain])
+        assert result.verdict is ISVerdict.VALID
+
+    def test_single(self, builder):
+        chain = builder.build_chain(_names("solo"))
+        result = validate_issuer_subject([(chain[0].subject,
+                                           chain[0].issuer)])
+        assert result.verdict is ISVerdict.SINGLE
+
+    def test_broken_with_positions(self, builder):
+        a = builder.build_chain(_names("l", "i", "r"))
+        b = builder.build_chain(_names("x"))
+        spliced = [a[0], b[0], a[2]]
+        result = validate_issuer_subject([(c.subject, c.issuer)
+                                          for c in spliced])
+        assert result.verdict is ISVerdict.BROKEN
+        assert result.mismatch_positions == (0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_issuer_subject([])
+
+    def test_cross_sign_bridging(self, pki, disclosures):
+        from repro.x509 import CertificateFactory
+        factory = CertificateFactory(seed=71)
+        r3 = pki.ca("lets_encrypt").intermediates["R3"]
+        leaf = factory.leaf(r3, name("b.example"))
+        dst = pki.ca("identrust").root.certificate
+        names = [(leaf.subject, leaf.issuer), (dst.subject, dst.issuer)]
+        naive = validate_issuer_subject(names)
+        aware = validate_issuer_subject(names, disclosures=disclosures)
+        assert naive.verdict is ISVerdict.BROKEN
+        assert aware.verdict is ISVerdict.VALID
+
+
+class TestKeySignatureValidator:
+    def test_valid_chain(self, builder):
+        chain = builder.build_chain(_names("l", "i", "r"))
+        assert validate_key_signature([c.der for c in chain]).verdict is \
+            KSVerdict.VALID
+
+    def test_single(self, builder):
+        chain = builder.build_chain(_names("solo2"))
+        assert validate_key_signature([chain[0].der]).verdict is \
+            KSVerdict.SINGLE
+
+    def test_wrong_key_broken_with_position(self, builder):
+        chain = builder.build_chain(_names("l", "i", "r"),
+                                    fault=FaultType.WRONG_KEY,
+                                    fault_position=1)
+        result = validate_key_signature([c.der for c in chain])
+        assert result.verdict is KSVerdict.BROKEN
+        assert result.failure_positions == (1,)
+
+    def test_truncated_der_broken(self, builder):
+        chain = builder.build_chain(_names("l", "r"),
+                                    fault=FaultType.TRUNCATED_DER,
+                                    fault_position=1)
+        result = validate_key_signature([c.der for c in chain])
+        assert result.verdict is KSVerdict.BROKEN
+        assert "ASN.1" in result.detail
+
+    def test_unrecognized_key_separate_outcome(self, builder):
+        chain = builder.build_chain(_names("l", "i", "r"),
+                                    fault=FaultType.UNRECOGNIZED_KEY,
+                                    fault_position=1)
+        result = validate_key_signature([c.der for c in chain])
+        assert result.verdict is KSVerdict.UNRECOGNIZED_KEY
+        assert result.failure_positions == ()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_key_signature([])
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_validation_corpus(total=120, seed=3)
+
+    def test_composition(self, corpus):
+        assert len(corpus) == 120
+        assert corpus.count_truth("unrecognized") == 3
+        assert corpus.count_truth("malformed") == 1
+        assert corpus.count_truth("name-broken") >= 1
+        singles = corpus.count_truth("single")
+        assert abs(singles - round(120 * 2568 / 12676)) <= 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_validation_corpus(total=5)
+
+    def test_structurally_deterministic(self):
+        # Key material is freshly generated (the cryptography package has
+        # no seeded mode), but the corpus *structure* — names, lengths,
+        # truth labels, order — is seed-determined.
+        a = build_validation_corpus(total=60, seed=9)
+        b = build_validation_corpus(total=60, seed=9)
+        assert [(c.truth, len(c.pems), c.fault_position,
+                 c.pems[0].subject.rfc4514()) for c in a.chains] == \
+            [(c.truth, len(c.pems), c.fault_position,
+              c.pems[0].subject.rfc4514()) for c in b.chains]
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        corpus = build_validation_corpus(total=120, seed=3)
+        return compare_validators(corpus)
+
+    def test_paper_column_relationships(self, result):
+        # IS valid = KS valid + unrecognized + malformed.
+        assert result.is_valid == result.ks_valid + 3 + 1
+        # KS broken = IS broken + the malformed chain.
+        assert result.ks_broken == result.is_broken + 1
+        assert result.ks_unrecognized == 3
+        assert result.is_single == result.ks_single
+
+    def test_positions_agree_everywhere(self, result):
+        assert result.position_agreements == result.position_comparisons
+        assert result.position_comparisons >= 1
+
+    def test_rows_shape(self, result):
+        rows = result.rows()
+        assert len(rows) == 4
+        assert rows[3]["issuer_subject"] is None
+
+    def test_blind_spot_quantified(self):
+        corpus = build_validation_corpus(total=60, seed=4, impersonated=6)
+        result = compare_validators(corpus)
+        # The issuer–subject method passes every impersonated chain.
+        assert result.ks_broken - result.is_broken >= 6
+        assert result.disagreements >= 6

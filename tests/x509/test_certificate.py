@@ -1,0 +1,174 @@
+"""Certificate record model: identity, validity, name chaining."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.x509 import (
+    Certificate,
+    CertificateFactory,
+    CertificateRole,
+    KeyAlgorithm,
+    ValidityPeriod,
+    name,
+)
+
+
+@pytest.fixture()
+def window():
+    start = datetime(2020, 9, 1, tzinfo=timezone.utc)
+    return ValidityPeriod(start, start + timedelta(days=365))
+
+
+class TestValidityPeriod:
+    def test_rejects_inverted_period(self):
+        t = datetime(2021, 1, 1, tzinfo=timezone.utc)
+        with pytest.raises(ValueError):
+            ValidityPeriod(t, t - timedelta(days=1))
+
+    def test_contains_bounds_inclusive(self, window):
+        assert window.contains(window.not_before)
+        assert window.contains(window.not_after)
+        assert not window.contains(window.not_after + timedelta(seconds=1))
+
+    def test_overlaps_symmetric(self, window):
+        other = ValidityPeriod(window.not_after - timedelta(days=1),
+                               window.not_after + timedelta(days=30))
+        assert window.overlaps(other)
+        assert other.overlaps(window)
+
+    def test_disjoint_periods_do_not_overlap(self, window):
+        later = ValidityPeriod(window.not_after + timedelta(days=1),
+                               window.not_after + timedelta(days=10))
+        assert not window.overlaps(later)
+
+    def test_lifetime(self, window):
+        assert window.lifetime == timedelta(days=365)
+
+    def test_days_constructor(self):
+        start = datetime(2021, 1, 1, tzinfo=timezone.utc)
+        period = ValidityPeriod.days(start, 90)
+        assert period.not_after == start + timedelta(days=90)
+
+
+class TestCertificate:
+    def test_self_signed_detection(self, window):
+        dn = name("internal.corp", o="Acme")
+        cert = Certificate(subject=dn, issuer=dn, serial="01", validity=window)
+        assert cert.is_self_signed
+
+    def test_self_signed_is_case_insensitive(self, window):
+        cert = Certificate(subject=name("X", o="acme"),
+                           issuer=name("x", o="ACME"),
+                           serial="01", validity=window)
+        assert cert.is_self_signed
+
+    def test_issued_checks_subject_vs_issuer(self, window):
+        ca = Certificate(subject=name("CA"), issuer=name("CA"),
+                         serial="01", validity=window)
+        leaf = Certificate(subject=name("leaf"), issuer=name("CA"),
+                           serial="02", validity=window)
+        assert ca.issued(leaf)
+        assert not leaf.issued(ca)
+
+    def test_fingerprint_distinguishes_serials(self, window):
+        dn = name("x")
+        a = Certificate(subject=dn, issuer=dn, serial="01", validity=window)
+        b = a.with_serial("02")
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_stable(self, window):
+        dn = name("x")
+        a = Certificate(subject=dn, issuer=dn, serial="01", validity=window)
+        assert a.fingerprint == a.fingerprint
+
+    def test_fingerprint_override(self, window):
+        dn = name("x")
+        a = Certificate(subject=dn, issuer=dn, serial="01", validity=window,
+                        fingerprint_override="abc123")
+        assert a.fingerprint == "abc123"
+
+    def test_short_name_prefers_cn(self, window):
+        cert = Certificate(subject=name("leaf", o="Org"), issuer=name("CA"),
+                           serial="1", validity=window)
+        assert cert.short_name() == "leaf"
+
+
+class TestFactory:
+    def test_root_is_self_signed_ca(self):
+        factory = CertificateFactory(seed=1)
+        root = factory.root(name("Test Root", o="T"))
+        cert = root.certificate
+        assert cert.is_self_signed
+        assert cert.true_role is CertificateRole.ROOT
+        assert cert.extensions.declares_ca()
+
+    def test_intermediate_chains_to_root(self):
+        factory = CertificateFactory(seed=1)
+        root = factory.root(name("Root"))
+        inter = factory.intermediate(root, name("Inter"))
+        assert root.certificate.issued(inter.certificate)
+        assert inter.certificate.signing_key_id == root.key_id
+
+    def test_leaf_chains_to_intermediate(self):
+        factory = CertificateFactory(seed=1)
+        root = factory.root(name("Root"))
+        inter = factory.intermediate(root, name("Inter"))
+        leaf = factory.leaf(inter, name("example.com"),
+                            dns_names=["example.com"])
+        assert inter.certificate.issued(leaf)
+        assert leaf.extensions.declares_leaf()
+        assert leaf.extensions.subject_alt_name.matches_host("example.com")
+
+    def test_leaf_omit_basic_constraints(self):
+        factory = CertificateFactory(seed=1)
+        root = factory.root(name("Root"))
+        leaf = factory.leaf(root, name("x"), omit_basic_constraints=True)
+        assert not leaf.extensions.has_basic_constraints()
+
+    def test_self_signed_bare_has_no_extensions(self):
+        factory = CertificateFactory(seed=1)
+        cert = factory.self_signed(name("device.local"))
+        assert cert.is_self_signed
+        assert not cert.extensions.has_basic_constraints()
+
+    def test_determinism_same_seed(self):
+        a = CertificateFactory(seed=99).simple_chain(
+            root_cn="R", intermediate_cns=["I"], leaf_cn="L")
+        b = CertificateFactory(seed=99).simple_chain(
+            root_cn="R", intermediate_cns=["I"], leaf_cn="L")
+        assert [c.fingerprint for c in a] == [c.fingerprint for c in b]
+
+    def test_different_seeds_differ(self):
+        a = CertificateFactory(seed=1).simple_chain(
+            root_cn="R", intermediate_cns=[], leaf_cn="L")
+        b = CertificateFactory(seed=2).simple_chain(
+            root_cn="R", intermediate_cns=[], leaf_cn="L")
+        assert [c.fingerprint for c in a] != [c.fingerprint for c in b]
+
+    def test_simple_chain_is_wire_ordered(self):
+        chain = CertificateFactory(seed=5).simple_chain(
+            root_cn="R", intermediate_cns=["I1", "I2"], leaf_cn="L")
+        assert [c.short_name() for c in chain] == ["L", "I2", "I1", "R"]
+        for child, parent in zip(chain, chain[1:]):
+            assert parent.issued(child)
+
+    def test_cross_sign_shares_subject_and_key(self):
+        factory = CertificateFactory(seed=1)
+        root_a = factory.root(name("Root A"))
+        root_b = factory.root(name("Root B"))
+        inter = factory.intermediate(root_a, name("Inter"))
+        twin = factory.cross_sign(root_b, inter)
+        assert twin.certificate.subject.matches(inter.certificate.subject)
+        assert twin.key_id == inter.key_id
+        assert twin.certificate.issuer.matches(root_b.subject)
+        assert twin.certificate.serial != inter.certificate.serial
+
+    def test_mismatched_pair_cert(self):
+        factory = CertificateFactory(seed=1)
+        cert = factory.mismatched_pair_cert(name("www.abc.com"),
+                                            name("www.xyz.com"))
+        assert not cert.is_self_signed
+        assert cert.issuer.common_name == "www.abc.com"

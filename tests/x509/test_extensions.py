@@ -1,0 +1,90 @@
+"""Extension semantics, especially tri-state basicConstraints presence."""
+
+from __future__ import annotations
+
+from repro.x509.extensions import (
+    BasicConstraints,
+    EKU,
+    ExtendedKeyUsage,
+    ExtensionSet,
+    KeyUsage,
+    SubjectAltName,
+)
+
+
+class TestBasicConstraints:
+    def test_ca_permits_depth_unbounded(self):
+        bc = BasicConstraints(ca=True, path_len=None)
+        assert bc.permits_depth(10)
+
+    def test_path_len_zero_blocks_subordinates(self):
+        bc = BasicConstraints(ca=True, path_len=0)
+        assert bc.permits_depth(0)
+        assert not bc.permits_depth(1)
+
+    def test_non_ca_permits_nothing(self):
+        assert not BasicConstraints(ca=False).permits_depth(0)
+
+
+class TestExtensionSetTriState:
+    def test_absent_extension_is_neither_ca_nor_leaf(self):
+        bare = ExtensionSet.bare()
+        assert not bare.has_basic_constraints()
+        assert not bare.declares_ca()
+        assert not bare.declares_leaf()
+
+    def test_present_false_is_leaf(self):
+        ext = ExtensionSet(basic_constraints=BasicConstraints(ca=False))
+        assert ext.has_basic_constraints()
+        assert ext.declares_leaf()
+        assert not ext.declares_ca()
+
+    def test_present_true_is_ca(self):
+        ext = ExtensionSet(basic_constraints=BasicConstraints(ca=True))
+        assert ext.declares_ca()
+        assert not ext.declares_leaf()
+
+    def test_for_root_profile(self):
+        ext = ExtensionSet.for_root("kid")
+        assert ext.declares_ca()
+        assert ext.key_usage.can_sign_certificates()
+        assert ext.subject_key_id.key_id == "kid"
+
+    def test_for_leaf_profile(self):
+        ext = ExtensionSet.for_leaf("kid", "issuer-kid", dns_names=["a.com"])
+        assert ext.declares_leaf()
+        assert ext.extended_key_usage.allows(EKU.SERVER_AUTH)
+        assert ext.authority_key_id.key_id == "issuer-kid"
+
+
+class TestSubjectAltName:
+    def test_exact_match(self):
+        san = SubjectAltName(("example.com",))
+        assert san.matches_host("example.com")
+        assert san.matches_host("EXAMPLE.COM.")
+
+    def test_wildcard_single_label(self):
+        san = SubjectAltName(("*.example.com",))
+        assert san.matches_host("www.example.com")
+        assert not san.matches_host("example.com")
+        assert not san.matches_host("a.b.example.com")
+
+    def test_no_match(self):
+        san = SubjectAltName(("example.com",))
+        assert not san.matches_host("other.com")
+
+    def test_ip_entry(self):
+        san = SubjectAltName((), ("192.0.2.1",))
+        assert san.matches_host("192.0.2.1")
+
+
+class TestExtendedKeyUsage:
+    def test_any_allows_everything(self):
+        eku = ExtendedKeyUsage((EKU.ANY,))
+        assert eku.allows(EKU.SERVER_AUTH)
+        assert eku.allows(EKU.CODE_SIGNING)
+
+    def test_specific_purpose_only(self):
+        eku = ExtendedKeyUsage((EKU.SERVER_AUTH,))
+        assert eku.allows(EKU.SERVER_AUTH)
+        assert not eku.allows(EKU.CLIENT_AUTH)

@@ -1,0 +1,126 @@
+"""Crypto-backed chain generation and fault injection (Appendix D corpus)."""
+
+from __future__ import annotations
+
+import pytest
+from cryptography import x509 as cx509
+from cryptography.exceptions import InvalidSignature, UnsupportedAlgorithm
+from cryptography.hazmat.primitives.asymmetric.ec import ECDSA
+
+from repro.x509 import name
+from repro.x509.pem import (
+    CryptoChainBuilder,
+    FaultType,
+    crypto_cert_to_record,
+    decode_pem_bundle,
+    encode_pem_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return CryptoChainBuilder(key_pool_size=4)
+
+
+def _names(*cns: str):
+    return [name(cn, o="Test") for cn in cns]
+
+
+class TestBuildChain:
+    def test_clean_chain_verifies(self, builder):
+        chain = builder.build_chain(_names("leaf", "inter", "root"))
+        assert len(chain) == 3
+        certs = [cx509.load_der_x509_certificate(c.der) for c in chain]
+        for child, parent in zip(certs, certs[1:]):
+            parent.public_key().verify(
+                child.signature, child.tbs_certificate_bytes,
+                ECDSA(child.signature_hash_algorithm))
+
+    def test_root_is_self_signed(self, builder):
+        chain = builder.build_chain(_names("leaf", "root"))
+        root = cx509.load_der_x509_certificate(chain[-1].der)
+        assert root.subject == root.issuer
+        root.public_key().verify(root.signature, root.tbs_certificate_bytes,
+                                 ECDSA(root.signature_hash_algorithm))
+
+    def test_empty_names_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.build_chain([])
+
+    def test_serials_unique(self, builder):
+        chain = builder.build_chain(_names("a", "b", "c"))
+        certs = [cx509.load_der_x509_certificate(c.der) for c in chain]
+        serials = {c.serial_number for c in certs}
+        assert len(serials) == 3
+
+
+class TestFaults:
+    def test_wrong_key_breaks_signature(self, builder):
+        chain = builder.build_chain(_names("leaf", "inter", "root"),
+                                    fault=FaultType.WRONG_KEY, fault_position=0)
+        leaf = cx509.load_der_x509_certificate(chain[0].der)
+        parent = cx509.load_der_x509_certificate(chain[1].der)
+        with pytest.raises(InvalidSignature):
+            parent.public_key().verify(
+                leaf.signature, leaf.tbs_certificate_bytes,
+                ECDSA(leaf.signature_hash_algorithm))
+        assert chain[0].fault is FaultType.WRONG_KEY
+
+    def test_wrong_key_preserves_names(self, builder):
+        chain = builder.build_chain(_names("leaf", "root"),
+                                    fault=FaultType.WRONG_KEY, fault_position=0)
+        # The names still chain; only the signature is bad — the exact
+        # disagreement Appendix D probes.
+        leaf = cx509.load_der_x509_certificate(chain[0].der)
+        root = cx509.load_der_x509_certificate(chain[1].der)
+        assert leaf.issuer == root.subject
+
+    def test_truncated_der_fails_to_load(self, builder):
+        chain = builder.build_chain(_names("leaf", "root"),
+                                    fault=FaultType.TRUNCATED_DER,
+                                    fault_position=1)
+        with pytest.raises(ValueError):
+            cx509.load_der_x509_certificate(chain[1].der)
+
+    def test_unrecognized_key_oid(self, builder):
+        chain = builder.build_chain(_names("leaf", "inter", "root"),
+                                    fault=FaultType.UNRECOGNIZED_KEY,
+                                    fault_position=1)
+        cert = cx509.load_der_x509_certificate(chain[1].der)
+        with pytest.raises(UnsupportedAlgorithm):
+            cert.public_key()
+
+
+class TestPemBundle:
+    def test_round_trip(self, builder):
+        chain = builder.build_chain(_names("leaf", "inter", "root"))
+        bundle = encode_pem_bundle(chain)
+        blobs = decode_pem_bundle(bundle)
+        assert blobs == [c.der for c in chain]
+
+    def test_decode_ignores_garbage_between_blocks(self, builder):
+        chain = builder.build_chain(_names("leaf", "root"))
+        bundle = ("junk line\n" + chain[0].pem() + "s_client chatter\n"
+                  + chain[1].pem())
+        assert len(decode_pem_bundle(bundle)) == 2
+
+    def test_decode_empty(self):
+        assert decode_pem_bundle("") == []
+
+
+class TestRecordProjection:
+    def test_projection_matches_names(self, builder):
+        chain = builder.build_chain(_names("leaf", "root"))
+        cert = cx509.load_der_x509_certificate(chain[0].der)
+        record = crypto_cert_to_record(cert)
+        assert record.subject.common_name == "leaf"
+        assert record.issuer.common_name == "root"
+        assert not record.is_self_signed
+
+    def test_projection_handles_unrecognized_key(self, builder):
+        chain = builder.build_chain(_names("leaf", "root"),
+                                    fault=FaultType.UNRECOGNIZED_KEY,
+                                    fault_position=0)
+        cert = cx509.load_der_x509_certificate(chain[0].der)
+        record = crypto_cert_to_record(cert)
+        assert record.key_algorithm.value == "unknown"

@@ -1,0 +1,136 @@
+"""Revocation substrate: CRLs, OCSP, and policy integration."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.tls.policy import BrowserPolicy, StrictPresentedChainPolicy, ValidationStatus
+from repro.x509 import (
+    CertificateFactory,
+    CertificateRevocationList,
+    OCSPResponder,
+    RevocationChecker,
+    RevocationStatus,
+    name,
+)
+
+NOW = datetime(2021, 2, 1, tzinfo=timezone.utc)
+
+
+@pytest.fixture()
+def issued(pki, factory):
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    leaf = factory.leaf(r3, name("rev.example"), dns_names=["rev.example"])
+    return leaf, r3
+
+
+@pytest.fixture()
+def crl(issued):
+    leaf, r3 = issued
+    return CertificateRevocationList(
+        issuer=r3.certificate.subject,
+        this_update=NOW - timedelta(days=1),
+        next_update=NOW + timedelta(days=7),
+    )
+
+
+class TestCRL:
+    def test_good_before_revocation(self, issued, crl):
+        leaf, _ = issued
+        assert crl.status_of(leaf, at=NOW) is RevocationStatus.GOOD
+
+    def test_revoked_after_revocation(self, issued, crl):
+        leaf, _ = issued
+        crl.revoke(leaf)
+        assert crl.status_of(leaf, at=NOW) is RevocationStatus.REVOKED
+
+    def test_wrong_issuer_rejected_on_revoke(self, factory, crl):
+        stranger = factory.self_signed(name("other.example"))
+        with pytest.raises(ValueError):
+            crl.revoke(stranger)
+
+    def test_foreign_cert_unknown(self, factory, crl):
+        stranger = factory.self_signed(name("other.example"))
+        assert crl.status_of(stranger, at=NOW) is RevocationStatus.UNKNOWN
+
+    def test_stale_crl_is_unknown(self, issued, crl):
+        leaf, _ = issued
+        crl.revoke(leaf)
+        late = crl.next_update + timedelta(days=1)
+        assert crl.status_of(leaf, at=late) is RevocationStatus.UNKNOWN
+
+
+class TestOCSP:
+    def test_fresh_answer(self, issued):
+        leaf, _ = issued
+        responder = OCSPResponder()
+        responder.set_status(leaf, RevocationStatus.REVOKED, produced_at=NOW)
+        assert responder.query(leaf, at=NOW + timedelta(days=1)) is \
+            RevocationStatus.REVOKED
+
+    def test_expired_answer_unknown(self, issued):
+        leaf, _ = issued
+        responder = OCSPResponder(validity=timedelta(days=2))
+        responder.set_status(leaf, RevocationStatus.GOOD, produced_at=NOW)
+        assert responder.query(leaf, at=NOW + timedelta(days=3)) is \
+            RevocationStatus.UNKNOWN
+
+    def test_unqueried_cert_unknown(self, issued):
+        leaf, _ = issued
+        assert OCSPResponder().query(leaf, at=NOW) is RevocationStatus.UNKNOWN
+
+
+class TestChecker:
+    def test_ocsp_beats_crl(self, issued, crl):
+        leaf, _ = issued
+        crl.revoke(leaf)
+        responder = OCSPResponder()
+        responder.set_status(leaf, RevocationStatus.GOOD, produced_at=NOW)
+        checker = RevocationChecker([crl], responder)
+        # OCSP's fresher GOOD wins over the CRL's REVOKED.
+        assert checker.status_of(leaf, at=NOW) is RevocationStatus.GOOD
+
+    def test_crl_fallback(self, issued, crl):
+        leaf, _ = issued
+        crl.revoke(leaf)
+        checker = RevocationChecker([crl])
+        assert checker.status_of(leaf, at=NOW) is RevocationStatus.REVOKED
+
+    def test_any_revoked_finds_first(self, issued, crl):
+        leaf, r3 = issued
+        crl.revoke(leaf)
+        checker = RevocationChecker([crl])
+        assert checker.any_revoked([leaf, r3.certificate], at=NOW) is leaf
+
+
+class TestPolicyIntegration:
+    def test_browser_rejects_revoked_leaf(self, registry, issued, crl):
+        leaf, r3 = issued
+        crl.revoke(leaf)
+        policy = BrowserPolicy(registry,
+                               revocation=RevocationChecker([crl]))
+        result = policy.validate((leaf, r3.certificate), at=NOW)
+        assert result.status is ValidationStatus.REVOKED
+
+    def test_browser_soft_fails_unknown(self, registry, issued):
+        leaf, r3 = issued
+        policy = BrowserPolicy(registry,
+                               revocation=RevocationChecker())
+        assert policy.validate((leaf, r3.certificate), at=NOW).ok
+
+    def test_strict_rejects_revoked_member(self, registry, issued, crl):
+        leaf, r3 = issued
+        crl.revoke(leaf)
+        policy = StrictPresentedChainPolicy(
+            registry, revocation=RevocationChecker([crl]))
+        result = policy.validate((leaf, r3.certificate), at=NOW)
+        assert result.status is ValidationStatus.REVOKED
+
+    def test_no_checker_means_no_revocation_checks(self, registry, issued,
+                                                   crl):
+        leaf, r3 = issued
+        crl.revoke(leaf)
+        assert BrowserPolicy(registry).validate(
+            (leaf, r3.certificate), at=NOW).ok

@@ -1,0 +1,123 @@
+"""Failure injection: malformed logs, hostile rows, round-trip properties."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zeek.format import ZeekLogReader
+from repro.zeek.records import SSLRecord, X509Record
+
+
+class TestReaderFailures:
+    def _read(self, text):
+        return list(ZeekLogReader(io.StringIO(text)))
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before #fields"):
+            self._read("1.0\tCabc\n")
+
+    def test_column_count_mismatch_rejected(self):
+        text = ("#fields\ta\tb\n#types\tstring\tstring\n"
+                "only-one-column\n")
+        with pytest.raises(ValueError, match="columns"):
+            self._read(text)
+
+    def test_blank_lines_tolerated(self):
+        text = ("#fields\ta\n#types\tcount\n\n1\n\n2\n")
+        rows = self._read(text)
+        assert [r["a"] for r in rows] == [1, 2]
+
+    def test_close_footer_ignored(self):
+        text = ("#fields\ta\n#types\tcount\n1\n#close\t2021-01-01\n")
+        assert len(self._read(text)) == 1
+
+    def test_non_numeric_count_raises(self):
+        text = "#fields\ta\n#types\tcount\nnot-a-number\n"
+        with pytest.raises(ValueError):
+            self._read(text)
+
+
+class TestRecordRowRoundTrip:
+    def test_ssl_record(self):
+        record = SSLRecord(
+            ts=1_600_000_000.5, uid="Cxyz", id_orig_h="10.0.0.1",
+            id_orig_p=51234, id_resp_h="203.0.113.5", id_resp_p=8443,
+            version="TLSv12", server_name="x.example", established=True,
+            cert_chain_fps=("aa", "bb"), resumed=False,
+            validation_status="ok")
+        row = dict(zip(SSLRecord.FIELDS, record.to_row()))
+        assert SSLRecord.from_row(row) == record
+
+    def test_ssl_record_without_sni(self):
+        record = SSLRecord(
+            ts=1.0, uid="C", id_orig_h="h", id_orig_p=1, id_resp_h="h2",
+            id_resp_p=2, version="TLSv12", server_name=None,
+            established=False, cert_chain_fps=())
+        row = dict(zip(SSLRecord.FIELDS, record.to_row()))
+        rebuilt = SSLRecord.from_row(row)
+        assert rebuilt.server_name is None
+        assert rebuilt.cert_chain_fps == ()
+
+    def test_x509_record(self):
+        record = X509Record(
+            ts=2.0, fingerprint="ff", certificate_version=3,
+            certificate_serial="01ab", certificate_subject="CN=s",
+            certificate_issuer="CN=i", certificate_not_valid_before=1.0,
+            certificate_not_valid_after=9.0, certificate_key_alg="rsa",
+            certificate_sig_alg="sha256WithRSAEncryption",
+            certificate_key_length=2048, san_dns=("a.example",),
+            basic_constraints_ca=None, basic_constraints_path_len=None)
+        row = dict(zip(X509Record.FIELDS, record.to_row()))
+        rebuilt = X509Record.from_row(row)
+        assert rebuilt == record
+        assert rebuilt.basic_constraints_ca is None  # tri-state survives
+
+
+_FP = st.text(alphabet="0123456789abcdef", min_size=4, max_size=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ts=st.floats(min_value=0, max_value=2e9, allow_nan=False),
+    port=st.integers(0, 65535),
+    established=st.booleans(),
+    fps=st.lists(_FP, max_size=5),
+    sni=st.one_of(st.none(), st.from_regex(r"[a-z]{1,12}\.example",
+                                           fullmatch=True)),
+)
+def test_property_ssl_record_round_trip(ts, port, established, fps, sni):
+    record = SSLRecord(
+        ts=ts, uid="Cprop", id_orig_h="10.0.0.1", id_orig_p=port,
+        id_resp_h="203.0.113.9", id_resp_p=port, version="TLSv12",
+        server_name=sni, established=established,
+        cert_chain_fps=tuple(fps))
+    row = dict(zip(SSLRecord.FIELDS, record.to_row()))
+    rebuilt = SSLRecord.from_row(row)
+    assert rebuilt.cert_chain_fps == tuple(fps)
+    assert rebuilt.established is established
+    assert rebuilt.server_name == sni
+
+
+class TestHostileDNStrings:
+    """DN strings as they might appear in real, messy X509 logs."""
+
+    @pytest.mark.parametrize("text", [
+        "CN=*.example.com,O=Acme\\, Inc.,C=US",
+        "emailAddress=webmaster@localhost,CN=localhost,OU=none,O=none,"
+        "L=Sometown,ST=Someprovince,C=US",
+        "CN=has=equals,O=Org",
+        "serialNumber=1234,CN=device",
+        "DC=com,DC=example,CN=ldap-style",
+    ])
+    def test_parse_and_round_trip(self, text):
+        from repro.x509.dn import DistinguishedName
+        dn = DistinguishedName.parse(text)
+        assert DistinguishedName.parse(dn.rfc4514()) == dn
+
+    def test_equals_in_value(self):
+        from repro.x509.dn import DistinguishedName
+        dn = DistinguishedName.parse("CN=has=equals,O=Org")
+        assert dn.common_name == "has=equals"

@@ -1,0 +1,135 @@
+"""Zeek ASCII log format: render/parse round trips."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zeek.format import ZeekLogReader, ZeekLogWriter, read_zeek_log, write_zeek_log
+
+FIELDS = ("ts", "uid", "id.orig_h", "id.resp_p", "established", "tags", "note")
+TYPES = ("time", "string", "addr", "port", "bool", "vector[string]", "string")
+
+
+def _round_trip(rows):
+    buffer = io.StringIO()
+    with ZeekLogWriter(buffer, "test", FIELDS, TYPES) as writer:
+        for row in rows:
+            writer.write_row(row)
+    buffer.seek(0)
+    reader = ZeekLogReader(buffer)
+    return reader, list(reader)
+
+
+class TestWriter:
+    def test_header_contains_fields_and_types(self):
+        buffer = io.StringIO()
+        ZeekLogWriter(buffer, "ssl", FIELDS, TYPES)
+        text = buffer.getvalue()
+        assert "#separator \\x09" in text
+        assert "#path\tssl" in text
+        assert "#fields\t" + "\t".join(FIELDS) in text
+        assert "#types\t" + "\t".join(TYPES) in text
+
+    def test_close_appends_footer(self):
+        buffer = io.StringIO()
+        with ZeekLogWriter(buffer, "ssl", FIELDS, TYPES):
+            pass
+        assert buffer.getvalue().rstrip().splitlines()[-1].startswith("#close")
+
+    def test_write_after_close_rejected(self):
+        buffer = io.StringIO()
+        writer = ZeekLogWriter(buffer, "ssl", FIELDS, TYPES)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write_row([0.0, "u", "1.2.3.4", 443, True, [], ""])
+
+    def test_wrong_arity_rejected(self):
+        buffer = io.StringIO()
+        writer = ZeekLogWriter(buffer, "ssl", FIELDS, TYPES)
+        with pytest.raises(ValueError):
+            writer.write_row([1, 2])
+
+    def test_mismatched_header_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ZeekLogWriter(io.StringIO(), "x", ("a",), ("string", "bool"))
+
+
+class TestRoundTrip:
+    def test_basic_row(self):
+        reader, rows = _round_trip([
+            [1600000000.25, "Cabc", "10.0.0.1", 443, True, ["a", "b"], "hi"],
+        ])
+        assert reader.path == "test"
+        row = rows[0]
+        assert row["ts"] == pytest.approx(1600000000.25)
+        assert row["uid"] == "Cabc"
+        assert row["id.resp_p"] == 443
+        assert row["established"] is True
+        assert row["tags"] == ["a", "b"]
+
+    def test_unset_fields(self):
+        _, rows = _round_trip([[1.0, None, "10.0.0.1", 443, False, None, None]])
+        assert rows[0]["uid"] is None
+        assert rows[0]["tags"] is None
+
+    def test_empty_string_and_empty_vector(self):
+        _, rows = _round_trip([[1.0, "u", "10.0.0.1", 1, True, [], ""]])
+        assert rows[0]["tags"] == []
+        assert rows[0]["note"] == ""
+
+    def test_tab_in_string_escaped(self):
+        _, rows = _round_trip([[1.0, "u", "h", 1, True, [], "a\tb"]])
+        assert rows[0]["note"] == "a\tb"
+
+    def test_bool_false(self):
+        _, rows = _round_trip([[1.0, "u", "h", 1, False, [], "x"]])
+        assert rows[0]["established"] is False
+
+    def test_multiple_rows_order_preserved(self):
+        _, rows = _round_trip([
+            [float(i), f"u{i}", "h", i, True, [], ""] for i in range(5)
+        ])
+        assert [r["uid"] for r in rows] == [f"u{i}" for i in range(5)]
+
+
+class TestFileHelpers:
+    def test_write_and_read_file(self, tmp_path):
+        path = str(tmp_path / "ssl.log")
+        count = write_zeek_log(path, "ssl", FIELDS, TYPES, [
+            [1.0, "u1", "10.0.0.1", 443, True, ["t"], "n"],
+            [2.0, "u2", "10.0.0.2", 8443, False, [], ""],
+        ])
+        assert count == 2
+        reader, rows = read_zeek_log(path)
+        assert reader.path == "ssl"
+        assert len(rows) == 2
+        assert rows[1]["id.resp_p"] == 8443
+
+
+_PRINTABLE = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+    max_size=40,
+)
+
+
+@given(
+    ts=st.floats(min_value=0, max_value=2e9, allow_nan=False),
+    uid=_PRINTABLE.filter(lambda s: s not in ("-", "(empty)")),
+    port=st.integers(0, 65535),
+    flag=st.booleans(),
+    tags=st.lists(_PRINTABLE.filter(
+        lambda s: s and "," not in s and s not in ("-", "(empty)")), max_size=4),
+    note=_PRINTABLE.filter(lambda s: s != "-"),
+)
+def test_property_round_trip(ts, uid, port, flag, tags, note):
+    _, rows = _round_trip([[ts, uid or None, "10.0.0.1", port, flag,
+                            tags, note if note != "(empty)" else "x"]])
+    row = rows[0]
+    assert row["ts"] == pytest.approx(ts, abs=1e-6)
+    assert row["uid"] == (uid or None)
+    assert row["id.resp_p"] == port
+    assert row["established"] is flag
+    assert row["tags"] == tags

@@ -1,0 +1,79 @@
+"""Border sensor: DPD gating of mixed raw traffic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.campus import SMALL_SCALE, WorkloadGenerator
+from repro.campus.spec import ChainSpec, ClientMix
+from repro.zeek.sensor import (
+    BorderSensor,
+    RawFlow,
+    dns_query_bytes,
+    http_request_bytes,
+    ssh_banner_bytes,
+)
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def tls_flows(registry):
+    factory = CertificateFactory(seed=91)
+    cert = factory.self_signed(name("sensor.example"))
+    spec = ChainSpec(
+        chain=(cert,), hostname="sensor.example", category_truth="nonpub",
+        mix=ClientMix(permissive=1.0), port_model="nonpub_single",
+        mean_connections=20, sni_rate=0.5, server_id="srv-sensor",
+        client_pool="nonpub")
+    generator = WorkloadGenerator(registry, seed=6, scale=SMALL_SCALE)
+    return [RawFlow.from_connection(record)
+            for record in generator.generate_for_spec(spec)]
+
+
+class TestBorderSensor:
+    def test_tls_flows_logged(self, tls_flows):
+        sensor = BorderSensor()
+        logged = sensor.process_all(tls_flows)
+        assert logged == len(tls_flows)
+        assert len(sensor.tap.ssl_records) == len(tls_flows)
+        assert sensor.tls_share == 1.0
+
+    def test_noise_skipped_regardless_of_port(self, tls_flows):
+        noise = [RawFlow(http_request_bytes()),
+                 RawFlow(ssh_banner_bytes()),
+                 RawFlow(dns_query_bytes())]
+        rng = random.Random(1)
+        mixed = list(tls_flows) + noise * 5
+        rng.shuffle(mixed)
+        sensor = BorderSensor()
+        sensor.process_all(mixed)
+        assert sensor.tls_flows == len(tls_flows)
+        assert sensor.skipped_flows == 15
+        assert len(sensor.tap.ssl_records) == len(tls_flows)
+
+    def test_tls_bytes_without_connection_skipped(self):
+        # DPD fires on the bytes but there is no handshake to log (e.g. the
+        # capture started mid-flow): the sensor counts it as skipped.
+        from repro.zeek.dpd import client_hello_bytes
+        sensor = BorderSensor()
+        assert not sensor.process(RawFlow(client_hello_bytes()))
+        assert sensor.skipped_flows == 1
+
+    def test_share_empty(self):
+        assert BorderSensor().tls_share == 0.0
+
+    def test_wire_sni_agrees_with_records(self, tls_flows):
+        """SNI parsed from flow bytes matches the handshake record on
+        every flow — the wire encoding self-check."""
+        sensor = BorderSensor()
+        sensor.process_all(tls_flows)
+        assert sensor.sni_mismatches == 0
+
+    def test_sni_recoverable_from_bytes(self, tls_flows):
+        from repro.tls.wire import extract_sni
+        with_sni = [f for f in tls_flows if f.connection.sni]
+        assert with_sni
+        for flow in with_sni:
+            assert extract_sni(flow.payload) == flow.connection.sni
