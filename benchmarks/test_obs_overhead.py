@@ -1,0 +1,57 @@
+"""Micro-benchmark: the observability layer must stay near-free.
+
+Runs the full Figure-2 analysis over the small campus dataset twice —
+once with metrics + tracing disabled (baseline) and once instrumented —
+and asserts the instrumented pipeline stays within 10% of the baseline
+(plus a small absolute slack so sub-100ms timings don't flap on noisy
+machines).  This guards every future PR against quietly putting locks or
+label lookups on the per-row hot path.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/test_obs_overhead.py -q``
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.campus.dataset import cached_campus_dataset
+from repro.obs.metrics import disabled
+from repro.obs.tracing import get_tracer
+
+#: Allowed relative overhead (the ISSUE's budget) and absolute slack.
+MAX_RELATIVE_OVERHEAD = 0.10
+ABSOLUTE_SLACK_S = 0.010
+REPS = 5
+
+
+def _run_once(dataset) -> None:
+    dataset.analyzer().analyze_connections(dataset.joined())
+
+
+def _best_of(reps: int, dataset) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        _run_once(dataset)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_instrumentation_overhead_within_budget():
+    dataset = cached_campus_dataset(seed=0, scale="small")
+    dataset.joined()     # warm the join cache: both arms time only analysis
+    _run_once(dataset)   # warmup pass (imports, allocator, caches)
+
+    tracer = get_tracer()
+    with disabled():
+        tracer.enabled = False
+        try:
+            baseline = _best_of(REPS, dataset)
+        finally:
+            tracer.enabled = True
+    instrumented = _best_of(REPS, dataset)
+
+    budget = baseline * (1.0 + MAX_RELATIVE_OVERHEAD) + ABSOLUTE_SLACK_S
+    assert instrumented <= budget, (
+        f"instrumented={instrumented:.4f}s baseline={baseline:.4f}s "
+        f"(budget {budget:.4f}s) — observability overhead regressed")

@@ -25,6 +25,9 @@ Subpackages
     Issuer–subject vs key–signature validation comparison (Appendix D).
 ``repro.experiments``
     One module per paper table/figure.
+``repro.obs``
+    Observability: metrics registry, stage tracing, structured logging,
+    Prometheus/JSON export.
 """
 
 __version__ = "1.0.0"

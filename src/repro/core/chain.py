@@ -14,6 +14,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence
 
+from ..obs import instruments
+from ..obs.tracing import trace_span
 from ..x509.certificate import Certificate
 from ..zeek.tap import JoinedConnection
 
@@ -123,21 +125,29 @@ def aggregate_chains(connections: Iterable[JoinedConnection],
     only covers connections with visible chains.
     """
     chains: Dict[tuple[str, ...], ObservedChain] = {}
-    for joined in connections:
-        key = joined.chain_key
-        if skip_empty and not key:
-            continue
-        chain = chains.get(key)
-        if chain is None:
-            chain = ObservedChain(joined.chain)
-            chains[key] = chain
-        ssl = joined.ssl
-        chain.usage.record(
-            established=ssl.established,
-            client_ip=ssl.id_orig_h,
-            server_ip=ssl.id_resp_h,
-            port=ssl.id_resp_p,
-            sni=ssl.server_name,
-            ts=ssl.ts,
-        )
+    aggregated = skipped = discovered = 0
+    with trace_span("aggregate_chains"):
+        for joined in connections:
+            key = joined.chain_key
+            if skip_empty and not key:
+                skipped += 1
+                continue
+            chain = chains.get(key)
+            if chain is None:
+                chain = ObservedChain(joined.chain)
+                chains[key] = chain
+                discovered += 1
+            ssl = joined.ssl
+            chain.usage.record(
+                established=ssl.established,
+                client_ip=ssl.id_orig_h,
+                server_ip=ssl.id_resp_h,
+                port=ssl.id_resp_p,
+                sni=ssl.server_name,
+                ts=ssl.ts,
+            )
+            aggregated += 1
+    instruments.CHAIN_CONN_AGGREGATED.inc(aggregated)
+    instruments.CHAIN_CONN_SKIPPED.inc(skipped)
+    instruments.CHAIN_DISTINCT.inc(discovered)
     return chains

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from ..ct.crtsh import CrtShIndex
+from ..obs import instruments
 from ..x509.certificate import Certificate
 from ..x509.dn import DistinguishedName
 from .chain import ObservedChain
@@ -153,12 +154,16 @@ class InterceptionDetector:
         for chain in chains:
             leaf = chain.leaf
             if leaf is None:
+                instruments.INTERCEPTION_CHAINS.inc(verdict="empty_chain")
                 continue
             if self.classifier.classify(leaf) is not IssuerClass.NON_PUBLIC_DB:
+                instruments.INTERCEPTION_CHAINS.inc(verdict="public_issuer")
                 continue
             flagged = self._flag_via_ct(leaf, chain)
             if not flagged:
+                instruments.INTERCEPTION_CHAINS.inc(verdict="not_flagged")
                 continue
+            instruments.INTERCEPTION_CHAINS.inc(verdict="flagged")
             key = _dn_key(leaf.issuer)
             issuer = issuer_seen.get(key)
             if issuer is None:

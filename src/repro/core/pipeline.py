@@ -14,6 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..ct.crtsh import CrtShIndex
+from ..obs import instruments
+from ..obs.logging import get_logger, kv
+from ..obs.tracing import trace_span
 from ..truststores.registry import PublicDBRegistry
 from ..zeek.tap import JoinedConnection
 from .categorization import CategorizedChains, ChainCategorizer, ChainCategory
@@ -28,6 +31,8 @@ from .matching import ChainStructure, analyze_structure
 
 __all__ = ["ChainStructureAnalyzer", "AnalysisResult",
            "SingleCertStats", "MultiCertPathStats"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,10 +84,13 @@ class AnalysisResult:
         cache_key = chain.key + (("L",) if require_leaf else ("N",))
         cached = self._structure_cache.get(cache_key)
         if cached is None:
+            instruments.STRUCTURE_CACHE_MISS.inc()
             cached = analyze_structure(chain.certificates,
                                        disclosures=self.disclosures,
                                        require_leaf=require_leaf)
             self._structure_cache[cache_key] = cached
+        else:
+            instruments.STRUCTURE_CACHE_HIT.inc()
         return cached
 
     # -- §4.1 -------------------------------------------------------------------
@@ -156,29 +164,44 @@ class ChainStructureAnalyzer:
     def analyze_chains(self, chains: Dict[tuple[str, ...], ObservedChain]
                        ) -> AnalysisResult:
         classifier = CertificateClassifier(self.registry)
+        instruments.PIPELINE_CHAINS.inc(len(chains))
 
-        # Stage 1 — certificate enrichment: interception identification.
-        if self.ct_index is not None:
-            detector = InterceptionDetector(classifier, self.ct_index,
-                                            self.vendor_directory)
-            interception = detector.detect(chains.values())
-        else:
-            interception = InterceptionReport()
+        with trace_span("analyze_chains", chains=len(chains)):
+            # Stage 1 — certificate enrichment: interception identification.
+            with trace_span("enrich_interception"):
+                if self.ct_index is not None:
+                    detector = InterceptionDetector(classifier, self.ct_index,
+                                                    self.vendor_directory)
+                    interception = detector.detect(chains.values())
+                else:
+                    interception = InterceptionReport()
 
-        # Stage 2 — chain categorisation.
-        categorizer = ChainCategorizer(classifier,
-                                       interception.issuer_name_keys)
-        categorized = categorizer.categorize(chains.values())
+            # Stage 2 — chain categorisation.
+            with trace_span("categorize", chains=len(chains)):
+                categorizer = ChainCategorizer(classifier,
+                                               interception.issuer_name_keys)
+                categorized = categorizer.categorize(chains.values())
+                for category in ChainCategory:
+                    instruments.PIPELINE_CATEGORY_CHAINS.inc(
+                        categorized.chain_count(category),
+                        category=category.value)
 
-        # Stage 3 — mismatch/cross-sign + path detection on hybrid chains.
-        hybrid_analyzer = HybridAnalyzer(classifier, self.disclosures)
-        hybrid = hybrid_analyzer.analyze(
-            categorized.chains(ChainCategory.HYBRID))
+            # Stage 3 — mismatch/cross-sign + path detection on hybrids.
+            hybrid_chains = categorized.chains(ChainCategory.HYBRID)
+            with trace_span("hybrid_analysis", chains=len(hybrid_chains)):
+                hybrid_analyzer = HybridAnalyzer(classifier, self.disclosures)
+                hybrid = hybrid_analyzer.analyze(hybrid_chains)
 
-        # Stage 4 — special populations.
-        dga = DGADetector().detect(
-            categorized.chains(ChainCategory.NON_PUBLIC_ONLY))
+            # Stage 4 — special populations.
+            with trace_span("special_populations"):
+                dga = DGADetector().detect(
+                    categorized.chains(ChainCategory.NON_PUBLIC_ONLY))
 
+        instruments.PIPELINE_RUNS.inc()
+        log.debug("pipeline run complete", extra=kv(
+            chains=len(chains),
+            flagged_interception=len(interception.flagged_chains),
+            hybrid=len(hybrid_chains), dga_clusters=len(dga)))
         return AnalysisResult(
             chains=chains,
             categorized=categorized,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..obs import instruments
 from ..x509.certificate import Certificate, ValidityPeriod
 from ..x509.dn import DistinguishedName
 from .log import CTLog, LogEntry
@@ -75,6 +76,7 @@ class CrtShIndex:
             for entry in log.entries()[start:]:
                 added += self._index_entry(log.log_id, entry)
             self._consumed[log.log_id] = log.size
+        instruments.CT_INDEXED_RECORDS.inc(added)
         return added
 
     def _index_entry(self, log_id: str, entry: LogEntry) -> int:
@@ -95,6 +97,10 @@ class CrtShIndex:
         head, _, tail = domain.partition(".")
         if head and tail:
             records.extend(self._by_domain.get(f"*.{tail}", ()))
+        if records:
+            instruments.CT_LOOKUP_HIT.inc()
+        else:
+            instruments.CT_LOOKUP_MISS.inc()
         return records
 
     def issuers_for_domain(self, domain: str,

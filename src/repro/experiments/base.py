@@ -8,14 +8,20 @@ The registry powers the CLI and keeps DESIGN.md's experiment index honest.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..campus.dataset import CampusDataset
 from ..core.report import render_table
+from ..obs import instruments
+from ..obs.logging import get_logger, kv
+from ..obs.tracing import trace_span
 
 __all__ = ["ExperimentResult", "experiment", "registry", "run_experiment",
            "comparison_table"]
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -24,6 +30,9 @@ class ExperimentResult:
     title: str
     rendered: str
     measured: dict = field(default_factory=dict)
+    #: Wall-clock seconds :func:`run_experiment` spent in the runner
+    #: (0.0 when the runner was invoked directly).
+    duration_seconds: float = 0.0
 
     def __str__(self) -> str:
         return self.rendered
@@ -52,7 +61,14 @@ def run_experiment(exp_id: str, dataset: CampusDataset) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
         ) from None
-    return runner(dataset)
+    started = time.perf_counter()
+    with trace_span(f"experiment:{exp_id}"):
+        result = runner(dataset)
+    result.duration_seconds = time.perf_counter() - started
+    instruments.EXPERIMENT_RUNS.inc(experiment=exp_id)
+    log.debug("experiment complete", extra=kv(
+        experiment=exp_id, seconds=f"{result.duration_seconds:.3f}"))
+    return result
 
 
 def comparison_table(title: str, rows: List[List[object]],

@@ -7,6 +7,12 @@ Two modes:
 * **logs** — analyze real (or simulated) Zeek ``ssl.log``/``x509.log``
   files with the chain-structure pipeline and print the category summary,
   which is what a network operator would point this tool at.
+
+Either mode can emit observability artefacts: ``--metrics-out`` writes a
+Prometheus text-exposition (or ``.json``) snapshot of every pipeline
+metric, ``--run-report`` writes the diffable per-run JSON summary (stage
+timings, throughput, cache hit rates), and ``--log-level debug`` turns on
+structured key=value logging.
 """
 
 from __future__ import annotations
@@ -19,12 +25,33 @@ from ..campus.dataset import cached_campus_dataset
 from ..core.categorization import ChainCategory
 from ..core.pipeline import ChainStructureAnalyzer
 from ..core.report import render_table
+from ..obs.exporters import RunReport, write_metrics_file
+from ..obs.logging import configure_logging, get_logger, kv
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
+from ..truststores import build_public_pki
 from ..zeek.format import read_zeek_log
 from ..zeek.records import SSLRecord, X509Record
 from ..zeek.tap import join_logs
 from .base import registry, run_experiment
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+log = get_logger(__name__)
+
+
+def package_version() -> str:
+    """The installed distribution version (falls back to the source tree)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        pass
+    from .. import __version__
+    return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="certchain-analyze",
         description="Certificate chain structure analysis "
                     "(IMC '25 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     parser.add_argument("--seed", default="0",
                         help="deterministic simulation seed (default 0)")
     parser.add_argument("--scale", default="small",
@@ -44,18 +73,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ssl-log", help="analyze a Zeek ssl.log instead "
                                           "of simulating")
     parser.add_argument("--x509-log", help="x509.log paired with --ssl-log")
+    parser.add_argument("--log-level", metavar="LEVEL", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-logging level "
+                             "(overrides REPRO_LOG_LEVEL)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a metrics snapshot on exit "
+                             "(Prometheus text; JSON when PATH ends in "
+                             ".json)")
+    parser.add_argument("--run-report", metavar="PATH",
+                        help="write the per-run JSON report (stage timings, "
+                             "throughput, cache hit rates)")
     return parser
 
 
 def _analyze_logs(ssl_path: str, x509_path: str) -> int:
-    _, ssl_rows = read_zeek_log(ssl_path)
-    _, x509_rows = read_zeek_log(x509_path)
+    try:
+        _, ssl_rows = read_zeek_log(ssl_path)
+        _, x509_rows = read_zeek_log(x509_path)
+    except OSError as exc:
+        print(f"certchain-analyze: cannot read log: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"certchain-analyze: malformed Zeek log: {exc}",
+              file=sys.stderr)
+        return 2
     ssl_records = [SSLRecord.from_row(r) for r in ssl_rows]
     x509_records = [X509Record.from_row(r) for r in x509_rows]
     joined = join_logs(ssl_records, x509_records)
     # Without a trust-store snapshot every issuer is non-public; callers
     # embedding the library can supply their own registry.
-    from ..truststores import build_public_pki
     analyzer = ChainStructureAnalyzer(build_public_pki().registry)
     result = analyzer.analyze_connections(joined)
     rows = [[row["category"], row["chains"], row["connections"],
@@ -70,14 +117,50 @@ def _analyze_logs(ssl_path: str, x509_path: str) -> int:
     return 0
 
 
+def _write_observability(args: argparse.Namespace,
+                         argv: Sequence[str]) -> int:
+    """Write requested snapshot files; returns 0, or 2 on an unwritable path."""
+    status = 0
+    if args.metrics_out:
+        try:
+            write_metrics_file(args.metrics_out)
+        except OSError as exc:
+            print(f"certchain-analyze: cannot write metrics: {exc}",
+                  file=sys.stderr)
+            status = 2
+        else:
+            log.info("metrics written", extra=kv(path=args.metrics_out))
+    if args.run_report:
+        report = RunReport.collect(version=package_version(),
+                                   argv=list(argv))
+        try:
+            report.write(args.run_report)
+        except OSError as exc:
+            print(f"certchain-analyze: cannot write run report: {exc}",
+                  file=sys.stderr)
+            status = 2
+        else:
+            log.info("run report written", extra=kv(path=args.run_report))
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level)
+
+    # One CLI invocation = one measurement window: zero anything earlier
+    # runs in this process recorded so exports describe exactly this run.
+    get_registry().reset()
+    get_tracer().reset()
+
+    effective_argv = list(argv) if argv is not None else sys.argv[1:]
 
     if args.ssl_log or args.x509_log:
         if not (args.ssl_log and args.x509_log):
             parser.error("--ssl-log and --x509-log must be given together")
-        return _analyze_logs(args.ssl_log, args.x509_log)
+        status = _analyze_logs(args.ssl_log, args.x509_log)
+        return status or _write_observability(args, effective_argv)
 
     known = sorted(registry())
     if not args.experiments:
@@ -100,7 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             continue
         print(result.rendered)
         print()
-    return status
+    return status or _write_observability(args, effective_argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,62 @@
+"""repro.obs — pipeline observability.
+
+Structured logging, stage tracing, and a process-local metrics registry
+with Prometheus/JSON export.  Six modules:
+
+``metrics``
+    :class:`MetricsRegistry` with Counter/Gauge/Histogram primitives
+    (labelled, thread-safe, deterministic fixed buckets).
+``instruments``
+    The catalogue of every metric the pipeline emits.
+``tracing``
+    ``with trace_span("categorize", chains=n):`` nested wall-clock spans.
+``logging``
+    ``get_logger(name)`` structured key=value stdlib logging with a
+    ``REPRO_LOG_LEVEL`` override.
+``exporters``
+    Prometheus text exposition, JSON snapshots, and the diffable
+    :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+from .exporters import (
+    RunReport,
+    render_json,
+    render_prometheus,
+    registry_to_dict,
+    write_metrics_file,
+)
+from .logging import configure_logging, get_logger, kv
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disabled,
+    get_registry,
+)
+from .tracing import SpanRecord, Tracer, get_tracer, trace_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "disabled",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "trace_span",
+    "get_logger",
+    "configure_logging",
+    "kv",
+    "RunReport",
+    "render_prometheus",
+    "render_json",
+    "registry_to_dict",
+    "write_metrics_file",
+]

@@ -1,0 +1,224 @@
+"""Registry exporters: Prometheus text exposition, JSON, and the RunReport.
+
+Two export shapes serve two consumers:
+
+* :func:`render_prometheus` — the text exposition format a Prometheus
+  scrape (or ``promtool check metrics``) expects, for the long-running
+  deployment the ROADMAP targets;
+* :func:`render_json` / :class:`RunReport` — a diffable per-run summary
+  (stage timings, throughput, cache hit rates, verdict counters) an
+  operator can archive next to the analysis output and compare across
+  builds.
+
+Everything is emitted in sorted order so two same-seed runs differ only in
+durations, never in structure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+__all__ = ["render_prometheus", "render_json", "registry_to_dict",
+           "RunReport", "write_metrics_file"]
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels.items())
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def registry_to_dict(registry: Optional[MetricsRegistry] = None) -> dict:
+    """Deterministic JSON-ready view of the registry."""
+    return (registry or get_registry()).snapshot()
+
+
+def render_json(registry: Optional[MetricsRegistry] = None, *,
+                indent: int = 2) -> str:
+    return json.dumps(registry_to_dict(registry), indent=indent,
+                      sort_keys=True)
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text exposition (version 0.0.4) of a registry snapshot."""
+    registry = registry or get_registry()
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.samples():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if family.kind == "histogram":
+                cumulative = child.bucket_counts()
+                for bound, count in zip(family.buckets, cumulative):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(f"{family.name}_bucket"
+                                 f"{_format_labels(bucket_labels)} {count}")
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                lines.append(f"{family.name}_bucket"
+                             f"{_format_labels(inf_labels)} {child.count}")
+                lines.append(f"{family.name}_sum{_format_labels(labels)} "
+                             f"{repr(child.sum)}")
+                lines.append(f"{family.name}_count{_format_labels(labels)} "
+                             f"{child.count}")
+            else:
+                lines.append(f"{family.name}{_format_labels(labels)} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_file(path: str,
+                       registry: Optional[MetricsRegistry] = None) -> None:
+    """Write the Prometheus exposition (or JSON when path ends in .json)."""
+    if path.endswith(".json"):
+        text = render_json(registry) + "\n"
+    else:
+        text = render_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _rate(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def _counter_total(snapshot: dict, name: str, **match: str) -> float:
+    entry = snapshot.get(name)
+    if entry is None:
+        return 0.0
+    total = 0.0
+    for sample in entry["samples"]:
+        labels = sample["labels"]
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += sample.get("value", 0.0)
+    return total
+
+
+@dataclass
+class RunReport:
+    """Diffable summary of one analyzer run.
+
+    ``stages`` carries the only nondeterministic values (durations);
+    every other field is a pure function of the input data, so
+    ``RunReport.collect()`` outputs from two same-seed runs diff clean
+    apart from the timing columns.
+    """
+
+    version: str = ""
+    argv: List[str] = field(default_factory=list)
+    #: span name -> {"seconds": float, "calls": int}
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    throughput: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, object] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, *, registry: Optional[MetricsRegistry] = None,
+                tracer: Optional[Tracer] = None, version: str = "",
+                argv: Optional[List[str]] = None,
+                include_metrics: bool = True) -> "RunReport":
+        registry = registry or get_registry()
+        tracer = tracer or get_tracer()
+        snapshot = registry.snapshot()
+        stages = tracer.stage_timings()
+
+        rows_read = _counter_total(snapshot, "repro_zeek_rows_total",
+                                   direction="read")
+        rows_written = _counter_total(snapshot, "repro_zeek_rows_total",
+                                      direction="written")
+        connections = _counter_total(snapshot,
+                                     "repro_chain_connections_total",
+                                     result="aggregated")
+        chains = _counter_total(snapshot, "repro_pipeline_chains_total")
+        read_seconds = stages.get("zeek_read", {}).get("seconds", 0.0)
+        analyze_seconds = stages.get("analyze_chains", {}).get("seconds", 0.0)
+
+        cache_hits = _counter_total(
+            snapshot, "repro_structure_cache_lookups_total", result="hit")
+        cache_misses = _counter_total(
+            snapshot, "repro_structure_cache_lookups_total", result="miss")
+        ct_hits = _counter_total(snapshot, "repro_ct_lookups_total",
+                                 result="hit")
+        ct_misses = _counter_total(snapshot, "repro_ct_lookups_total",
+                                   result="miss")
+
+        verdicts = {}
+        for sample in snapshot.get("repro_interception_chains_total",
+                                   {"samples": []})["samples"]:
+            verdicts[sample["labels"].get("verdict", "")] = sample["value"]
+
+        report = cls(
+            version=version,
+            argv=list(argv or []),
+            stages=stages,
+            throughput={
+                "zeek_rows_read": rows_read,
+                "zeek_rows_written": rows_written,
+                "zeek_rows_read_per_s": _rate(rows_read, read_seconds),
+                "connections_aggregated": connections,
+                "chains_analyzed": chains,
+                "chains_per_s": _rate(chains, analyze_seconds),
+            },
+            cache={
+                "structure_cache_lookups": cache_hits + cache_misses,
+                "structure_cache_hit_rate": _rate(cache_hits,
+                                                  cache_hits + cache_misses),
+                "ct_lookups": ct_hits + ct_misses,
+                "ct_hit_rate": _rate(ct_hits, ct_hits + ct_misses),
+            },
+            counters={"interception_verdicts": verdicts},
+        )
+        if include_metrics:
+            report.metrics = snapshot
+        return report
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "argv": self.argv,
+            "stages": self.stages,
+            "throughput": self.throughput,
+            "cache": self.cache,
+            "counters": self.counters,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def summary_lines(self) -> List[str]:
+        """Human one-liners for the CLI footer."""
+        lines = []
+        for name, entry in self.stages.items():
+            lines.append(f"stage {name}: {entry['seconds']:.3f}s "
+                         f"({entry['calls']} call"
+                         f"{'s' if entry['calls'] != 1 else ''})")
+        hit_rate = self.cache.get("structure_cache_hit_rate", 0.0)
+        lines.append(f"structure cache hit rate: {100.0 * hit_rate:.1f}%")
+        return lines

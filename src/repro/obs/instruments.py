@@ -1,0 +1,96 @@
+"""The pipeline's metric catalogue — every instrument declared in one place.
+
+Instrumented modules import their handles from here instead of repeating
+name/help/label strings, so the metric namespace stays consistent (and
+``docs/OBSERVABILITY.md`` documents exactly this file).  All handles live
+on the default registry; ``get_registry().reset()`` zeroes them between
+runs without invalidating these references.
+
+Naming follows Prometheus conventions: ``repro_<subsystem>_<what>_<unit>``
+with ``_total`` on counters and base-unit seconds on histograms.
+"""
+
+from __future__ import annotations
+
+from .metrics import get_registry
+
+_R = get_registry()
+
+# -- core pipeline ------------------------------------------------------------
+
+PIPELINE_RUNS = _R.counter(
+    "repro_pipeline_runs_total",
+    "Full Figure-2 analyzer runs completed.")
+PIPELINE_CHAINS = _R.counter(
+    "repro_pipeline_chains_total",
+    "Distinct observed chains entering the analyzer.")
+PIPELINE_CATEGORY_CHAINS = _R.counter(
+    "repro_pipeline_category_chains_total",
+    "Chains per assigned category after stage 2.",
+    labelnames=("category",))
+STRUCTURE_CACHE_LOOKUPS = _R.counter(
+    "repro_structure_cache_lookups_total",
+    "Chain-structure cache lookups by result.",
+    labelnames=("result",))
+
+# -- chain aggregation --------------------------------------------------------
+
+CHAIN_CONNECTIONS = _R.counter(
+    "repro_chain_connections_total",
+    "Joined connections folded into chain usage, by outcome.",
+    labelnames=("result",))
+CHAIN_DISTINCT = _R.counter(
+    "repro_chain_distinct_total",
+    "New distinct delivered chains discovered during aggregation.")
+
+# -- zeek ingest --------------------------------------------------------------
+
+ZEEK_ROWS = _R.counter(
+    "repro_zeek_rows_total",
+    "Zeek ASCII log rows processed, by direction and log path.",
+    labelnames=("direction", "path"))
+ZEEK_JOIN_CONNECTIONS = _R.counter(
+    "repro_zeek_join_connections_total",
+    "SSL rows joined against the X509 log.")
+ZEEK_JOIN_MISSING_CERTS = _R.counter(
+    "repro_zeek_join_missing_certs_total",
+    "Chain fingerprints referenced by SSL rows but absent from x509.log.")
+
+# -- CT index -----------------------------------------------------------------
+
+CT_LOOKUPS = _R.counter(
+    "repro_ct_lookups_total",
+    "crt.sh-style domain lookups, by whether CT had any record.",
+    labelnames=("result",))
+CT_INDEXED_RECORDS = _R.counter(
+    "repro_ct_indexed_records_total",
+    "Domain records ingested into the CT index.")
+
+# -- interception detection ---------------------------------------------------
+
+INTERCEPTION_CHAINS = _R.counter(
+    "repro_interception_chains_total",
+    "Chains examined by the interception detector, by verdict.",
+    labelnames=("verdict",))
+
+# -- active scanning ----------------------------------------------------------
+
+SCAN_ATTEMPTS = _R.counter(
+    "repro_scan_attempts_total",
+    "Active scan attempts, by outcome.",
+    labelnames=("outcome",))
+
+# -- experiments --------------------------------------------------------------
+
+EXPERIMENT_RUNS = _R.counter(
+    "repro_experiment_runs_total",
+    "Experiment executions, by experiment id.",
+    labelnames=("experiment",))
+
+# Frequently-hit children, resolved once so hot loops skip the label lookup.
+STRUCTURE_CACHE_HIT = STRUCTURE_CACHE_LOOKUPS.labels(result="hit")
+STRUCTURE_CACHE_MISS = STRUCTURE_CACHE_LOOKUPS.labels(result="miss")
+CT_LOOKUP_HIT = CT_LOOKUPS.labels(result="hit")
+CT_LOOKUP_MISS = CT_LOOKUPS.labels(result="miss")
+CHAIN_CONN_AGGREGATED = CHAIN_CONNECTIONS.labels(result="aggregated")
+CHAIN_CONN_SKIPPED = CHAIN_CONNECTIONS.labels(result="skipped_empty")

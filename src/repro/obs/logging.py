@@ -1,0 +1,93 @@
+"""Structured (key=value) logging for the pipeline.
+
+One call — :func:`get_logger` — gives any module a namespaced stdlib
+logger whose records render as single-line ``key=value`` pairs, the format
+every log shipper (Loki, Splunk, plain grep) ingests without config.  The
+root ``repro`` logger is configured exactly once; the default level is
+``WARNING`` so library use stays silent, and the ``REPRO_LOG_LEVEL``
+environment variable (or ``certchain-analyze --log-level``) overrides it.
+
+Usage::
+
+    from repro.obs.logging import get_logger
+    log = get_logger(__name__)
+    log.info("stage done", extra=kv(stage="categorize", chains=1234))
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Dict, Optional, TextIO
+
+__all__ = ["get_logger", "configure_logging", "kv", "REPRO_LOG_LEVEL_VAR"]
+
+REPRO_LOG_LEVEL_VAR = "REPRO_LOG_LEVEL"
+_ROOT_NAME = "repro"
+_KV_ATTR = "repro_kv"
+_configured = False
+
+
+def kv(**pairs: object) -> Dict[str, Dict[str, object]]:
+    """Build the ``extra=`` dict that appends key=value pairs to a record."""
+    return {_KV_ATTR: pairs}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``level=info logger=repro.core.pipeline msg="stage done" stage=...``"""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        parts = [
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f'msg="{message}"' if " " in message else f"msg={message}",
+        ]
+        extra = getattr(record, _KV_ATTR, None)
+        if extra:
+            for key in extra:
+                value = extra[key]
+                text = str(value)
+                parts.append(f'{key}="{text}"' if " " in text
+                             else f"{key}={text}")
+        if record.exc_info:
+            parts.append(f'exc="{self.formatException(record.exc_info)}"')
+        return " ".join(parts)
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    name = (level or os.environ.get(REPRO_LOG_LEVEL_VAR) or "warning").upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {name!r}")
+    return resolved
+
+
+def configure_logging(level: Optional[str] = None,
+                      stream: Optional[TextIO] = None,
+                      force: bool = False) -> logging.Logger:
+    """Configure the ``repro`` root logger (idempotent unless ``force``)."""
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if _configured and not force:
+        if level is not None:
+            root.setLevel(_resolve_level(level))
+        return root
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(_resolve_level(level))
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger under ``repro``; configures the root on first use."""
+    configure_logging()
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

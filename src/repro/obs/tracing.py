@@ -1,0 +1,124 @@
+"""Lightweight stage tracing: nested wall-clock spans.
+
+``with trace_span("categorize", chains=n): ...`` records how long each
+pipeline stage ran and in what nesting order, without touching analysis
+results — spans use :func:`time.perf_counter`, never wall-clock dates, and
+nothing from a span flows back into the data path, so results stay
+deterministic while timings are free to vary run to run.
+
+Spans aggregate into the default metrics registry
+(``repro_span_duration_seconds{span=...}``) and into a per-process
+:class:`Tracer` whose finished-span list powers the
+:class:`~repro.obs.exporters.RunReport` stage table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .metrics import get_registry
+
+__all__ = ["SpanRecord", "Tracer", "get_tracer", "trace_span"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    #: Dotted ancestry, e.g. ``analyze_chains.categorize``.
+    path: str
+    duration_s: float
+    depth: int
+    #: Deterministic caller-supplied attributes (counts, sizes — no times).
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects finished spans; the stack of open spans is per-thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.finished: List[SpanRecord] = []
+        #: When False, span() is a near-no-op (still yields).
+        self.enabled = True
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        if not self.enabled:
+            yield
+            return
+        stack = self._stack()
+        path = ".".join(stack + [name])
+        stack.append(name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - started
+            stack.pop()
+            record = SpanRecord(name=name, path=path, duration_s=duration,
+                                depth=len(stack), attrs=dict(attrs))
+            with self._lock:
+                self.finished.append(record)
+            _SPAN_SECONDS().observe(duration, span=name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.finished.clear()
+
+    def stage_timings(self) -> Dict[str, Dict[str, float]]:
+        """Per span name: total seconds and invocation count (sorted)."""
+        totals: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            records = list(self.finished)
+        for record in records:
+            entry = totals.setdefault(record.name,
+                                      {"seconds": 0.0, "calls": 0})
+            entry["seconds"] += record.duration_s
+            entry["calls"] += 1
+        return {name: totals[name] for name in sorted(totals)}
+
+    def span_tree(self) -> List[Dict[str, object]]:
+        """Finished spans in completion order, with path/depth/attrs."""
+        with self._lock:
+            return [
+                {"name": r.name, "path": r.path, "depth": r.depth,
+                 "duration_s": r.duration_s, "attrs": dict(r.attrs)}
+                for r in self.finished
+            ]
+
+
+def _SPAN_SECONDS():
+    return get_registry().histogram(
+        "repro_span_duration_seconds",
+        "Wall-clock duration of traced pipeline spans.",
+        labelnames=("span",),
+    )
+
+
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _DEFAULT
+
+
+def trace_span(name: str, **attrs: object):
+    """Context manager: time a stage on the default tracer.
+
+    Attribute values must be deterministic facts about the data (counts,
+    ids) — never timestamps — so traces stay diffable across runs.
+    """
+    return _DEFAULT.span(name, **attrs)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Iterable, List, Optional, Sequence
 
+from ..obs import instruments
 from ..tls.connection import ConnectionRecord
 from ..tls.handshake import HandshakeSimulator, TLSClient, TLSServer
 from ..tls.policy import PermissivePolicy
@@ -60,6 +61,7 @@ class ActiveScanner:
         sni = hostname or (server.hostnames[0] if server.hostnames else None)
         outcome = self._sim.connect(self._client, server, sni=sni,
                                     when=self.when)
+        instruments.SCAN_ATTEMPTS.inc(outcome="scanned")
         return ScanResult(
             server_id=server_id,
             hostname=sni,
@@ -70,6 +72,7 @@ class ActiveScanner:
     def unreachable(self, server_id: str,
                     hostname: Optional[str] = None) -> ScanResult:
         """Record a server that no longer answers (gone, firewalled, moved)."""
+        instruments.SCAN_ATTEMPTS.inc(outcome="unreachable")
         return ScanResult(server_id=server_id, hostname=hostname,
                           reachable=False)
 

@@ -11,6 +11,9 @@ from __future__ import annotations
 from datetime import datetime, timezone
 from typing import Iterable, Iterator, Optional, Sequence, TextIO
 
+from ..obs import instruments
+from ..obs.tracing import trace_span
+
 __all__ = ["ZeekLogWriter", "ZeekLogReader", "read_zeek_log", "write_zeek_log"]
 
 _UNSET = "-"
@@ -79,7 +82,8 @@ class ZeekLogWriter:
     """Streams rows into a Zeek ASCII log."""
 
     def __init__(self, stream: TextIO, path: str,
-                 fields: Sequence[str], types: Sequence[str]):
+                 fields: Sequence[str], types: Sequence[str],
+                 *, open_time: Optional[datetime] = None):
         if len(fields) != len(types):
             raise ValueError("fields and types must be the same length")
         self.stream = stream
@@ -87,10 +91,18 @@ class ZeekLogWriter:
         self.fields = tuple(fields)
         self.types = tuple(types)
         self._closed = False
+        #: Pinning the header timestamps makes output byte-reproducible.
+        self._open_time = open_time
+        self._rows_metric = instruments.ZEEK_ROWS.labels(
+            direction="written", path=path)
         self._write_header()
 
+    def _stamp(self) -> str:
+        moment = self._open_time or datetime.now(timezone.utc)
+        return moment.strftime("%Y-%m-%d-%H-%M-%S")
+
     def _write_header(self) -> None:
-        opened = datetime.now(timezone.utc).strftime("%Y-%m-%d-%H-%M-%S")
+        opened = self._stamp()
         header = (
             "#separator \\x09\n"
             f"#set_separator\t{_SET_SEP}\n"
@@ -111,11 +123,11 @@ class ZeekLogWriter:
                 f"row has {len(values)} values; log has {len(self.fields)} fields")
         rendered = (_render(v, t) for v, t in zip(values, self.types))
         self.stream.write("\t".join(rendered) + "\n")
+        self._rows_metric.inc()
 
     def close(self) -> None:
         if not self._closed:
-            closed = datetime.now(timezone.utc).strftime("%Y-%m-%d-%H-%M-%S")
-            self.stream.write(f"#close\t{closed}\n")
+            self.stream.write(f"#close\t{self._stamp()}\n")
             self._closed = True
 
     def __enter__(self) -> "ZeekLogWriter":
@@ -135,23 +147,33 @@ class ZeekLogReader:
         self.types: tuple[str, ...] = ()
 
     def __iter__(self) -> Iterator[dict]:
-        for line in self.stream:
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            if line.startswith("#"):
-                self._consume_header(line)
-                continue
-            if not self.fields:
-                raise ValueError("data row encountered before #fields header")
-            parts = line.split("\t")
-            if len(parts) != len(self.fields):
-                raise ValueError(
-                    f"row has {len(parts)} columns, expected {len(self.fields)}")
-            yield {
-                field: _parse(text, zeek_type)
-                for field, text, zeek_type in zip(self.fields, parts, self.types)
-            }
+        rows = 0
+        try:
+            for line in self.stream:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    self._consume_header(line)
+                    continue
+                if not self.fields:
+                    raise ValueError(
+                        "data row encountered before #fields header")
+                parts = line.split("\t")
+                if len(parts) != len(self.fields):
+                    raise ValueError(
+                        f"row has {len(parts)} columns, "
+                        f"expected {len(self.fields)}")
+                yield {
+                    field: _parse(text, zeek_type)
+                    for field, text, zeek_type in zip(self.fields, parts,
+                                                      self.types)
+                }
+                rows += 1
+        finally:
+            if rows:
+                instruments.ZEEK_ROWS.inc(rows, direction="read",
+                                          path=self.path or "unknown")
 
     def _consume_header(self, line: str) -> None:
         if line.startswith("#path\t"):
@@ -163,20 +185,29 @@ class ZeekLogReader:
 
 
 def write_zeek_log(path_on_disk: str, log_path: str, fields: Sequence[str],
-                   types: Sequence[str], rows: Iterable[Sequence[object]]) -> int:
-    """Write a whole log file; returns the number of data rows written."""
+                   types: Sequence[str], rows: Iterable[Sequence[object]],
+                   *, open_time: Optional[datetime] = None) -> int:
+    """Write a whole log file; returns the number of data rows written.
+
+    ``open_time`` pins the ``#open``/``#close`` header timestamps so the
+    file is byte-reproducible (round-trip tests, content-addressed caches).
+    """
     count = 0
-    with open(path_on_disk, "w", encoding="utf-8") as handle:
-        with ZeekLogWriter(handle, log_path, fields, types) as writer:
-            for row in rows:
-                writer.write_row(row)
-                count += 1
+    with trace_span("zeek_write", path=log_path):
+        with open(path_on_disk, "w", encoding="utf-8") as handle:
+            with ZeekLogWriter(handle, log_path, fields, types,
+                               open_time=open_time) as writer:
+                for row in rows:
+                    writer.write_row(row)
+                    count += 1
     return count
 
 
 def read_zeek_log(path_on_disk: str) -> tuple[ZeekLogReader, list[dict]]:
     """Read a whole log file; returns the reader (for metadata) and rows."""
-    with open(path_on_disk, "r", encoding="utf-8") as handle:
-        reader = ZeekLogReader(handle)
-        rows = list(reader)
+    with trace_span("zeek_read"):
+        with open(path_on_disk, "r", encoding="utf-8") as handle:
+            reader = ZeekLogReader(handle)
+            rows = list(reader)
     return reader, rows
+

@@ -14,6 +14,9 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..obs import instruments
+from ..obs.logging import get_logger, kv
+from ..obs.tracing import trace_span
 from ..tls.connection import ConnectionRecord
 from ..x509.certificate import Certificate, KeyAlgorithm, ValidityPeriod
 from ..x509.dn import DistinguishedName
@@ -26,6 +29,8 @@ from .records import (
 )
 
 __all__ = ["MonitoringTap", "reconstruct_certificate", "join_logs", "JoinedConnection"]
+
+log = get_logger(__name__)
 
 
 class MonitoringTap:
@@ -123,19 +128,28 @@ def join_logs(ssl_records: Sequence[SSLRecord],
     that *are* present dropped out — matching how real pipelines tolerate
     log rotation races.  ``strict=True`` raises instead.
     """
-    certificates = {record.fingerprint: reconstruct_certificate(record)
-                    for record in x509_records}
-    joined: list[JoinedConnection] = []
-    for ssl in ssl_records:
-        chain: list[Certificate] = []
-        for fingerprint in ssl.cert_chain_fps:
-            certificate = certificates.get(fingerprint)
-            if certificate is None:
-                if strict:
-                    raise KeyError(
-                        f"SSL row {ssl.uid} references unknown certificate "
-                        f"{fingerprint}")
-                continue
-            chain.append(certificate)
-        joined.append(JoinedConnection(ssl, tuple(chain)))
+    missing = 0
+    with trace_span("join_logs", ssl_rows=len(ssl_records),
+                    x509_rows=len(x509_records)):
+        certificates = {record.fingerprint: reconstruct_certificate(record)
+                        for record in x509_records}
+        joined: list[JoinedConnection] = []
+        for ssl in ssl_records:
+            chain: list[Certificate] = []
+            for fingerprint in ssl.cert_chain_fps:
+                certificate = certificates.get(fingerprint)
+                if certificate is None:
+                    if strict:
+                        raise KeyError(
+                            f"SSL row {ssl.uid} references unknown "
+                            f"certificate {fingerprint}")
+                    missing += 1
+                    continue
+                chain.append(certificate)
+            joined.append(JoinedConnection(ssl, tuple(chain)))
+    instruments.ZEEK_JOIN_CONNECTIONS.inc(len(joined))
+    instruments.ZEEK_JOIN_MISSING_CERTS.inc(missing)
+    if missing:
+        log.warning("join dropped unknown certificate references",
+                    extra=kv(missing=missing, joined=len(joined)))
     return joined

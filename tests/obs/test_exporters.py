@@ -1,0 +1,111 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, RunReport."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.exporters import (
+    RunReport,
+    render_json,
+    render_prometheus,
+    write_metrics_file,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_zeek_rows_total", "rows",
+                    labelnames=("direction", "path"))
+    c.inc(100, direction="read", path="ssl")
+    c.inc(40, direction="read", path="x509")
+    reg.counter("repro_pipeline_chains_total", "chains").inc(7)
+    cache = reg.counter("repro_structure_cache_lookups_total",
+                        labelnames=("result",))
+    cache.inc(3, result="hit")
+    cache.inc(1, result="miss")
+    h = reg.histogram("repro_span_duration_seconds", "spans",
+                      labelnames=("span",), buckets=(0.1, 1.0))
+    h.observe(0.05, span="categorize")
+    return reg
+
+
+class TestPrometheus:
+    def test_exposition_structure(self):
+        text = render_prometheus(_populated_registry())
+        assert "# TYPE repro_zeek_rows_total counter" in text
+        assert ('repro_zeek_rows_total{direction="read",path="ssl"} 100'
+                in text)
+        assert "# TYPE repro_span_duration_seconds histogram" in text
+        assert ('repro_span_duration_seconds_bucket{span="categorize",'
+                'le="0.1"} 1') in text
+        assert ('repro_span_duration_seconds_bucket{span="categorize",'
+                'le="+Inf"} 1') in text
+        assert 'repro_span_duration_seconds_count{span="categorize"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("p",)).inc(p='a"b\\c')
+        text = render_prometheus(reg)
+        assert 'p="a\\"b\\\\c"' in text
+
+    def test_deterministic_ordering(self):
+        assert (render_prometheus(_populated_registry())
+                == render_prometheus(_populated_registry()))
+
+
+class TestJson:
+    def test_round_trips_through_json(self):
+        data = json.loads(render_json(_populated_registry()))
+        assert data["repro_pipeline_chains_total"]["samples"][0]["value"] == 7
+
+    def test_write_metrics_file_picks_format(self, tmp_path):
+        reg = _populated_registry()
+        prom = tmp_path / "m.prom"
+        js = tmp_path / "m.json"
+        write_metrics_file(str(prom), reg)
+        write_metrics_file(str(js), reg)
+        assert prom.read_text().startswith("# ")
+        assert json.loads(js.read_text())
+
+
+class TestRunReport:
+    def test_collect_derives_throughput_and_cache(self):
+        reg = _populated_registry()
+        tracer = Tracer()
+        with tracer.span("zeek_read"):
+            pass
+        with tracer.span("analyze_chains"):
+            pass
+        report = RunReport.collect(registry=reg, tracer=tracer,
+                                   version="1.2.3", argv=["-e", "table2"])
+        assert report.version == "1.2.3"
+        assert report.throughput["zeek_rows_read"] == 140
+        assert report.throughput["chains_analyzed"] == 7
+        assert report.cache["structure_cache_hit_rate"] == 0.75
+        assert "zeek_read" in report.stages
+        data = json.loads(report.to_json())
+        assert data["argv"] == ["-e", "table2"]
+        assert data["metrics"]["repro_pipeline_chains_total"]
+
+    def test_empty_registry_yields_zeroes_not_errors(self):
+        report = RunReport.collect(registry=MetricsRegistry(),
+                                   tracer=Tracer())
+        assert report.throughput["zeek_rows_read"] == 0
+        assert report.cache["structure_cache_hit_rate"] == 0.0
+
+    def test_write_and_summary_lines(self, tmp_path):
+        reg = _populated_registry()
+        tracer = Tracer()
+        with tracer.span("categorize"):
+            pass
+        report = RunReport.collect(registry=reg, tracer=tracer)
+        path = tmp_path / "report.json"
+        report.write(str(path))
+        assert json.loads(path.read_text())["cache"]
+        lines = report.summary_lines()
+        assert any(line.startswith("stage categorize:") for line in lines)
+        assert any("structure cache hit rate: 75.0%" == line
+                   for line in lines)

@@ -1,0 +1,123 @@
+"""The instrumented pipeline actually feeds the registry and tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campus.dataset import cached_campus_dataset
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
+
+
+def _value(snapshot: dict, name: str, **labels: str) -> float:
+    total = 0.0
+    for sample in snapshot.get(name, {"samples": []})["samples"]:
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample.get("value", 0.0)
+    return total
+
+
+@pytest.fixture(scope="module")
+def pipeline_delta():
+    """Metric deltas and spans from one fresh full-pipeline run."""
+    dataset = cached_campus_dataset(seed="obs-test", scale="small")
+    before = get_registry().snapshot()
+    tracer = get_tracer()
+    span_start = len(tracer.finished)
+    analyzer = dataset.analyzer()
+    result = analyzer.analyze_connections(dataset.joined())
+    # Force structure-cache traffic: one miss pass, one hit pass.
+    for chain in result.categorized.chains(
+            list(result.categorized.by_category)[0]):
+        result.structure_of(chain)
+        result.structure_of(chain)
+    after = get_registry().snapshot()
+    spans = [r.name for r in tracer.finished[span_start:]]
+    return before, after, spans, dataset, result
+
+
+class TestPipelineCounters:
+    def test_chains_counted(self, pipeline_delta):
+        before, after, _, dataset, result = pipeline_delta
+        delta = (_value(after, "repro_pipeline_chains_total")
+                 - _value(before, "repro_pipeline_chains_total"))
+        assert delta == len(result.chains)
+
+    def test_category_counters_match_result(self, pipeline_delta):
+        before, after, _, _, result = pipeline_delta
+        for category, chains in result.categorized.by_category.items():
+            delta = (_value(after, "repro_pipeline_category_chains_total",
+                            category=category.value)
+                     - _value(before, "repro_pipeline_category_chains_total",
+                              category=category.value))
+            assert delta == len(chains)
+
+    def test_aggregation_counters(self, pipeline_delta):
+        before, after, _, dataset, result = pipeline_delta
+        aggregated = (_value(after, "repro_chain_connections_total",
+                             result="aggregated")
+                      - _value(before, "repro_chain_connections_total",
+                               result="aggregated"))
+        assert aggregated == sum(c.usage.connections
+                                 for c in result.chains.values())
+
+    def test_structure_cache_hits_and_misses(self, pipeline_delta):
+        before, after, _, _, _ = pipeline_delta
+        hits = (_value(after, "repro_structure_cache_lookups_total",
+                       result="hit")
+                - _value(before, "repro_structure_cache_lookups_total",
+                         result="hit"))
+        misses = (_value(after, "repro_structure_cache_lookups_total",
+                         result="miss")
+                  - _value(before, "repro_structure_cache_lookups_total",
+                           result="miss"))
+        assert hits > 0 and misses > 0
+
+    def test_interception_verdicts_cover_all_chains(self, pipeline_delta):
+        before, after, _, _, result = pipeline_delta
+        total = sum(
+            _value(after, "repro_interception_chains_total", verdict=v)
+            - _value(before, "repro_interception_chains_total", verdict=v)
+            for v in ("flagged", "not_flagged", "public_issuer",
+                      "empty_chain"))
+        assert total == len(result.chains)
+
+    def test_ct_lookups_recorded(self, pipeline_delta):
+        before, after, _, _, _ = pipeline_delta
+        lookups = (_value(after, "repro_ct_lookups_total")
+                   - _value(before, "repro_ct_lookups_total"))
+        assert lookups > 0
+
+
+class TestPipelineSpans:
+    def test_stage_spans_emitted_in_order(self, pipeline_delta):
+        _, _, spans, _, _ = pipeline_delta
+        for name in ("enrich_interception", "categorize", "hybrid_analysis",
+                     "special_populations", "analyze_chains"):
+            assert name in spans
+        # Stages close before the enclosing pipeline span does.
+        assert spans.index("categorize") < spans.index("analyze_chains")
+
+
+class TestDeterminism:
+    def test_two_runs_produce_identical_counter_deltas(self):
+        dataset = cached_campus_dataset(seed="obs-test", scale="small")
+
+        def run() -> dict:
+            before = get_registry().snapshot()
+            dataset.analyzer().analyze_connections(dataset.joined())
+            after = get_registry().snapshot()
+            return {
+                name: _value(after, name, **labels) - _value(before, name,
+                                                             **labels)
+                for name, labels in [
+                    ("repro_pipeline_chains_total", {}),
+                    ("repro_chain_connections_total", {}),
+                    ("repro_ct_lookups_total", {"result": "hit"}),
+                    ("repro_ct_lookups_total", {"result": "miss"}),
+                    ("repro_interception_chains_total",
+                     {"verdict": "flagged"}),
+                ]
+            }
+
+        assert run() == run()

@@ -1,0 +1,74 @@
+"""Structured logging wrapper: key=value format, env override, idempotency."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.logging import (
+    REPRO_LOG_LEVEL_VAR,
+    configure_logging,
+    get_logger,
+    kv,
+)
+
+
+def _capture(level="debug"):
+    stream = io.StringIO()
+    configure_logging(level=level, stream=stream, force=True)
+    return stream
+
+
+class TestFormat:
+    def test_key_value_line(self):
+        stream = _capture()
+        log = get_logger("unit.test")
+        log.info("stage done", extra=kv(stage="categorize", chains=12))
+        line = stream.getvalue().strip()
+        assert "level=info" in line
+        assert "logger=repro.unit.test" in line
+        assert 'msg="stage done"' in line
+        assert "stage=categorize" in line
+        assert "chains=12" in line
+
+    def test_values_with_spaces_quoted(self):
+        stream = _capture()
+        get_logger("unit.test").warning("x", extra=kv(note="two words"))
+        assert 'note="two words"' in stream.getvalue()
+
+
+class TestConfiguration:
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("core.pipeline").name == "repro.core.pipeline"
+        assert get_logger("repro.zeek.tap").name == "repro.zeek.tap"
+
+    def test_default_level_is_warning(self, monkeypatch):
+        monkeypatch.delenv(REPRO_LOG_LEVEL_VAR, raising=False)
+        stream = io.StringIO()
+        root = configure_logging(stream=stream, force=True)
+        assert root.level == logging.WARNING
+        get_logger("unit").info("hidden")
+        assert stream.getvalue() == ""
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(REPRO_LOG_LEVEL_VAR, "debug")
+        root = configure_logging(force=True, stream=io.StringIO())
+        assert root.level == logging.DEBUG
+
+    def test_explicit_level_beats_env(self, monkeypatch):
+        monkeypatch.setenv(REPRO_LOG_LEVEL_VAR, "debug")
+        root = configure_logging(level="error", force=True,
+                                 stream=io.StringIO())
+        assert root.level == logging.ERROR
+
+    def test_reconfigure_without_force_only_adjusts_level(self):
+        stream = _capture(level="warning")
+        root = configure_logging(level="debug")
+        assert root.level == logging.DEBUG
+        assert len(root.handlers) == 1  # no handler duplication
+        get_logger("unit").debug("now visible")
+        assert "now visible" in stream.getvalue()
+
+    def test_does_not_propagate_to_stdlib_root(self):
+        _capture()
+        assert logging.getLogger("repro").propagate is False

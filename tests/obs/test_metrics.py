@@ -1,0 +1,150 @@
+"""Metrics registry: counters, gauges, histograms, labels, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    disabled,
+    get_registry,
+)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("test_events_total", "events")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labels_create_independent_series(self, reg):
+        c = reg.counter("test_hits_total", labelnames=("result",))
+        c.inc(result="hit")
+        c.inc(3, result="miss")
+        assert c.value(result="hit") == 1
+        assert c.value(result="miss") == 3
+
+    def test_labels_child_handle_is_cached(self, reg):
+        c = reg.counter("test_total", labelnames=("k",))
+        assert c.labels(k="a") is c.labels(k="a")
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_wrong_labelset_rejected(self, reg):
+        c = reg.counter("test_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            c.inc(b="x")
+
+    def test_missing_series_reads_zero(self, reg):
+        c = reg.counter("test_total", labelnames=("a",))
+        assert c.value(a="never-touched") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("test_depth")
+        g.set(10)
+        g.inc(2)
+        g.labels().dec(5)
+        assert g.value() == 7
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, reg):
+        h = reg.histogram("test_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        child = h.labels()
+        assert child.bucket_counts() == [1, 2, 3]
+        assert child.count == 4
+        assert child.sum == pytest.approx(55.55)
+
+    def test_buckets_are_sorted(self, reg):
+        h = reg.histogram("test_seconds", buckets=(10.0, 0.1, 1.0))
+        assert h.buckets == (0.1, 1.0, 10.0)
+
+    def test_default_buckets_fixed(self):
+        # Deterministic fixed buckets are part of the export contract.
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, reg):
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_kind_conflict_rejected(self, reg):
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_label_conflict_rejected(self, reg):
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+
+    def test_reset_zeroes_but_keeps_child_handles_live(self, reg):
+        c = reg.counter("x_total", labelnames=("k",))
+        child = c.labels(k="a")
+        child.inc(5)
+        reg.reset()
+        assert c.value(k="a") == 0
+        child.inc()  # the pre-reset handle must still be wired in
+        assert c.value(k="a") == 1
+
+    def test_snapshot_sorted_and_complete(self, reg):
+        reg.counter("b_total").inc()
+        reg.counter("a_total").inc(2)
+        h = reg.histogram("h_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a_total", "b_total", "h_seconds"]
+        assert snap["a_total"]["samples"][0]["value"] == 2
+        assert snap["h_seconds"]["samples"][0]["count"] == 1
+
+    def test_disabled_context(self, reg):
+        c = reg.counter("x_total")
+        with disabled(reg):
+            c.inc(100)
+        c.inc()
+        assert c.value() == 1
+
+    def test_default_registry_is_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lossless(self, reg):
+        c = reg.counter("x_total", labelnames=("t",))
+        h = reg.histogram("h_seconds", buckets=(0.5, 1.0))
+        per_thread, threads = 2000, 8
+
+        def work():
+            for _ in range(per_thread):
+                c.inc(t="shared")
+                h.observe(0.25)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert c.value(t="shared") == per_thread * threads
+        assert h.labels().count == per_thread * threads

@@ -1,0 +1,81 @@
+"""Span tracing: nesting, timing aggregation, determinism of structure."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Tracer, get_tracer, trace_span
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        [record] = tracer.finished
+        assert record.name == "stage"
+        assert record.duration_s >= 0.0
+        assert record.depth == 0
+
+    def test_nested_spans_build_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.finished  # inner finishes first
+        assert inner.path == "outer.inner"
+        assert inner.depth == 1
+        assert outer.path == "outer"
+
+    def test_attrs_preserved(self):
+        tracer = Tracer()
+        with tracer.span("categorize", chains=42):
+            pass
+        assert tracer.finished[0].attrs == {"chains": 42}
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [r.name for r in tracer.finished] == ["boom"]
+        # The stack unwound: a new span is root-level again.
+        with tracer.span("after"):
+            pass
+        assert tracer.finished[-1].depth == 0
+
+    def test_stage_timings_aggregates_calls(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        timings = tracer.stage_timings()
+        assert timings["stage"]["calls"] == 3
+        assert timings["stage"]["seconds"] >= 0.0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        with tracer.span("stage"):
+            pass
+        assert tracer.finished == []
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        tracer.reset()
+        assert tracer.finished == []
+
+
+class TestDefaultTracer:
+    def test_trace_span_feeds_registry_histogram(self):
+        get_tracer().reset()
+        hist = get_registry().histogram(
+            "repro_span_duration_seconds", labelnames=("span",))
+        before = hist.labels(span="test_only_stage").count
+        with trace_span("test_only_stage"):
+            pass
+        assert hist.labels(span="test_only_stage").count == before + 1
+        assert get_tracer().finished[-1].name == "test_only_stage"

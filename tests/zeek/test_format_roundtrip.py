@@ -1,0 +1,130 @@
+"""Zeek format round-trips: escaping, (empty)/- distinction, byte stability."""
+
+from __future__ import annotations
+
+import io
+from datetime import datetime, timezone
+
+from repro.zeek.format import (
+    ZeekLogReader,
+    ZeekLogWriter,
+    read_zeek_log,
+    write_zeek_log,
+)
+
+FIELDS = ("ts", "uid", "note", "tags")
+TYPES = ("time", "string", "string", "set[string]")
+
+#: Pinned header timestamp so whole files are byte-comparable.
+T0 = datetime(2021, 2, 15, 12, 0, 0, tzinfo=timezone.utc)
+
+
+def _write(rows, *, open_time=T0) -> str:
+    buffer = io.StringIO()
+    with ZeekLogWriter(buffer, "test", FIELDS, TYPES,
+                       open_time=open_time) as writer:
+        for row in rows:
+            writer.write_row(row)
+    return buffer.getvalue()
+
+
+def _read(text: str):
+    reader = ZeekLogReader(io.StringIO(text))
+    return reader, list(reader)
+
+
+class TestEscaping:
+    def test_tab_escaped_as_x09(self):
+        text = _write([[1.0, "u", "a\tb", []]])
+        data_line = [l for l in text.splitlines() if not l.startswith("#")][0]
+        assert "a\\x09b" in data_line
+        # Column structure intact: escaping kept the tab out of the row.
+        assert len(data_line.split("\t")) == len(FIELDS)
+        _, rows = _read(text)
+        assert rows[0]["note"] == "a\tb"
+
+    def test_newline_escaped_as_x0a(self):
+        text = _write([[1.0, "u", "line1\nline2", []]])
+        data_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(data_lines) == 1  # the newline never splits the row
+        assert "line1\\x0aline2" in data_lines[0]
+        _, rows = _read(text)
+        assert rows[0]["note"] == "line1\nline2"
+
+    def test_tab_and_newline_inside_set_items(self):
+        text = _write([[1.0, "u", "n", ["a\tb", "c\nd"]]])
+        _, rows = _read(text)
+        assert rows[0]["tags"] == ["a\tb", "c\nd"]
+
+
+class TestEmptyVersusUnset:
+    def test_empty_set_renders_empty_marker(self):
+        text = _write([[1.0, "u", "n", []]])
+        data_line = [l for l in text.splitlines() if not l.startswith("#")][0]
+        assert data_line.split("\t")[3] == "(empty)"
+
+    def test_unset_set_renders_dash(self):
+        text = _write([[1.0, "u", "n", None]])
+        data_line = [l for l in text.splitlines() if not l.startswith("#")][0]
+        assert data_line.split("\t")[3] == "-"
+
+    def test_round_trip_distinguishes_empty_from_unset(self):
+        _, rows = _read(_write([
+            [1.0, "u1", "n", []],
+            [2.0, "u2", "n", None],
+            [3.0, "u3", "", None],
+            [4.0, None, "n", ["x"]],
+        ]))
+        assert rows[0]["tags"] == []
+        assert rows[1]["tags"] is None
+        assert rows[2]["note"] == ""
+        assert rows[3]["uid"] is None
+        assert rows[3]["tags"] == ["x"]
+
+
+class TestByteStability:
+    ROWS = [
+        [1600000000.25, "Cabc", "plain", ["a", "b"]],
+        [1600000001.5, None, "with\ttab", []],
+        [1600000002.75, "Cdef", "with\nnewline", None],
+        [1600000003.0, "Cghi", "", ["x\ty"]],
+    ]
+
+    def test_read_write_is_byte_stable_in_memory(self):
+        first = _write(self.ROWS)
+        _, rows = _read(first)
+        second = _write([[r[f] for f in FIELDS] for r in rows])
+        assert second == first
+
+    def test_read_write_is_byte_stable_on_disk(self, tmp_path):
+        """read_zeek_log → write_zeek_log reproduces a simulated log
+        byte-for-byte when the header timestamp is pinned."""
+        original = tmp_path / "orig.log"
+        rewritten = tmp_path / "rewritten.log"
+        count = write_zeek_log(str(original), "test", FIELDS, TYPES,
+                               self.ROWS, open_time=T0)
+        assert count == len(self.ROWS)
+        reader, rows = read_zeek_log(str(original))
+        assert reader.path == "test"
+        write_zeek_log(str(rewritten), reader.path, reader.fields,
+                       reader.types,
+                       [[row[f] for f in reader.fields] for row in rows],
+                       open_time=T0)
+        assert rewritten.read_bytes() == original.read_bytes()
+
+    def test_simulated_campus_log_round_trips(self, tmp_path):
+        """A real tap-produced x509/ssl log survives parse → re-render."""
+        from repro.campus.dataset import cached_campus_dataset
+        from repro.zeek.records import SSLRecord
+
+        dataset = cached_campus_dataset(seed=0, scale="small")
+        original = tmp_path / "ssl.log"
+        rewritten = tmp_path / "ssl2.log"
+        write_zeek_log(str(original), "ssl", SSLRecord.FIELDS,
+                       SSLRecord.TYPES, dataset.tap.ssl_rows(), open_time=T0)
+        reader, rows = read_zeek_log(str(original))
+        write_zeek_log(str(rewritten), reader.path, reader.fields,
+                       reader.types,
+                       [[row[f] for f in reader.fields] for row in rows],
+                       open_time=T0)
+        assert rewritten.read_bytes() == original.read_bytes()
