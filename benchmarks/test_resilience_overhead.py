@@ -1,0 +1,67 @@
+"""Micro-benchmark: resilience must be free when nothing is failing.
+
+Times the Zeek read path — the pipeline's per-row hot loop — bare versus
+wrapped in the resilience machinery (a quarantine sink plus a fault
+injector with every rate at zero) and asserts the wrapped read stays
+within 5% of the bare one (plus a small absolute slack so sub-100ms
+timings don't flap on noisy machines).  This pins the ISSUE's "no-fault
+overhead ≤5%" budget: tolerant ingest may cost something when rows are
+actually bad, never when they aren't.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/test_resilience_overhead.py -q``
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campus.dataset import cached_campus_dataset
+from repro.faults import NO_FAULTS, FaultInjector
+from repro.resilience import Quarantine
+from repro.zeek.format import read_zeek_log
+
+#: The ISSUE's budget, plus absolute slack for sub-100ms timings.
+MAX_RELATIVE_OVERHEAD = 0.05
+ABSOLUTE_SLACK_S = 0.010
+REPS = 5
+
+
+@pytest.fixture(scope="module")
+def ssl_log(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-logs")
+    dataset = cached_campus_dataset(seed=0, scale="small")
+    ssl_path, _ = dataset.write_zeek_logs(str(directory))
+    return ssl_path
+
+
+def _best_of(reps: int, read) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        read()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_no_fault_read_overhead_within_budget(ssl_log):
+    def bare():
+        return read_zeek_log(ssl_log)
+
+    def resilient():
+        return read_zeek_log(ssl_log, quarantine=Quarantine(),
+                             faults=FaultInjector(NO_FAULTS))
+
+    # Both arms parse the same rows; warm the page cache + imports first.
+    _, baseline_rows = bare()
+    _, resilient_rows = resilient()
+    assert resilient_rows == baseline_rows  # no-fault wrapping is invisible
+
+    baseline = _best_of(REPS, bare)
+    wrapped = _best_of(REPS, resilient)
+
+    budget = baseline * (1.0 + MAX_RELATIVE_OVERHEAD) + ABSOLUTE_SLACK_S
+    assert wrapped <= budget, (
+        f"resilient={wrapped:.4f}s baseline={baseline:.4f}s "
+        f"(budget {budget:.4f}s) — no-fault resilience overhead regressed")

@@ -18,7 +18,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from ..ct.crtsh import CrtShIndex
+from ..faults.injector import FaultInjector
 from ..obs import instruments
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.errors import CircuitOpenError, CTUnavailableError
 from ..x509.certificate import Certificate
 from ..x509.dn import DistinguishedName
 from .chain import ObservedChain
@@ -97,6 +100,9 @@ class InterceptionReport:
     #: every DN (issuer and CA subjects) attributable to interception CAs,
     #: used downstream by chain categorisation.
     issuer_name_keys: Set[tuple] = field(default_factory=set)
+    #: chains whose CT evidence could not be retrieved (outage / breaker
+    #: open) — the *degraded* verdict: no interception claim either way.
+    degraded_chains: list = field(default_factory=list)
 
     def category_table(self, chains: Dict[tuple[str, ...], ObservedChain]
                        ) -> list[dict]:
@@ -137,16 +143,35 @@ class InterceptionReport:
         """Distinct issuing entities — the paper's '80 issuers' unit."""
         return len({issuer.vendor for issuer in self.issuers})
 
+    @property
+    def degraded_count(self) -> int:
+        """Chains the detector could not check because CT was unavailable."""
+        return len(self.degraded_chains)
+
 
 class InterceptionDetector:
-    """CT-mismatch interception detection over observed chains."""
+    """CT-mismatch interception detection over observed chains.
+
+    CT is a *remote* dependency in the real pipeline, so every lookup can
+    go through a :class:`CircuitBreaker` and a fault injector: when CT is
+    unavailable (or the breaker is open) the affected chain gets the
+    degraded ``ct_unavailable`` verdict — it is **not** flagged (no
+    interception claim without CT evidence, mirroring the Appendix B
+    absent-from-CT caveat) and is listed on
+    ``InterceptionReport.degraded_chains`` so the loss of coverage is
+    visible, never silent.
+    """
 
     def __init__(self, classifier: CertificateClassifier,
                  ct_index: CrtShIndex,
-                 directory: Optional[VendorDirectory] = None):
+                 directory: Optional[VendorDirectory] = None,
+                 *, breaker: Optional[CircuitBreaker] = None,
+                 faults: Optional[FaultInjector] = None):
         self.classifier = classifier
         self.ct_index = ct_index
         self.directory = directory or VendorDirectory()
+        self.breaker = breaker
+        self.faults = faults
 
     def detect(self, chains: Iterable[ObservedChain]) -> InterceptionReport:
         report = InterceptionReport()
@@ -159,7 +184,12 @@ class InterceptionDetector:
             if self.classifier.classify(leaf) is not IssuerClass.NON_PUBLIC_DB:
                 instruments.INTERCEPTION_CHAINS.inc(verdict="public_issuer")
                 continue
-            flagged = self._flag_via_ct(leaf, chain)
+            try:
+                flagged = self._flag_via_ct(leaf, chain)
+            except (CTUnavailableError, CircuitOpenError):
+                instruments.INTERCEPTION_CHAINS.inc(verdict="ct_unavailable")
+                report.degraded_chains.append(chain.key)
+                continue
             if not flagged:
                 instruments.INTERCEPTION_CHAINS.inc(verdict="not_flagged")
                 continue
@@ -180,6 +210,18 @@ class InterceptionDetector:
                 report.issuer_name_keys.add(_dn_key(certificate.issuer))
         return report
 
+    def _ct_issuers(self, domain: str, validity) -> list[DistinguishedName]:
+        """One CT lookup, routed through the fault injector and breaker."""
+        def lookup() -> list[DistinguishedName]:
+            if self.faults is not None and self.faults.ct_unavailable(domain):
+                raise CTUnavailableError(
+                    f"CT index unavailable for {domain!r} (injected outage)")
+            return self.ct_index.issuers_for_domain(domain,
+                                                    overlapping=validity)
+        if self.breaker is not None:
+            return self.breaker.call(lookup)  # type: ignore[return-value]
+        return lookup()
+
     def _flag_via_ct(self, leaf: Certificate, chain: ObservedChain) -> bool:
         """True when CT records a different issuer for any domain this
         chain served, over the observed validity period."""
@@ -187,9 +229,10 @@ class InterceptionDetector:
         san = leaf.extensions.subject_alt_name
         if san is not None:
             domains.update(san.dns_names)
-        for domain in domains:
-            recorded = self.ct_index.issuers_for_domain(
-                domain, overlapping=leaf.validity)
+        # Sorted so lookup order (and thus per-domain fault draws and any
+        # early return) is identical across processes.
+        for domain in sorted(domains):
+            recorded = self._ct_issuers(domain, leaf.validity)
             if not recorded:
                 continue  # absent from CT: undetectable (Appendix B caveat)
             observed = _dn_key(leaf.issuer)

@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..ct.crtsh import CrtShIndex
+from ..faults.injector import FaultInjector
+from ..faults.plan import active_plan
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
 from ..obs.tracing import trace_span
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.checkpoint import CheckpointStore, input_fingerprint
 from ..truststores.registry import PublicDBRegistry
 from ..zeek.tap import JoinedConnection
 from .categorization import CategorizedChains, ChainCategorizer, ChainCategory
@@ -146,56 +150,118 @@ class AnalysisResult:
 
 
 class ChainStructureAnalyzer:
-    """Figure 2's full pipeline, from joined log rows to AnalysisResult."""
+    """Figure 2's full pipeline, from joined log rows to AnalysisResult.
+
+    Resilience hooks:
+
+    * CT lookups inside interception detection run through ``ct_breaker``
+      (and ``faults``, defaulting to the ambient fault plan) — an outage
+      produces the degraded ``ct_unavailable`` verdict instead of a crash;
+    * ``analyze_chains(..., checkpoint=..., resume=True)`` persists each
+      stage's output to a :class:`CheckpointStore` and, on resume, serves
+      completed stages from disk when the input fingerprint still matches,
+      so a run killed in stage 3 does not redo stages 1–2.
+    """
 
     def __init__(self, registry: PublicDBRegistry, *,
                  ct_index: Optional[CrtShIndex] = None,
                  vendor_directory: Optional[VendorDirectory] = None,
-                 disclosures: Optional[CrossSignDisclosures] = None):
+                 disclosures: Optional[CrossSignDisclosures] = None,
+                 ct_breaker: Optional[CircuitBreaker] = None,
+                 faults: Optional[FaultInjector] = None):
         self.registry = registry
         self.ct_index = ct_index
         self.vendor_directory = vendor_directory
         self.disclosures = disclosures
+        self.ct_breaker = ct_breaker or CircuitBreaker(name="ct")
+        if faults is None:
+            plan = active_plan()
+            faults = FaultInjector(plan) if plan.any() else None
+        self.faults = faults
 
-    def analyze_connections(self, connections: Iterable[JoinedConnection]
-                            ) -> AnalysisResult:
-        return self.analyze_chains(aggregate_chains(connections))
+    def analyze_connections(self, connections: Iterable[JoinedConnection],
+                            *, checkpoint: Optional[CheckpointStore] = None,
+                            resume: bool = False) -> AnalysisResult:
+        return self.analyze_chains(aggregate_chains(connections),
+                                   checkpoint=checkpoint, resume=resume)
 
-    def analyze_chains(self, chains: Dict[tuple[str, ...], ObservedChain]
-                       ) -> AnalysisResult:
+    def _fingerprint(self, chains: Dict[tuple[str, ...], ObservedChain]
+                     ) -> str:
+        """Identity of this run's input + configuration, for checkpoints."""
+        parts: List[object] = [
+            "analyzer-v1",
+            type(self.registry).__name__,
+            self.ct_index is not None,
+            self.vendor_directory is not None,
+            self.disclosures is not None,
+        ]
+        for key in sorted(chains):
+            usage = chains[key].usage
+            parts.append((key, usage.connections, usage.established,
+                          usage.sni_present))
+        return input_fingerprint(parts)
+
+    def analyze_chains(self, chains: Dict[tuple[str, ...], ObservedChain],
+                       *, checkpoint: Optional[CheckpointStore] = None,
+                       resume: bool = False) -> AnalysisResult:
         classifier = CertificateClassifier(self.registry)
         instruments.PIPELINE_CHAINS.inc(len(chains))
+        fingerprint = self._fingerprint(chains) if checkpoint else ""
+
+        def staged(name: str, compute):
+            """Serve a stage from the checkpoint on resume, else compute
+            (and persist when checkpointing)."""
+            if checkpoint is not None and resume:
+                hit, payload = checkpoint.load(name, fingerprint)
+                if hit:
+                    log.info("stage served from checkpoint",
+                             extra=kv(stage=name))
+                    return payload
+            value = compute()
+            if checkpoint is not None:
+                checkpoint.save(name, fingerprint, value)
+            return value
 
         with trace_span("analyze_chains", chains=len(chains)):
             # Stage 1 — certificate enrichment: interception identification.
             with trace_span("enrich_interception"):
-                if self.ct_index is not None:
-                    detector = InterceptionDetector(classifier, self.ct_index,
-                                                    self.vendor_directory)
-                    interception = detector.detect(chains.values())
-                else:
-                    interception = InterceptionReport()
+                def run_interception() -> InterceptionReport:
+                    if self.ct_index is None:
+                        return InterceptionReport()
+                    detector = InterceptionDetector(
+                        classifier, self.ct_index, self.vendor_directory,
+                        breaker=self.ct_breaker, faults=self.faults)
+                    return detector.detect(chains.values())
+                interception = staged("interception", run_interception)
 
             # Stage 2 — chain categorisation.
             with trace_span("categorize", chains=len(chains)):
-                categorizer = ChainCategorizer(classifier,
-                                               interception.issuer_name_keys)
-                categorized = categorizer.categorize(chains.values())
-                for category in ChainCategory:
-                    instruments.PIPELINE_CATEGORY_CHAINS.inc(
-                        categorized.chain_count(category),
-                        category=category.value)
+                def run_categorize() -> CategorizedChains:
+                    categorizer = ChainCategorizer(
+                        classifier, interception.issuer_name_keys)
+                    result = categorizer.categorize(chains.values())
+                    for category in ChainCategory:
+                        instruments.PIPELINE_CATEGORY_CHAINS.inc(
+                            result.chain_count(category),
+                            category=category.value)
+                    return result
+                categorized = staged("categorize", run_categorize)
 
             # Stage 3 — mismatch/cross-sign + path detection on hybrids.
             hybrid_chains = categorized.chains(ChainCategory.HYBRID)
             with trace_span("hybrid_analysis", chains=len(hybrid_chains)):
-                hybrid_analyzer = HybridAnalyzer(classifier, self.disclosures)
-                hybrid = hybrid_analyzer.analyze(hybrid_chains)
+                def run_hybrid() -> HybridReport:
+                    hybrid_analyzer = HybridAnalyzer(classifier,
+                                                     self.disclosures)
+                    return hybrid_analyzer.analyze(hybrid_chains)
+                hybrid = staged("hybrid", run_hybrid)
 
             # Stage 4 — special populations.
             with trace_span("special_populations"):
-                dga = DGADetector().detect(
-                    categorized.chains(ChainCategory.NON_PUBLIC_ONLY))
+                def run_dga() -> List[DGACluster]:
+                    return DGADetector().detect(
+                        categorized.chains(ChainCategory.NON_PUBLIC_ONLY))
+                dga = staged("dga", run_dga)
 
         instruments.PIPELINE_RUNS.inc()
         log.debug("pipeline run complete", extra=kv(

@@ -25,12 +25,14 @@ from ..campus.dataset import cached_campus_dataset
 from ..core.categorization import ChainCategory
 from ..core.pipeline import ChainStructureAnalyzer
 from ..core.report import render_table
+from ..faults import FaultInjector, FaultPlan, clear_plan, install_plan
 from ..obs.exporters import RunReport, write_metrics_file
 from ..obs.logging import configure_logging, get_logger, kv
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
+from ..resilience import CheckpointStore, Quarantine
 from ..truststores import build_public_pki
-from ..zeek.format import read_zeek_log
+from ..zeek.format import ZeekFormatError, read_zeek_log
 from ..zeek.records import SSLRecord, X509Record
 from ..zeek.tap import join_logs
 from .base import registry, run_experiment
@@ -84,15 +86,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--run-report", metavar="PATH",
                         help="write the per-run JSON report (stage timings, "
                              "throughput, cache hit rates)")
+    parser.add_argument("--fault-plan", metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                             "'zeek_corrupt_rate=0.05,scan_timeout_rate=0.1' "
+                             "(overrides REPRO_FAULT_PLAN); enables "
+                             "quarantine of malformed Zeek rows")
+    parser.add_argument("--quarantine-out", metavar="PATH",
+                        help="tolerate malformed Zeek rows and write every "
+                             "dropped row (reason + raw bytes) to PATH as "
+                             "JSONL")
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="persist per-stage pipeline checkpoints to DIR "
+                             "(logs mode)")
+    parser.add_argument("--resume", action="store_true",
+                        help="serve completed stages from --checkpoint-dir "
+                             "instead of recomputing them")
     return parser
 
 
-def _analyze_logs(ssl_path: str, x509_path: str) -> int:
+def _analyze_logs(args: argparse.Namespace,
+                  injector: Optional[FaultInjector]) -> int:
+    ssl_path, x509_path = args.ssl_log, args.x509_log
+    # A fault plan or an explicit quarantine destination switches the
+    # reader from strict (one bad row aborts) to degraded-but-complete.
+    tolerant = injector is not None or bool(args.quarantine_out)
+    quarantine = Quarantine() if tolerant else None
     try:
-        _, ssl_rows = read_zeek_log(ssl_path)
-        _, x509_rows = read_zeek_log(x509_path)
+        _, ssl_rows = read_zeek_log(ssl_path, quarantine=quarantine,
+                                    faults=injector)
+        _, x509_rows = read_zeek_log(x509_path, quarantine=quarantine,
+                                     faults=injector)
     except OSError as exc:
         print(f"certchain-analyze: cannot read log: {exc}", file=sys.stderr)
+        return 2
+    except ZeekFormatError as exc:
+        # str(exc) carries file:line so the operator can jump straight to
+        # the offending row.
+        print(f"certchain-analyze: malformed Zeek log: {exc}",
+              file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"certchain-analyze: malformed Zeek log: {exc}",
@@ -101,10 +132,13 @@ def _analyze_logs(ssl_path: str, x509_path: str) -> int:
     ssl_records = [SSLRecord.from_row(r) for r in ssl_rows]
     x509_records = [X509Record.from_row(r) for r in x509_rows]
     joined = join_logs(ssl_records, x509_records)
+    checkpoint = (CheckpointStore(args.checkpoint_dir)
+                  if args.checkpoint_dir else None)
     # Without a trust-store snapshot every issuer is non-public; callers
     # embedding the library can supply their own registry.
     analyzer = ChainStructureAnalyzer(build_public_pki().registry)
-    result = analyzer.analyze_connections(joined)
+    result = analyzer.analyze_connections(joined, checkpoint=checkpoint,
+                                          resume=args.resume)
     rows = [[row["category"], row["chains"], row["connections"],
              row["client_ips"]]
             for row in result.categorized.summary_rows()]
@@ -114,6 +148,23 @@ def _analyze_logs(ssl_path: str, x509_path: str) -> int:
     print(f"distinct certificates: {len(x509_records):,}")
     print(f"hybrid chains: "
           f"{result.categorized.chain_count(ChainCategory.HYBRID):,}")
+    if quarantine is not None:
+        print()
+        for line in quarantine.summary_lines():
+            print(line)
+        if result.interception.degraded_count:
+            print(f"degraded: {result.interception.degraded_count} chains "
+                  f"with CT unavailable (no interception verdict)")
+        if args.quarantine_out:
+            try:
+                quarantine.write(args.quarantine_out)
+            except OSError as exc:
+                print(f"certchain-analyze: cannot write quarantine: {exc}",
+                      file=sys.stderr)
+                return 2
+            log.info("quarantine written",
+                     extra=kv(path=args.quarantine_out,
+                              records=len(quarantine)))
     return 0
 
 
@@ -156,34 +207,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     effective_argv = list(argv) if argv is not None else sys.argv[1:]
 
-    if args.ssl_log or args.x509_log:
-        if not (args.ssl_log and args.x509_log):
-            parser.error("--ssl-log and --x509-log must be given together")
-        status = _analyze_logs(args.ssl_log, args.x509_log)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+
+    # Resolve the fault plan (flag wins over environment) and install it
+    # ambiently so deep call sites — the scanner inside the §5 revisit,
+    # the pipeline's CT lookups — pick it up without parameter threading.
+    try:
+        if args.fault_plan:
+            plan = FaultPlan.parse(args.fault_plan, seed=args.seed)
+        else:
+            plan = FaultPlan.from_env(seed=args.seed)
+    except ValueError as exc:
+        print(f"certchain-analyze: bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    injector: Optional[FaultInjector] = None
+    if plan is not None and plan.any():
+        install_plan(plan)
+        injector = FaultInjector(plan)
+        log.info("fault plan installed", extra=kv(
+            **{k: v for k, v in plan.rates().items() if v}))
+
+    try:
+        if args.ssl_log or args.x509_log:
+            if not (args.ssl_log and args.x509_log):
+                parser.error("--ssl-log and --x509-log must be given "
+                             "together")
+            status = _analyze_logs(args, injector)
+            return status or _write_observability(args, effective_argv)
+
+        known = sorted(registry())
+        if not args.experiments:
+            print("Registered experiments:")
+            for exp_id in known:
+                print(f"  {exp_id}")
+            print("\nRun with -e <id> (or -e all). Example:\n"
+                  "  certchain-analyze --scale small -e table3 -e section5")
+            return 0
+
+        wanted = known if "all" in args.experiments else args.experiments
+        dataset = cached_campus_dataset(seed=args.seed, scale=args.scale)
+        status = 0
+        for exp_id in wanted:
+            try:
+                result = run_experiment(exp_id, dataset)
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                status = 2
+                continue
+            print(result.rendered)
+            print()
         return status or _write_observability(args, effective_argv)
-
-    known = sorted(registry())
-    if not args.experiments:
-        print("Registered experiments:")
-        for exp_id in known:
-            print(f"  {exp_id}")
-        print("\nRun with -e <id> (or -e all). Example:\n"
-              "  certchain-analyze --scale small -e table3 -e section5")
-        return 0
-
-    wanted = known if "all" in args.experiments else args.experiments
-    dataset = cached_campus_dataset(seed=args.seed, scale=args.scale)
-    status = 0
-    for exp_id in wanted:
-        try:
-            result = run_experiment(exp_id, dataset)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            status = 2
-            continue
-        print(result.rendered)
-        print()
-    return status or _write_observability(args, effective_argv)
+    finally:
+        clear_plan()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,35 @@
+"""repro.faults — deterministic, seed-driven fault injection.
+
+``plan``
+    :class:`FaultPlan` (declarative per-subsystem fault rates, parseable
+    from ``--fault-plan`` / ``REPRO_FAULT_PLAN`` specs) and the ambient
+    install/active machinery.
+``injector``
+    :class:`FaultInjector` (SHA-256 per-record decisions — reproducible,
+    stream-independent) and :class:`FlakyCTIndex`.
+
+Nothing here injects anything unless a plan with nonzero rates is
+constructed and handed (or ambiently installed) to a subsystem; the
+default is a perfectly healthy world.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultInjector, FlakyCTIndex
+from .plan import (
+    NO_FAULTS,
+    FaultPlan,
+    active_plan,
+    clear_plan,
+    install_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FlakyCTIndex",
+    "NO_FAULTS",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+]

@@ -1,0 +1,133 @@
+"""Deterministic fault injection driven by a :class:`~repro.faults.plan.FaultPlan`.
+
+Every decision is a pure function of ``(plan seed, scope, key, attempt)``
+via SHA-256 — no shared RNG stream, so injecting a fault in one subsystem
+never perturbs the draws of another, and a retried operation sees a fresh
+(but reproducible) draw per attempt.  That property is what makes the
+chaos CI job and the resilience tests exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from ..obs import instruments
+from .plan import FaultPlan, NO_FAULTS
+
+__all__ = ["FaultInjector", "FlakyCTIndex"]
+
+#: One draw maps to 53 bits of uniform [0, 1).
+_DENOM = float(1 << 53)
+
+
+class FaultInjector:
+    """Turns a plan's rates into per-record, per-attempt fault decisions."""
+
+    def __init__(self, plan: FaultPlan = NO_FAULTS):
+        self.plan = plan
+
+    def _draw(self, scope: str, key: str, attempt: int = 0) -> float:
+        """Uniform [0, 1) from the (seed, scope, key, attempt) tuple."""
+        token = f"{self.plan.seed}:{scope}:{key}:{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        return (int.from_bytes(digest[:8], "big") >> 11) / _DENOM
+
+    # -- active scanning --------------------------------------------------------
+
+    def scan_fault(self, server_id: str, attempt: int = 1) -> Optional[str]:
+        """The fault (if any) this scan attempt hits.
+
+        Returns ``"timeout"`` / ``"reset"`` (connection-level, retryable),
+        ``"slow_handshake"`` / ``"truncated_chain"`` (degraded but
+        answering), or ``None``.  A single draw is partitioned across the
+        configured rates so the kinds are mutually exclusive per attempt.
+        """
+        plan = self.plan
+        if not (plan.scan_timeout_rate or plan.scan_reset_rate
+                or plan.scan_slow_handshake_rate
+                or plan.scan_truncated_chain_rate):
+            return None
+        draw = self._draw("scan", server_id, attempt)
+        for kind, rate in (
+                ("timeout", plan.scan_timeout_rate),
+                ("reset", plan.scan_reset_rate),
+                ("slow_handshake", plan.scan_slow_handshake_rate),
+                ("truncated_chain", plan.scan_truncated_chain_rate)):
+            if rate and draw < rate:
+                instruments.FAULTS_INJECTED.inc(kind=f"scan_{kind}")
+                return kind
+            draw -= rate
+        return None
+
+    # -- CT ---------------------------------------------------------------------
+
+    def ct_unavailable(self, key: str) -> bool:
+        """True when this CT lookup should fail as a remote outage."""
+        rate = self.plan.ct_outage_rate
+        if rate and self._draw("ct", key) < rate:
+            instruments.FAULTS_INJECTED.inc(kind="ct_outage")
+            return True
+        return False
+
+    # -- Zeek ingest ------------------------------------------------------------
+
+    def corrupt_line(self, line: str, lineno: int) -> Optional[str]:
+        """The corrupted form of a data row, or ``None`` to leave it alone.
+
+        ``zeek_corrupt_rate`` appends a garbage column (guaranteed column
+        count mismatch); ``zeek_truncate_rate`` cuts the row mid-line, as a
+        crashed worker or full disk would.
+        """
+        plan = self.plan
+        # Zero-rate fast path: a hash draw per row is measurable on a
+        # 40M-row ingest, so an injector with no Zeek faults must be free.
+        if not (plan.zeek_corrupt_rate or plan.zeek_truncate_rate):
+            return None
+        draw = self._draw("zeek", str(lineno))
+        if plan.zeek_corrupt_rate and draw < plan.zeek_corrupt_rate:
+            instruments.FAULTS_INJECTED.inc(kind="zeek_corrupt")
+            return line + "\t\x00garbled"
+        draw -= plan.zeek_corrupt_rate
+        if plan.zeek_truncate_rate and draw < plan.zeek_truncate_rate:
+            instruments.FAULTS_INJECTED.inc(kind="zeek_truncate")
+            return line[: max(1, len(line) // 3)]
+        return None
+
+
+class FlakyCTIndex:
+    """A CT index whose lookups can fail like a remote crt.sh frontend.
+
+    Wraps any object with the :class:`~repro.ct.crtsh.CrtShIndex` query
+    surface; drawn outages raise
+    :class:`~repro.resilience.errors.CTUnavailableError` so callers
+    exercise their retry/breaker path.
+    """
+
+    def __init__(self, inner, injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def _check(self, domain: str) -> None:
+        if self._injector.ct_unavailable(domain):
+            from ..resilience.errors import CTUnavailableError
+            raise CTUnavailableError(
+                f"CT index unavailable for {domain!r} (injected outage)")
+
+    def records_for_domain(self, domain: str):
+        self._check(domain)
+        return self._inner.records_for_domain(domain)
+
+    def issuers_for_domain(self, domain: str, overlapping=None):
+        self._check(domain)
+        return self._inner.issuers_for_domain(domain, overlapping)
+
+    def knows_domain(self, domain: str) -> bool:
+        self._check(domain)
+        return self._inner.knows_domain(domain)
+
+    def contains_certificate(self, certificate) -> bool:
+        return self._inner.contains_certificate(certificate)
+
+    def __len__(self) -> int:
+        return len(self._inner)

@@ -1,0 +1,135 @@
+"""Fault plans: a declarative, seed-driven description of what should fail.
+
+Web-PKI measurement treats partial failure as the normal case — servers
+vanish between passive window and revisit, CT frontends rate-limit, and a
+year of Zeek logs contains truncated rows.  A :class:`FaultPlan` makes
+those failure modes *reproducible*: it names per-subsystem fault rates and
+a seed, and :class:`~repro.faults.injector.FaultInjector` turns the plan
+into deterministic per-record decisions.  Two runs with the same plan
+inject exactly the same faults.
+
+Plans can be parsed from a compact ``key=value,key=value`` spec (the CLI's
+``--fault-plan`` flag and the ``REPRO_FAULT_PLAN`` environment variable),
+and a process-wide *ambient* plan can be installed so deep call sites
+(e.g. the scanner inside the §5 revisit) pick it up without threading a
+parameter through every layer.  Nothing installs an ambient plan by
+default — the pipeline is fault-free unless the operator asks otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Optional
+
+__all__ = ["FaultPlan", "NO_FAULTS", "install_plan", "clear_plan",
+           "active_plan"]
+
+#: Environment variable the CLI consults for an ambient plan spec.
+PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Per-subsystem fault rates (each in ``[0, 1]``) plus the plan seed."""
+
+    seed: int | str = 0
+    #: Active scans: connection timed out (retryable).
+    scan_timeout_rate: float = 0.0
+    #: Active scans: connection reset mid-handshake (retryable).
+    scan_reset_rate: float = 0.0
+    #: Active scans: handshake succeeds but is pathologically slow.
+    scan_slow_handshake_rate: float = 0.0
+    #: Active scans: server truncates the delivered chain by one certificate.
+    scan_truncated_chain_rate: float = 0.0
+    #: CT index: lookup fails as if crt.sh were unavailable.
+    ct_outage_rate: float = 0.0
+    #: Zeek reader: a data row arrives garbled (extra/garbage column).
+    zeek_corrupt_rate: float = 0.0
+    #: Zeek reader: a data row arrives truncated mid-line.
+    zeek_truncate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.rates().items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fault rate {name}={value!r} must be within [0, 1]")
+
+    def rates(self) -> dict[str, float]:
+        """Every rate field by name (excludes ``seed``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "seed"}
+
+    def any(self) -> bool:
+        """True when at least one fault rate is nonzero."""
+        return any(rate > 0.0 for rate in self.rates().values())
+
+    @property
+    def scan_failure_rate(self) -> float:
+        """Combined probability one scan attempt fails retryably."""
+        return self.scan_timeout_rate + self.scan_reset_rate
+
+    @classmethod
+    def parse(cls, spec: str, *, seed: int | str = 0) -> "FaultPlan":
+        """Parse a ``key=value,key=value`` spec (``seed=`` may appear too).
+
+        >>> FaultPlan.parse("zeek_corrupt_rate=0.05,scan_timeout_rate=0.1")
+        ... # doctest: +SKIP
+        """
+        plan = cls(seed=seed)
+        valid = {f.name for f in fields(cls)}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(
+                    f"fault-plan entry {part!r} is not key=value")
+            if key not in valid:
+                raise ValueError(
+                    f"unknown fault-plan key {key!r}; valid keys: "
+                    f"{', '.join(sorted(valid))}")
+            value: int | str | float
+            if key == "seed":
+                value = raw.strip()
+            else:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"fault-plan rate {key}={raw!r} is not a number")
+            plan = replace(plan, **{key: value})
+        return plan
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None,
+                 *, seed: int | str = 0) -> Optional["FaultPlan"]:
+        """Plan from ``REPRO_FAULT_PLAN``, or ``None`` when unset/empty."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(PLAN_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec, seed=seed)
+
+
+#: The default, all-zero plan: injects nothing.
+NO_FAULTS = FaultPlan()
+
+_ambient: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` as the process-wide ambient plan (``None`` clears)."""
+    global _ambient
+    _ambient = plan if plan is not None and plan.any() else None
+
+
+def clear_plan() -> None:
+    install_plan(None)
+
+
+def active_plan() -> FaultPlan:
+    """The installed ambient plan, or :data:`NO_FAULTS`."""
+    return _ambient if _ambient is not None else NO_FAULTS

@@ -132,6 +132,7 @@ class RunReport:
     throughput: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, object] = field(default_factory=dict)
+    resilience: Dict[str, float] = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
     @classmethod
@@ -169,6 +170,24 @@ class RunReport:
                                    {"samples": []})["samples"]:
             verdicts[sample["labels"].get("verdict", "")] = sample["value"]
 
+        resilience = {
+            "faults_injected": _counter_total(
+                snapshot, "repro_faults_injected_total"),
+            "retries": _counter_total(
+                snapshot, "repro_retry_attempts_total", result="retried"),
+            "retry_exhausted": _counter_total(
+                snapshot, "repro_retry_attempts_total", result="exhausted"),
+            "breaker_rejections": _counter_total(
+                snapshot, "repro_breaker_rejections_total"),
+            "quarantined_records": _counter_total(
+                snapshot, "repro_quarantine_records_total"),
+            "ct_unavailable_chains": verdicts.get("ct_unavailable", 0.0),
+            "checkpoint_stages_loaded": _counter_total(
+                snapshot, "repro_checkpoint_stages_total", result="loaded"),
+            "checkpoint_stages_saved": _counter_total(
+                snapshot, "repro_checkpoint_stages_total", result="saved"),
+        }
+
         report = cls(
             version=version,
             argv=list(argv or []),
@@ -189,6 +208,7 @@ class RunReport:
                 "ct_hit_rate": _rate(ct_hits, ct_hits + ct_misses),
             },
             counters={"interception_verdicts": verdicts},
+            resilience=resilience,
         )
         if include_metrics:
             report.metrics = snapshot
@@ -202,6 +222,7 @@ class RunReport:
             "throughput": self.throughput,
             "cache": self.cache,
             "counters": self.counters,
+            "resilience": self.resilience,
             "metrics": self.metrics,
         }
 
@@ -221,4 +242,9 @@ class RunReport:
                          f"{'s' if entry['calls'] != 1 else ''})")
         hit_rate = self.cache.get("structure_cache_hit_rate", 0.0)
         lines.append(f"structure cache hit rate: {100.0 * hit_rate:.1f}%")
+        for key in ("faults_injected", "retries", "quarantined_records",
+                    "breaker_rejections"):
+            value = self.resilience.get(key, 0.0)
+            if value:
+                lines.append(f"{key.replace('_', ' ')}: {int(value)}")
         return lines

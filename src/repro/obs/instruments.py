@@ -80,6 +80,33 @@ SCAN_ATTEMPTS = _R.counter(
     "Active scan attempts, by outcome.",
     labelnames=("outcome",))
 
+# -- resilience ---------------------------------------------------------------
+
+FAULTS_INJECTED = _R.counter(
+    "repro_faults_injected_total",
+    "Faults the injector imposed, by kind.",
+    labelnames=("kind",))
+RETRY_ATTEMPTS = _R.counter(
+    "repro_retry_attempts_total",
+    "Retried-call attempts, by operation and result.",
+    labelnames=("operation", "result"))
+BREAKER_TRANSITIONS = _R.counter(
+    "repro_breaker_transitions_total",
+    "Circuit-breaker state transitions, by breaker and new state.",
+    labelnames=("breaker", "state"))
+BREAKER_REJECTIONS = _R.counter(
+    "repro_breaker_rejections_total",
+    "Calls rejected while a breaker was open/half-open saturated.",
+    labelnames=("breaker",))
+QUARANTINE_RECORDS = _R.counter(
+    "repro_quarantine_records_total",
+    "Records quarantined instead of aborting the run, by source and reason.",
+    labelnames=("source", "reason"))
+CHECKPOINT_STAGES = _R.counter(
+    "repro_checkpoint_stages_total",
+    "Pipeline-stage checkpoint events (saved/loaded/stale/corrupt).",
+    labelnames=("stage", "result"))
+
 # -- experiments --------------------------------------------------------------
 
 EXPERIMENT_RUNS = _R.counter(

@@ -1,0 +1,50 @@
+"""repro.resilience — retries, circuit breaking, quarantine, checkpoints.
+
+The policy half of the fault story (:mod:`repro.faults` is the chaos
+half).  Five modules:
+
+``errors``
+    :class:`TransientError` and its family — what is worth retrying.
+``retry``
+    :class:`RetryPolicy`: bounded attempts, exponential backoff,
+    deterministic SHA-256 jitter, optional (off by default) sleeping.
+``breaker``
+    :class:`CircuitBreaker`: closed → open → half-open, count-based and
+    therefore deterministic.
+``quarantine``
+    :class:`Quarantine`: capture bad records (reason + raw bytes) instead
+    of raising; JSONL round-trip; degradation summaries.
+``checkpoint``
+    :class:`CheckpointStore`: fingerprint-guarded per-stage pickle
+    checkpoints enabling ``--resume``.
+"""
+
+from __future__ import annotations
+
+from .breaker import BreakerState, CircuitBreaker
+from .checkpoint import CheckpointStore, input_fingerprint
+from .errors import (
+    CircuitOpenError,
+    CTUnavailableError,
+    ScanReset,
+    ScanTimeout,
+    TransientError,
+)
+from .quarantine import Quarantine, QuarantinedRecord
+from .retry import RetryPolicy, RetryResult
+
+__all__ = [
+    "TransientError",
+    "ScanTimeout",
+    "ScanReset",
+    "CTUnavailableError",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "RetryResult",
+    "CircuitBreaker",
+    "BreakerState",
+    "Quarantine",
+    "QuarantinedRecord",
+    "CheckpointStore",
+    "input_fingerprint",
+]

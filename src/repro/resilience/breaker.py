@@ -1,0 +1,114 @@
+"""Circuit breaker: stop hammering a dependency that is clearly down.
+
+State machine (classic three-state):
+
+* **closed** — calls pass through; ``failure_threshold`` *consecutive*
+  failures trip it open.
+* **open** — calls are rejected with :class:`CircuitOpenError` without
+  touching the dependency.  Recovery is **count-based** rather than
+  clock-based (after ``recovery_after`` rejections the breaker goes
+  half-open) so behaviour is a pure function of the call sequence —
+  deterministic under test and under the fault injector.
+* **half-open** — up to ``half_open_probes`` trial calls pass through;
+  one success closes the breaker, one failure reopens it.
+
+Transitions and rejections are counted on the ``repro_breaker_*``
+metrics, labelled by the breaker's name.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..obs import instruments
+from .errors import CircuitOpenError, TransientError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Deterministic, count-based circuit breaker."""
+
+    def __init__(self, *, name: str = "breaker", failure_threshold: int = 5,
+                 recovery_after: int = 10, half_open_probes: int = 1):
+        if failure_threshold < 1 or recovery_after < 1 or half_open_probes < 1:
+            raise ValueError("breaker thresholds must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_after = recovery_after
+        self.half_open_probes = half_open_probes
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._rejections_since_open = 0
+        self._probes_in_flight = 0
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        instruments.BREAKER_TRANSITIONS.inc(breaker=self.name,
+                                            state=state.value)
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (advances recovery counting)."""
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            self._rejections_since_open += 1
+            if self._rejections_since_open >= self.recovery_after:
+                self._transition(BreakerState.HALF_OPEN)
+                self._probes_in_flight = 0
+            else:
+                instruments.BREAKER_REJECTIONS.inc(breaker=self.name)
+                return False
+        # Half-open: admit a bounded number of probes.
+        if self._probes_in_flight < self.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        instruments.BREAKER_REJECTIONS.inc(breaker=self.name)
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            self._reopen()
+            return
+        self._consecutive_failures += 1
+        if (self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._reopen()
+
+    def _reopen(self) -> None:
+        self._transition(BreakerState.OPEN)
+        self._consecutive_failures = 0
+        self._rejections_since_open = 0
+        self._probes_in_flight = 0
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` through the breaker; transient failures count against
+        it, :class:`CircuitOpenError` is raised while it rejects."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open; call rejected")
+        try:
+            value = fn()
+        except TransientError:
+            self.record_failure()
+            raise
+        self.record_success()
+        return value

@@ -1,0 +1,108 @@
+"""Stage-level checkpoint/resume for the analysis pipeline.
+
+A year-of-logs run that dies in stage 3 should not redo stages 1–2.  The
+:class:`CheckpointStore` persists each completed stage's output to a
+directory (pickle, written atomically via rename), keyed by the stage
+name and guarded by a *fingerprint* of the run's input — so a resume
+against different logs, a different trust-store registry, or a different
+analyzer configuration silently recomputes instead of serving stale
+state.  Loads/saves/stale hits are counted on
+``repro_checkpoint_stages_total``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..obs import instruments
+from ..obs.logging import get_logger, kv
+
+__all__ = ["CheckpointStore", "input_fingerprint"]
+
+log = get_logger(__name__)
+
+#: Bump when the stage payload layout changes incompatibly.
+_FORMAT_VERSION = 1
+
+
+def input_fingerprint(parts: Iterable[object]) -> str:
+    """Deterministic digest of whatever identifies a run's input.
+
+    Callers pass stable, order-significant components (sorted chain keys,
+    registry identity, analyzer flags); any change yields a new
+    fingerprint and therefore a cold recompute on resume.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{_FORMAT_VERSION}".encode())
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(repr(part).encode())
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Per-stage pickle files under one checkpoint directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def stage_path(self, stage: str) -> str:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in stage)
+        return os.path.join(self.directory, f"stage-{safe}.ckpt")
+
+    def save(self, stage: str, fingerprint: str, payload: Any) -> None:
+        """Persist one stage's output (atomic: tmp file + rename)."""
+        path = self.stage_path(stage)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump({"version": _FORMAT_VERSION,
+                         "stage": stage,
+                         "fingerprint": fingerprint,
+                         "payload": payload}, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        instruments.CHECKPOINT_STAGES.inc(stage=stage, result="saved")
+        log.debug("checkpoint saved", extra=kv(stage=stage, path=path))
+
+    def load(self, stage: str, fingerprint: str) -> Tuple[bool, Any]:
+        """``(True, payload)`` when a matching checkpoint exists, else
+        ``(False, None)`` — also on fingerprint/version mismatch (stale)
+        or an unreadable file (corrupt)."""
+        path = self.stage_path(stage)
+        if not os.path.exists(path):
+            return False, None
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            instruments.CHECKPOINT_STAGES.inc(stage=stage, result="corrupt")
+            log.warning("checkpoint unreadable; recomputing",
+                        extra=kv(stage=stage, path=path))
+            return False, None
+        if (envelope.get("version") != _FORMAT_VERSION
+                or envelope.get("fingerprint") != fingerprint):
+            instruments.CHECKPOINT_STAGES.inc(stage=stage, result="stale")
+            log.warning("checkpoint stale; recomputing",
+                        extra=kv(stage=stage, path=path))
+            return False, None
+        instruments.CHECKPOINT_STAGES.inc(stage=stage, result="loaded")
+        log.debug("checkpoint loaded", extra=kv(stage=stage, path=path))
+        return True, envelope["payload"]
+
+    def stages_present(self) -> List[str]:
+        names = []
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.startswith("stage-") and entry.endswith(".ckpt"):
+                names.append(entry[len("stage-"):-len(".ckpt")])
+        return names
+
+    def clear(self) -> None:
+        for entry in os.listdir(self.directory):
+            if entry.startswith("stage-") and (entry.endswith(".ckpt")
+                                               or entry.endswith(".tmp")):
+                os.remove(os.path.join(self.directory, entry))

@@ -1,0 +1,32 @@
+"""Exception taxonomy for the resilience layer.
+
+``TransientError`` marks failures worth retrying (timeouts, resets,
+remote outages); everything else is permanent and should surface
+immediately.  Policies in :mod:`repro.resilience.retry` default to
+retrying exactly this family.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TransientError", "ScanTimeout", "ScanReset",
+           "CTUnavailableError", "CircuitOpenError"]
+
+
+class TransientError(Exception):
+    """A failure that may succeed on retry."""
+
+
+class ScanTimeout(TransientError):
+    """An active scan's connection attempt timed out."""
+
+
+class ScanReset(TransientError):
+    """The peer reset the connection mid-handshake."""
+
+
+class CTUnavailableError(TransientError):
+    """The CT index (crt.sh frontend) did not answer."""
+
+
+class CircuitOpenError(TransientError):
+    """The circuit breaker is open; the call was rejected without trying."""

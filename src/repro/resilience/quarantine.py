@@ -1,0 +1,90 @@
+"""Quarantine sink: capture bad records with their reason instead of raising.
+
+One malformed row out of 40 million must not abort a run.  A
+:class:`Quarantine` collects every dropped record — coarse ``reason``
+kind (low-cardinality, suitable as a metric label), the detailed parse
+message, the raw bytes, and where it came from — and round-trips the lot
+through a JSONL file so an operator can inspect, re-parse, or replay
+exactly what was skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Iterator, List
+
+from ..obs import instruments
+
+__all__ = ["Quarantine", "QuarantinedRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedRecord:
+    """One dropped record: provenance, reason, and the raw line."""
+
+    source: str
+    line: int
+    reason: str
+    detail: str
+    raw: str
+
+
+class Quarantine:
+    """Accumulates dropped records and summarises the degradation."""
+
+    def __init__(self) -> None:
+        self.records: List[QuarantinedRecord] = []
+
+    def add(self, *, source: str, line: int, reason: str, detail: str = "",
+            raw: str = "") -> QuarantinedRecord:
+        record = QuarantinedRecord(source=source, line=line, reason=reason,
+                                   detail=detail or reason, raw=raw)
+        self.records.append(record)
+        instruments.QUARANTINE_RECORDS.inc(source=source, reason=reason)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QuarantinedRecord]:
+        return iter(self.records)
+
+    def counts_by_reason(self) -> Counter:
+        return Counter(record.reason for record in self.records)
+
+    def counts_by_source(self) -> Counter:
+        return Counter(record.source for record in self.records)
+
+    def summary_lines(self) -> List[str]:
+        """Human degradation summary for the CLI footer."""
+        if not self.records:
+            return ["degraded: 0 records quarantined"]
+        plural = "s" if len(self.records) != 1 else ""
+        lines = [f"degraded: {len(self.records)} record{plural} quarantined"]
+        for (source, reason), count in sorted(Counter(
+                (r.source, r.reason) for r in self.records).items()):
+            lines.append(f"  {source}: {reason} ×{count}")
+        return lines
+
+    # -- persistence (JSONL) ----------------------------------------------------
+
+    def write(self, path: str) -> int:
+        """Write one JSON object per quarantined record; returns the count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(asdict(record), sort_keys=True) + "\n")
+        return len(self.records)
+
+    @classmethod
+    def load(cls, path: str) -> "Quarantine":
+        """Rebuild a quarantine from its JSONL file (metrics not re-counted)."""
+        quarantine = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for text in handle:
+                text = text.strip()
+                if not text:
+                    continue
+                quarantine.records.append(QuarantinedRecord(**json.loads(text)))
+        return quarantine

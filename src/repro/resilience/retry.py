@@ -1,0 +1,108 @@
+"""Retry policy: bounded attempts, exponential backoff, deterministic jitter.
+
+The jitter is derived from ``(seed, key, attempt)`` via SHA-256 rather
+than a shared RNG, so the backoff schedule for any operation is a pure
+function of the policy — two runs with the same seed produce identical
+schedules, which keeps fault-injected runs byte-reproducible.
+
+By default :meth:`RetryPolicy.call` does **not** sleep: the reproduction
+simulates a measurement campaign, and stalling the test suite for real
+backoff seconds would buy nothing.  The intended delays are still
+computed, recorded on the :class:`RetryResult`, and handed to the
+``sleep`` callable when an embedding wants real waiting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Type
+
+from ..obs import instruments
+from .errors import TransientError
+
+__all__ = ["RetryPolicy", "RetryResult"]
+
+_DENOM = float(1 << 53)
+
+
+@dataclass
+class RetryResult:
+    """What one retried call did: its value, attempts, and intended waits."""
+
+    value: object
+    attempts: int
+    delays: List[float] = field(default_factory=list)
+
+    @property
+    def total_delay(self) -> float:
+        return sum(self.delays)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic ±``jitter`` fraction."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int | str = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1)")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if not self.jitter:
+            return raw
+        token = f"{self.seed}:{key}:{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        uniform = (int.from_bytes(digest[:8], "big") >> 11) / _DENOM
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * uniform)
+
+    def schedule(self, key: str) -> Tuple[float, ...]:
+        """Every backoff delay the policy would apply for ``key``."""
+        return tuple(self.delay(key, attempt)
+                     for attempt in range(1, self.max_attempts))
+
+    def call(self, fn: Callable[[int], object], *, key: str = "",
+             operation: str = "op",
+             retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+             sleep: Optional[Callable[[float], None]] = None) -> RetryResult:
+        """Run ``fn(attempt)`` with retries; raises the last error when
+        every attempt fails.
+
+        ``fn`` receives the 1-based attempt number so deterministic fault
+        injectors can draw per-attempt.  Retried/successful/exhausted
+        attempts are counted on ``repro_retry_attempts_total`` under
+        ``operation``.
+        """
+        delays: List[float] = []
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                value = fn(attempt)
+            except retry_on:
+                if attempt >= self.max_attempts:
+                    instruments.RETRY_ATTEMPTS.inc(operation=operation,
+                                                   result="exhausted")
+                    raise
+                instruments.RETRY_ATTEMPTS.inc(operation=operation,
+                                               result="retried")
+                backoff = self.delay(key, attempt)
+                delays.append(backoff)
+                if sleep is not None:
+                    sleep(backoff)
+                continue
+            instruments.RETRY_ATTEMPTS.inc(operation=operation,
+                                           result="success")
+            return RetryResult(value=value, attempts=attempt, delays=delays)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -5,6 +5,15 @@ chains they deliver now.  Our scanner connects to the simulated fleet the
 same way: it performs a handshake with a permissive client (a scanner never
 rejects; it records) and returns the presented chain, optionally rendered
 the way ``-showcerts`` prints it.
+
+Scanning a real internet is mostly error handling, so the scanner carries
+its own resilience: each scan runs under a
+:class:`~repro.resilience.retry.RetryPolicy` with exponential backoff, a
+:class:`~repro.faults.injector.FaultInjector` (explicit, or the ambient
+plan) can impose timeouts, resets, slow handshakes and truncated chains,
+and the :class:`ScanResult` reports how many attempts were needed and why
+the scan ultimately failed — §5's "unreachable" becomes an *emergent*
+outcome of exhausted retries, not only a caller-supplied label.
 """
 
 from __future__ import annotations
@@ -13,7 +22,11 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Iterable, List, Optional, Sequence
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import active_plan
 from ..obs import instruments
+from ..resilience.errors import ScanReset, ScanTimeout, TransientError
+from ..resilience.retry import RetryPolicy
 from ..tls.connection import ConnectionRecord
 from ..tls.handshake import HandshakeSimulator, TLSClient, TLSServer
 from ..tls.policy import PermissivePolicy
@@ -24,15 +37,25 @@ __all__ = ["ScanResult", "ActiveScanner", "render_showcerts"]
 #: The revisit experiment ran in November 2024.
 REVISIT_TIME = datetime(2024, 11, 15, tzinfo=timezone.utc)
 
+#: Failure reason recorded when a server was known-dead before scanning.
+REASON_NO_ANSWER = "no_answer"
+
 
 @dataclass(frozen=True, slots=True)
 class ScanResult:
-    """One scan attempt against one server."""
+    """One scan outcome against one server (after any retries)."""
 
     server_id: str
     hostname: Optional[str]
     reachable: bool
     chain: tuple[Certificate, ...] = ()
+    #: How many connection attempts this outcome took (0 = never attempted).
+    attempts: int = 1
+    #: Why the scan failed (``timeout``/``reset``/``no_answer``), or None.
+    failure_reason: Optional[str] = None
+    #: The SNI actually present in the ClientHello — taken from the wire
+    #: record, so it reflects what was sent, not what the caller asked for.
+    sni_sent: Optional[str] = None
 
     @property
     def chain_length(self) -> int:
@@ -51,30 +74,75 @@ class ActiveScanner:
     """Scans servers and records whatever they present, verbatim."""
 
     def __init__(self, *, scanner_ip: str = "198.18.0.99",
-                 when: datetime = REVISIT_TIME, seed: int | str = 0):
+                 when: datetime = REVISIT_TIME, seed: int | str = 0,
+                 faults: Optional[FaultInjector] = None,
+                 retry: Optional[RetryPolicy] = None):
         self._client = TLSClient(scanner_ip, policy=PermissivePolicy())
         self._sim = HandshakeSimulator(seed=f"scanner:{seed}")
         self.when = when
+        if faults is None:
+            plan = active_plan()
+            faults = FaultInjector(plan) if plan.any() else None
+        self._faults = faults
+        self.retry = retry or RetryPolicy(seed=f"scan:{seed}")
 
     def scan(self, server: TLSServer, *, server_id: str,
              hostname: Optional[str] = None) -> ScanResult:
-        sni = hostname or (server.hostnames[0] if server.hostnames else None)
-        outcome = self._sim.connect(self._client, server, sni=sni,
-                                    when=self.when)
-        instruments.SCAN_ATTEMPTS.inc(outcome="scanned")
-        return ScanResult(
-            server_id=server_id,
-            hostname=sni,
-            reachable=True,
-            chain=outcome.record.chain,
-        )
+        """Scan one server, retrying transient connection failures.
+
+        Like ``openssl s_client``, the SNI sent is the hostname the caller
+        targeted (falling back to the server's first known name, i.e. the
+        name on the command line); the result's ``sni_sent`` records the
+        value actually put on the wire by the client.
+        """
+        sni = hostname if hostname is not None else (
+            server.hostnames[0] if server.hostnames else None)
+
+        def attempt(number: int) -> ScanResult:
+            fault = (self._faults.scan_fault(server_id, number)
+                     if self._faults is not None else None)
+            if fault == "timeout":
+                instruments.SCAN_ATTEMPTS.inc(outcome="timeout")
+                raise ScanTimeout(f"{server_id}: connection timed out")
+            if fault == "reset":
+                instruments.SCAN_ATTEMPTS.inc(outcome="reset")
+                raise ScanReset(f"{server_id}: connection reset by peer")
+            outcome = self._sim.connect(self._client, server, sni=sni,
+                                        when=self.when)
+            chain = outcome.record.chain
+            if fault == "truncated_chain" and len(chain) > 1:
+                chain = chain[:-1]
+            if fault == "slow_handshake":
+                instruments.SCAN_ATTEMPTS.inc(outcome="slow")
+            else:
+                instruments.SCAN_ATTEMPTS.inc(outcome="scanned")
+            return ScanResult(
+                server_id=server_id,
+                hostname=sni,
+                reachable=True,
+                chain=chain,
+                attempts=number,
+                sni_sent=outcome.record.sni,
+            )
+
+        try:
+            result = self.retry.call(attempt, key=server_id,
+                                     operation="scan")
+        except TransientError as exc:
+            reason = "timeout" if isinstance(exc, ScanTimeout) else "reset"
+            return ScanResult(server_id=server_id, hostname=sni,
+                              reachable=False,
+                              attempts=self.retry.max_attempts,
+                              failure_reason=reason)
+        return result.value  # type: ignore[return-value]
 
     def unreachable(self, server_id: str,
                     hostname: Optional[str] = None) -> ScanResult:
         """Record a server that no longer answers (gone, firewalled, moved)."""
         instruments.SCAN_ATTEMPTS.inc(outcome="unreachable")
         return ScanResult(server_id=server_id, hostname=hostname,
-                          reachable=False)
+                          reachable=False, attempts=0,
+                          failure_reason=REASON_NO_ANSWER)
 
 
 def render_showcerts(chain: Sequence[Certificate], *, sni: str = "",

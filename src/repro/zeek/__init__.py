@@ -2,7 +2,13 @@
 protocol detection, and the monitoring tap that produces/consumes logs."""
 
 from .dpd import FlowSample, client_hello_bytes, looks_like_tls, sniff_version
-from .format import ZeekLogReader, ZeekLogWriter, read_zeek_log, write_zeek_log
+from .format import (
+    ZeekFormatError,
+    ZeekLogReader,
+    ZeekLogWriter,
+    read_zeek_log,
+    write_zeek_log,
+)
 from .legacy import FilesRecord, fuid_for, join_legacy_logs, to_legacy_logs
 from .sensor import BorderSensor, RawFlow
 from .records import (
@@ -22,6 +28,7 @@ __all__ = [
     "RawFlow",
     "SSLRecord",
     "X509Record",
+    "ZeekFormatError",
     "ZeekLogReader",
     "ZeekLogWriter",
     "client_hello_bytes",

@@ -9,12 +9,36 @@ either our simulated logs or real Zeek output byte-for-byte.
 from __future__ import annotations
 
 from datetime import datetime, timezone
-from typing import Iterable, Iterator, Optional, Sequence, TextIO
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, TextIO
 
 from ..obs import instruments
 from ..obs.tracing import trace_span
 
-__all__ = ["ZeekLogWriter", "ZeekLogReader", "read_zeek_log", "write_zeek_log"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..faults.injector import FaultInjector
+    from ..resilience.quarantine import Quarantine
+
+__all__ = ["ZeekFormatError", "ZeekLogWriter", "ZeekLogReader",
+           "read_zeek_log", "write_zeek_log"]
+
+
+class ZeekFormatError(ValueError):
+    """A malformed Zeek log, pinpointed to its file and line.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handlers keep working; the message carries ``source:line`` so an
+    operator staring at a 40M-row file knows exactly where to look.
+    """
+
+    def __init__(self, message: str, *, source: Optional[str] = None,
+                 line: Optional[int] = None):
+        self.source = source
+        self.line = line
+        self.reason = message
+        location = ""
+        if source is not None or line is not None:
+            location = f"{source or '<stream>'}:{line or '?'}: "
+        super().__init__(f"{location}{message}")
 
 _UNSET = "-"
 _EMPTY = "(empty)"
@@ -138,37 +162,74 @@ class ZeekLogWriter:
 
 
 class ZeekLogReader:
-    """Parses a Zeek ASCII log into typed dict rows."""
+    """Parses a Zeek ASCII log into typed dict rows.
 
-    def __init__(self, stream: TextIO):
+    By default any malformed row raises :class:`ZeekFormatError` (carrying
+    the source path and line number).  Given a ``quarantine`` sink, bad
+    rows are captured there — reason, detail, raw bytes — and iteration
+    continues, which is how a year-scale ingest survives row 40M being
+    truncated.  A ``faults`` injector corrupts data rows *before* parsing,
+    simulating an already-damaged file deterministically.
+    """
+
+    def __init__(self, stream: TextIO, *, source: Optional[str] = None,
+                 quarantine: "Optional[Quarantine]" = None,
+                 faults: "Optional[FaultInjector]" = None):
         self.stream = stream
+        self.source = source
+        self.quarantine = quarantine
+        self.faults = faults
         self.path: Optional[str] = None
         self.fields: tuple[str, ...] = ()
         self.types: tuple[str, ...] = ()
 
+    def _bad_row(self, *, line: int, reason: str, detail: str,
+                 raw: str) -> None:
+        """Quarantine a malformed row, or raise when running strict."""
+        if self.quarantine is None:
+            raise ZeekFormatError(detail, source=self.source, line=line)
+        self.quarantine.add(source=self.source or self.path or "<stream>",
+                            line=line, reason=reason, detail=detail, raw=raw)
+
     def __iter__(self) -> Iterator[dict]:
         rows = 0
+        faults = self.faults
         try:
-            for line in self.stream:
+            for lineno, line in enumerate(self.stream, 1):
                 line = line.rstrip("\n")
                 if not line:
                     continue
                 if line.startswith("#"):
                     self._consume_header(line)
                     continue
+                if faults is not None:
+                    corrupted = faults.corrupt_line(line, lineno)
+                    if corrupted is not None:
+                        line = corrupted
                 if not self.fields:
-                    raise ValueError(
-                        "data row encountered before #fields header")
+                    self._bad_row(line=lineno, reason="no-header",
+                                  detail="data row encountered before "
+                                         "#fields header", raw=line)
+                    continue
                 parts = line.split("\t")
                 if len(parts) != len(self.fields):
-                    raise ValueError(
-                        f"row has {len(parts)} columns, "
-                        f"expected {len(self.fields)}")
-                yield {
-                    field: _parse(text, zeek_type)
-                    for field, text, zeek_type in zip(self.fields, parts,
-                                                      self.types)
-                }
+                    self._bad_row(line=lineno, reason="column-count",
+                                  detail=f"row has {len(parts)} columns, "
+                                         f"expected {len(self.fields)}",
+                                  raw=line)
+                    continue
+                try:
+                    row = {
+                        field: _parse(text, zeek_type)
+                        for field, text, zeek_type in zip(self.fields, parts,
+                                                          self.types)
+                    }
+                except ValueError as exc:
+                    self._bad_row(line=lineno, reason="field-parse",
+                                  detail=f"unparseable field value: {exc}",
+                                  raw=line)
+                    continue
+                yield row
                 rows += 1
         finally:
             if rows:
@@ -203,11 +264,20 @@ def write_zeek_log(path_on_disk: str, log_path: str, fields: Sequence[str],
     return count
 
 
-def read_zeek_log(path_on_disk: str) -> tuple[ZeekLogReader, list[dict]]:
-    """Read a whole log file; returns the reader (for metadata) and rows."""
+def read_zeek_log(path_on_disk: str, *,
+                  quarantine: "Optional[Quarantine]" = None,
+                  faults: "Optional[FaultInjector]" = None
+                  ) -> tuple[ZeekLogReader, list[dict]]:
+    """Read a whole log file; returns the reader (for metadata) and rows.
+
+    With a ``quarantine`` sink, malformed rows are captured and skipped
+    instead of raising; ``faults`` deterministically corrupts rows first
+    (see :class:`ZeekLogReader`).
+    """
     with trace_span("zeek_read"):
         with open(path_on_disk, "r", encoding="utf-8") as handle:
-            reader = ZeekLogReader(handle)
+            reader = ZeekLogReader(handle, source=path_on_disk,
+                                   quarantine=quarantine, faults=faults)
             rows = list(reader)
     return reader, rows
 

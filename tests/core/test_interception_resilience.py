@@ -1,0 +1,95 @@
+"""Degraded interception detection: CT outages, breaker, ct_unavailable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import ObservedChain
+from repro.core.interception import InterceptionDetector, VendorDirectory
+from repro.ct import CTLog, CrtShIndex
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import instruments
+from repro.resilience import BreakerState, CircuitBreaker
+from repro.tls import build_middlebox
+from repro.x509 import CertificateFactory, name
+
+
+@pytest.fixture()
+def ct_index(pki):
+    factory = CertificateFactory(seed=71)
+    r3 = pki.ca("lets_encrypt").intermediates["R3"]
+    real_leaf = factory.leaf(r3, name("portal.example.com"),
+                             dns_names=["portal.example.com"])
+    log = CTLog("campus-log",
+                accepted_roots=[ca.root.certificate
+                                for ca in pki.cas.values()])
+    log.add_chain([real_leaf, r3.certificate,
+                   pki.ca("lets_encrypt").root.certificate])
+    return CrtShIndex([log])
+
+
+@pytest.fixture()
+def intercepted_chain():
+    mb = build_middlebox("Zscaler Inc", "Security & Network", seed=72)
+    chain = ObservedChain(tuple(mb.substitute_chain("portal.example.com")))
+    chain.usage.record(established=True, client_ip="10.0.1.1",
+                       server_ip="203.0.113.80", port=443,
+                       sni="portal.example.com", ts=1_600_000_000.0)
+    return chain
+
+
+@pytest.fixture()
+def directory():
+    return VendorDirectory([("zscaler", "Zscaler", "Security & Network")])
+
+
+class TestCTOutage:
+    def test_total_outage_degrades_instead_of_flagging(
+            self, classifier, ct_index, directory, intercepted_chain):
+        degraded_before = instruments.INTERCEPTION_CHAINS.value(
+            verdict="ct_unavailable")
+        detector = InterceptionDetector(
+            classifier, ct_index, directory,
+            faults=FaultInjector(FaultPlan(ct_outage_rate=1.0)))
+        report = detector.detect([intercepted_chain])
+        # No CT evidence: no interception claim either way, but the loss
+        # of coverage is recorded, never silent.
+        assert report.flagged_chains == {}
+        assert report.degraded_chains == [intercepted_chain.key]
+        assert report.degraded_count == 1
+        assert instruments.INTERCEPTION_CHAINS.value(
+            verdict="ct_unavailable") == degraded_before + 1
+
+    def test_no_outage_still_flags(self, classifier, ct_index, directory,
+                                   intercepted_chain):
+        detector = InterceptionDetector(
+            classifier, ct_index, directory,
+            faults=FaultInjector(FaultPlan()))
+        report = detector.detect([intercepted_chain])
+        assert intercepted_chain.key in report.flagged_chains
+        assert report.degraded_chains == []
+
+
+class TestBreakerIntegration:
+    def test_sustained_outage_opens_the_breaker(self, classifier, ct_index,
+                                                directory,
+                                                intercepted_chain):
+        breaker = CircuitBreaker(name="ct-test", failure_threshold=2,
+                                 recovery_after=1000)
+        detector = InterceptionDetector(
+            classifier, ct_index, directory, breaker=breaker,
+            faults=FaultInjector(FaultPlan(ct_outage_rate=1.0)))
+        report = detector.detect([intercepted_chain] * 5)
+        assert breaker.state is BreakerState.OPEN
+        # Every affected chain is degraded whether the lookup failed live
+        # or was rejected by the open breaker.
+        assert report.degraded_count == 5
+
+    def test_healthy_ct_leaves_breaker_closed(self, classifier, ct_index,
+                                              directory, intercepted_chain):
+        breaker = CircuitBreaker(name="ct-test", failure_threshold=2)
+        detector = InterceptionDetector(classifier, ct_index, directory,
+                                        breaker=breaker)
+        report = detector.detect([intercepted_chain])
+        assert breaker.state is BreakerState.CLOSED
+        assert intercepted_chain.key in report.flagged_chains

@@ -1,0 +1,149 @@
+"""FaultInjector: deterministic draws, rate partitioning, line corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FlakyCTIndex
+from repro.obs import instruments
+from repro.resilience.errors import CTUnavailableError
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed="det", scan_timeout_rate=0.3,
+                         scan_reset_rate=0.2)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        ids = [f"srv-{i}" for i in range(200)]
+        assert ([a.scan_fault(i) for i in ids]
+                == [b.scan_fault(i) for i in ids])
+
+    def test_different_seed_different_decisions(self):
+        ids = [f"srv-{i}" for i in range(200)]
+        one = [FaultInjector(FaultPlan(seed=1, scan_timeout_rate=0.5))
+               .scan_fault(i) for i in ids]
+        two = [FaultInjector(FaultPlan(seed=2, scan_timeout_rate=0.5))
+               .scan_fault(i) for i in ids]
+        assert one != two
+
+    def test_each_attempt_gets_a_fresh_draw(self):
+        injector = FaultInjector(FaultPlan(seed=3, scan_timeout_rate=0.5))
+        decisions = {injector.scan_fault("srv", attempt)
+                     for attempt in range(1, 20)}
+        # With a 50% rate, 19 attempts seeing only one outcome would mean
+        # the attempt number is being ignored.
+        assert decisions == {"timeout", None}
+
+    def test_draw_is_uniform_unit_interval(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        draws = [injector._draw("scope", str(i)) for i in range(500)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+
+class TestScanFaultPartition:
+    def test_rate_one_always_faults(self):
+        injector = FaultInjector(FaultPlan(scan_timeout_rate=1.0))
+        assert all(injector.scan_fault(f"s{i}") == "timeout"
+                   for i in range(50))
+
+    def test_kinds_are_partitioned_not_stacked(self):
+        # The four kinds share one draw, so with rates summing to 1.0
+        # every attempt hits exactly one fault.
+        plan = FaultPlan(seed=7, scan_timeout_rate=0.25,
+                         scan_reset_rate=0.25,
+                         scan_slow_handshake_rate=0.25,
+                         scan_truncated_chain_rate=0.25)
+        injector = FaultInjector(plan)
+        kinds = {injector.scan_fault(f"s{i}") for i in range(300)}
+        assert kinds == {"timeout", "reset", "slow_handshake",
+                         "truncated_chain"}
+
+    def test_rates_approximate_frequencies(self):
+        injector = FaultInjector(FaultPlan(seed=11, scan_timeout_rate=0.3))
+        n = 2000
+        hits = sum(injector.scan_fault(f"s{i}") == "timeout"
+                   for i in range(n))
+        assert 0.25 < hits / n < 0.35
+
+    def test_zero_rates_never_fault(self):
+        injector = FaultInjector(FaultPlan())
+        assert all(injector.scan_fault(f"s{i}") is None for i in range(50))
+
+    def test_faults_counted_on_metric(self):
+        before = instruments.FAULTS_INJECTED.value(kind="scan_timeout")
+        FaultInjector(FaultPlan(scan_timeout_rate=1.0)).scan_fault("s")
+        assert (instruments.FAULTS_INJECTED.value(kind="scan_timeout")
+                == before + 1)
+
+
+class TestCorruptLine:
+    LINE = "1453939200.000000\tC1\t10.0.0.1\t443\texample.com"
+
+    def test_zero_rates_leave_rows_alone(self):
+        injector = FaultInjector(FaultPlan())
+        assert all(injector.corrupt_line(self.LINE, n) is None
+                   for n in range(1, 100))
+
+    def test_corrupt_appends_garbage_column(self):
+        injector = FaultInjector(FaultPlan(zeek_corrupt_rate=1.0))
+        corrupted = injector.corrupt_line(self.LINE, 1)
+        assert corrupted is not None
+        assert corrupted.startswith(self.LINE)
+        assert corrupted.count("\t") == self.LINE.count("\t") + 1
+
+    def test_truncate_cuts_mid_line(self):
+        injector = FaultInjector(FaultPlan(zeek_truncate_rate=1.0))
+        truncated = injector.corrupt_line(self.LINE, 1)
+        assert truncated is not None
+        assert truncated == self.LINE[: len(self.LINE) // 3]
+
+    def test_decision_depends_on_line_number(self):
+        injector = FaultInjector(FaultPlan(seed=5, zeek_corrupt_rate=0.5))
+        outcomes = {injector.corrupt_line(self.LINE, n) is None
+                    for n in range(1, 40)}
+        assert outcomes == {True, False}
+
+
+class _StubIndex:
+    def __init__(self):
+        self.calls = []
+
+    def records_for_domain(self, domain):
+        self.calls.append(("records", domain))
+        return ["rec"]
+
+    def issuers_for_domain(self, domain, overlapping=None):
+        self.calls.append(("issuers", domain))
+        return ["issuer"]
+
+    def knows_domain(self, domain):
+        self.calls.append(("knows", domain))
+        return True
+
+    def contains_certificate(self, certificate):
+        return True
+
+    def __len__(self):
+        return 1
+
+
+class TestFlakyCTIndex:
+    def test_outage_rate_one_raises(self):
+        flaky = FlakyCTIndex(_StubIndex(),
+                             FaultInjector(FaultPlan(ct_outage_rate=1.0)))
+        with pytest.raises(CTUnavailableError, match="unavailable"):
+            flaky.issuers_for_domain("example.com")
+        with pytest.raises(CTUnavailableError):
+            flaky.records_for_domain("example.com")
+        with pytest.raises(CTUnavailableError):
+            flaky.knows_domain("example.com")
+
+    def test_no_outage_delegates(self):
+        inner = _StubIndex()
+        flaky = FlakyCTIndex(inner, FaultInjector(FaultPlan()))
+        assert flaky.issuers_for_domain("example.com") == ["issuer"]
+        assert flaky.knows_domain("example.com")
+        assert flaky.contains_certificate(object())
+        assert len(flaky) == 1
+        assert ("issuers", "example.com") in inner.calls

@@ -1,0 +1,117 @@
+"""FaultPlan: parsing, validation, and the ambient install mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    NO_FAULTS,
+    FaultPlan,
+    active_plan,
+    clear_plan,
+    install_plan,
+)
+from repro.faults.plan import PLAN_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_leak():
+    """Every test starts and ends with no ambient plan installed."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultPlan:
+    def test_default_plan_is_all_zero(self):
+        plan = FaultPlan()
+        assert not plan.any()
+        assert all(rate == 0.0 for rate in plan.rates().values())
+        assert plan.seed == 0
+
+    def test_rates_excludes_seed(self):
+        assert "seed" not in FaultPlan(seed="x").rates()
+
+    def test_any_true_with_one_nonzero_rate(self):
+        assert FaultPlan(ct_outage_rate=0.01).any()
+
+    def test_scan_failure_rate_combines_timeout_and_reset(self):
+        plan = FaultPlan(scan_timeout_rate=0.1, scan_reset_rate=0.05)
+        assert plan.scan_failure_rate == pytest.approx(0.15)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_out_of_range_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match=r"within \[0, 1\]"):
+            FaultPlan(zeek_corrupt_rate=rate)
+
+
+class TestParse:
+    def test_parse_spec(self):
+        plan = FaultPlan.parse(
+            "zeek_corrupt_rate=0.05, scan_timeout_rate=0.1")
+        assert plan.zeek_corrupt_rate == pytest.approx(0.05)
+        assert plan.scan_timeout_rate == pytest.approx(0.1)
+        assert plan.scan_reset_rate == 0.0
+
+    def test_parse_carries_caller_seed(self):
+        assert FaultPlan.parse("ct_outage_rate=0.2", seed="run-7").seed == "run-7"
+
+    def test_seed_in_spec_wins(self):
+        assert FaultPlan.parse("seed=abc", seed="xyz").seed == "abc"
+
+    def test_empty_entries_ignored(self):
+        plan = FaultPlan.parse(",, zeek_truncate_rate=0.3 ,")
+        assert plan.zeek_truncate_rate == pytest.approx(0.3)
+
+    def test_unknown_key_lists_valid_keys(self):
+        with pytest.raises(ValueError, match="zeek_corrupt_rate"):
+            FaultPlan.parse("zeke_corrupt_rate=0.1")
+
+    def test_missing_equals_sign_rejected(self):
+        with pytest.raises(ValueError, match="not key=value"):
+            FaultPlan.parse("zeek_corrupt_rate")
+
+    def test_non_numeric_rate_rejected(self):
+        with pytest.raises(ValueError, match="not a number"):
+            FaultPlan.parse("ct_outage_rate=lots")
+
+    def test_parsed_rate_still_range_checked(self):
+        with pytest.raises(ValueError, match=r"within \[0, 1\]"):
+            FaultPlan.parse("ct_outage_rate=7")
+
+
+class TestFromEnv:
+    def test_unset_returns_none(self):
+        assert FaultPlan.from_env({}) is None
+
+    def test_blank_returns_none(self):
+        assert FaultPlan.from_env({PLAN_ENV_VAR: "   "}) is None
+
+    def test_spec_parsed_with_seed(self):
+        plan = FaultPlan.from_env({PLAN_ENV_VAR: "scan_reset_rate=0.4"},
+                                  seed=9)
+        assert plan is not None
+        assert plan.scan_reset_rate == pytest.approx(0.4)
+        assert plan.seed == 9
+
+
+class TestAmbientPlan:
+    def test_nothing_installed_by_default(self):
+        assert active_plan() is NO_FAULTS
+
+    def test_install_and_clear(self):
+        plan = FaultPlan(scan_timeout_rate=0.5)
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is NO_FAULTS
+
+    def test_installing_zero_rate_plan_clears(self):
+        install_plan(FaultPlan(scan_timeout_rate=0.5))
+        install_plan(FaultPlan())  # all-zero: equivalent to clearing
+        assert active_plan() is NO_FAULTS
+
+    def test_installing_none_clears(self):
+        install_plan(FaultPlan(ct_outage_rate=1.0))
+        install_plan(None)
+        assert active_plan() is NO_FAULTS

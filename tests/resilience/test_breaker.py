@@ -1,0 +1,148 @@
+"""CircuitBreaker: the closed → open → half-open → closed state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import instruments
+from repro.resilience import BreakerState, CircuitBreaker
+from repro.resilience.errors import CircuitOpenError, TransientError
+
+
+def _fail_times(breaker: CircuitBreaker, n: int) -> None:
+    for _ in range(n):
+        breaker.record_failure()
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        _fail_times(breaker, 2)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        _fail_times(breaker, 2)
+        breaker.record_success()
+        _fail_times(breaker, 2)
+        # 2 + 2 failures, but never 3 *consecutive*: still closed.
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_after=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestOpen:
+    def test_threshold_consecutive_failures_trip_it(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        _fail_times(breaker, 3)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_open_rejects_until_recovery_count(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_after=3)
+        breaker.record_failure()
+        # The first recovery_after - 1 calls are rejected outright...
+        assert not breaker.allow()
+        assert not breaker.allow()
+        # ...then the breaker goes half-open and admits a probe.
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_rejections_counted_on_metric(self):
+        breaker = CircuitBreaker(name="unit-rej", failure_threshold=1,
+                                 recovery_after=10)
+        breaker.record_failure()
+        before = instruments.BREAKER_REJECTIONS.value(breaker="unit-rej")
+        breaker.allow()
+        breaker.allow()
+        assert (instruments.BREAKER_REJECTIONS.value(breaker="unit-rej")
+                == before + 2)
+
+
+class TestHalfOpen:
+    def _half_open(self, **kwargs) -> CircuitBreaker:
+        breaker = CircuitBreaker(failure_threshold=1, recovery_after=1,
+                                 **kwargs)
+        breaker.record_failure()
+        assert breaker.allow()  # recovery_after=1: first allow() probes
+        assert breaker.state is BreakerState.HALF_OPEN
+        return breaker
+
+    def test_probe_success_closes(self):
+        breaker = self._half_open()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        breaker = self._half_open()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_probe_budget_is_bounded(self):
+        breaker = self._half_open(half_open_probes=2)
+        assert breaker.allow()  # second probe admitted
+        assert not breaker.allow()  # third rejected
+
+    def test_reopened_breaker_recovers_again(self):
+        breaker = self._half_open()
+        breaker.record_failure()  # reopen
+        assert breaker.allow()  # recovery_after=1: straight back to probing
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestCall:
+    def test_call_passes_value_through(self):
+        assert CircuitBreaker().call(lambda: 42) == 42
+
+    def test_transient_failures_trip_and_reject(self):
+        breaker = CircuitBreaker(name="unit-call", failure_threshold=2,
+                                 recovery_after=10)
+
+        def down():
+            raise TransientError("dependency down")
+
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                breaker.call(down)
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError, match="unit-call"):
+            breaker.call(lambda: "never runs")
+
+    def test_non_transient_error_does_not_count(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        with pytest.raises(ZeroDivisionError):
+            breaker.call(lambda: 1 / 0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_transitions_counted_on_metric(self):
+        opened = instruments.BREAKER_TRANSITIONS.value(breaker="unit-tr",
+                                                       state="open")
+        breaker = CircuitBreaker(name="unit-tr", failure_threshold=1)
+        breaker.record_failure()
+        assert (instruments.BREAKER_TRANSITIONS.value(breaker="unit-tr",
+                                                      state="open")
+                == opened + 1)
+
+    def test_end_to_end_recovery_via_call(self):
+        breaker = CircuitBreaker(name="unit-e2e", failure_threshold=1,
+                                 recovery_after=2)
+        with pytest.raises(TransientError):
+            breaker.call(lambda: (_ for _ in ()).throw(TransientError("x")))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "rejected")
+        # Second post-open call reaches half-open and probes successfully.
+        assert breaker.call(lambda: "recovered") == "recovered"
+        assert breaker.state is BreakerState.CLOSED

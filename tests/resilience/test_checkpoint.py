@@ -1,0 +1,93 @@
+"""CheckpointStore: save/load, fingerprint guard, corruption handling."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.obs import instruments
+from repro.resilience import CheckpointStore, input_fingerprint
+
+
+class TestFingerprint:
+    def test_deterministic_for_equal_parts(self):
+        parts = ["analyzer-v1", ("chain", 3, True), 42]
+        assert input_fingerprint(parts) == input_fingerprint(list(parts))
+
+    def test_sensitive_to_any_part(self):
+        base = input_fingerprint(["a", "b"])
+        assert input_fingerprint(["a", "c"]) != base
+        assert input_fingerprint(["a"]) != base
+
+    def test_sensitive_to_order(self):
+        assert input_fingerprint(["a", "b"]) != input_fingerprint(["b", "a"])
+
+    def test_parts_are_not_concatenation_ambiguous(self):
+        assert input_fingerprint(["ab"]) != input_fingerprint(["a", "b"])
+
+
+class TestStore:
+    def test_save_then_load(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        store.save("interception", "fp-1", {"flagged": [1, 2, 3]})
+        hit, payload = store.load("interception", "fp-1")
+        assert hit
+        assert payload == {"flagged": [1, 2, 3]}
+
+    def test_missing_stage_misses(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.load("never-saved", "fp") == (False, None)
+
+    def test_fingerprint_mismatch_is_stale(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        stale = instruments.CHECKPOINT_STAGES.value(stage="categorize",
+                                                    result="stale")
+        store.save("categorize", "fp-old", [1])
+        hit, payload = store.load("categorize", "fp-new")
+        assert (hit, payload) == (False, None)
+        assert (instruments.CHECKPOINT_STAGES.value(stage="categorize",
+                                                    result="stale")
+                == stale + 1)
+
+    def test_corrupt_file_misses_instead_of_raising(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("hybrid", "fp", [1])
+        with open(store.stage_path("hybrid"), "wb") as handle:
+            handle.write(b"\x80\x04 not a pickle")
+        assert store.load("hybrid", "fp") == (False, None)
+
+    def test_truncated_file_misses(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("dga", "fp", list(range(1000)))
+        path = store.stage_path("dga")
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.load("dga", "fp") == (False, None)
+
+    def test_version_mismatch_is_stale(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with open(store.stage_path("interception"), "wb") as handle:
+            pickle.dump({"version": 999, "stage": "interception",
+                         "fingerprint": "fp", "payload": 1}, handle)
+        assert store.load("interception", "fp") == (False, None)
+
+    def test_stage_names_are_sanitized(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.stage_path("../evil/stage")
+        assert os.path.dirname(path) == str(tmp_path)
+        assert "/evil" not in os.path.basename(path)
+
+    def test_stages_present_and_clear(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("interception", "fp", 1)
+        store.save("categorize", "fp", 2)
+        assert store.stages_present() == ["categorize", "interception"]
+        store.clear()
+        assert store.stages_present() == []
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("interception", "fp", {"x": 1})
+        assert not [entry for entry in os.listdir(str(tmp_path))
+                    if entry.endswith(".tmp")]

@@ -1,0 +1,130 @@
+"""Checkpoint/resume over the real pipeline: a resumed run must be
+indistinguishable from a cold one.
+
+The acceptance bar is byte-level: a canonical serialization of the
+:class:`AnalysisResult` from (a) an uninterrupted run, (b) a checkpointed
+run, and (c) a run killed after stage 2 and resumed, must be identical
+bytes — same flagged chains, same category populations, same hybrid and
+DGA output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.campus.dataset import cached_campus_dataset
+from repro.core.categorization import ChainCategory
+from repro.core.hybrid import HybridReport
+from repro.core.pipeline import AnalysisResult
+from repro.obs import instruments
+from repro.resilience import CheckpointStore
+
+SEED = "ckpt-resume"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return cached_campus_dataset(seed=SEED, scale="small")
+
+
+def canonical_bytes(result: AnalysisResult) -> bytes:
+    """A deterministic byte serialization of everything the paper reads
+    off an AnalysisResult — sorted, JSON-encoded, order-independent."""
+    view = {
+        "chains": sorted(list(key) for key in result.chains),
+        "summary": result.categorized.summary_rows(),
+        "categories": {
+            category.value: sorted(
+                list(c.key) for c in result.categorized.chains(category))
+            for category in ChainCategory
+        },
+        "flagged": sorted(
+            [list(key), issuer.vendor, issuer.category]
+            for key, issuer in result.interception.flagged_chains.items()),
+        "degraded": sorted(list(key)
+                           for key in result.interception.degraded_chains),
+        "hybrid": sorted(
+            [list(a.chain.key), a.category.value,
+             a.complete_kind.value if a.complete_kind else None,
+             a.no_path_category.value if a.no_path_category else None,
+             a.anchored_to_public_root]
+            for a in result.hybrid.analyses),
+        "dga": sorted(
+            [cluster.template,
+             sorted(list(c.key) for c in cluster.chains)]
+            for cluster in result.dga_clusters),
+    }
+    return json.dumps(view, sort_keys=True).encode()
+
+
+class TestResumeIdentity:
+    def test_resumed_result_is_byte_identical_to_cold_run(self, dataset,
+                                                          tmp_path):
+        joined = dataset.joined()
+        cold = dataset.analyzer().analyze_connections(joined)
+
+        # Checkpointed run: identical output, plus one file per stage.
+        store = CheckpointStore(str(tmp_path / "ckpt"))
+        warm = dataset.analyzer().analyze_connections(joined,
+                                                      checkpoint=store)
+        assert canonical_bytes(warm) == canonical_bytes(cold)
+        assert store.stages_present() == ["categorize", "dga", "hybrid",
+                                          "interception"]
+
+        # Simulate a run killed after stage 2: later stages never hit disk.
+        for stage in ("hybrid", "dga"):
+            os.remove(store.stage_path(stage))
+
+        loaded_before = instruments.CHECKPOINT_STAGES.value(
+            stage="interception", result="loaded")
+        resumed = dataset.analyzer().analyze_connections(
+            joined, checkpoint=store, resume=True)
+        assert canonical_bytes(resumed) == canonical_bytes(cold)
+        # The surviving stages were served from disk, not recomputed.
+        assert instruments.CHECKPOINT_STAGES.value(
+            stage="interception", result="loaded") == loaded_before + 1
+        # And the killed stages were recomputed and re-saved.
+        assert store.stages_present() == ["categorize", "dga", "hybrid",
+                                          "interception"]
+
+    def test_fully_checkpointed_resume_serves_every_stage(self, dataset,
+                                                          tmp_path):
+        joined = dataset.joined()
+        store = CheckpointStore(str(tmp_path / "full"))
+        first = dataset.analyzer().analyze_connections(joined,
+                                                       checkpoint=store)
+        resumed = dataset.analyzer().analyze_connections(
+            joined, checkpoint=store, resume=True)
+        assert canonical_bytes(resumed) == canonical_bytes(first)
+        assert isinstance(resumed.hybrid, HybridReport)
+
+    def test_different_input_invalidates_checkpoints(self, dataset,
+                                                     tmp_path):
+        joined = dataset.joined()
+        store = CheckpointStore(str(tmp_path / "stale"))
+        dataset.analyzer().analyze_connections(joined, checkpoint=store)
+
+        stale_before = instruments.CHECKPOINT_STAGES.value(
+            stage="interception", result="stale")
+        # Dropping connections changes the usage counts, hence the
+        # fingerprint: the resume must recompute, not serve stale state.
+        subset = joined[: len(joined) // 2]
+        resumed = dataset.analyzer().analyze_connections(
+            subset, checkpoint=store, resume=True)
+        assert instruments.CHECKPOINT_STAGES.value(
+            stage="interception", result="stale") == stale_before + 1
+
+        cold = dataset.analyzer().analyze_connections(subset)
+        assert canonical_bytes(resumed) == canonical_bytes(cold)
+
+    def test_resume_without_checkpoint_dir_contents_is_a_cold_run(
+            self, dataset, tmp_path):
+        joined = dataset.joined()
+        store = CheckpointStore(str(tmp_path / "empty"))
+        resumed = dataset.analyzer().analyze_connections(
+            joined, checkpoint=store, resume=True)
+        cold = dataset.analyzer().analyze_connections(joined)
+        assert canonical_bytes(resumed) == canonical_bytes(cold)

@@ -1,0 +1,95 @@
+"""Quarantine sink: capture, summarize, and JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import instruments
+from repro.resilience import Quarantine, QuarantinedRecord
+
+
+class TestAccumulation:
+    def test_add_records_and_counts(self):
+        quarantine = Quarantine()
+        quarantine.add(source="ssl.log", line=3, reason="column-count",
+                       detail="row has 2 columns, expected 5", raw="a\tb")
+        quarantine.add(source="ssl.log", line=9, reason="column-count",
+                       detail="row has 1 columns, expected 5", raw="x")
+        quarantine.add(source="x509.log", line=1, reason="field-parse",
+                       detail="unparseable field value: bad int", raw="z")
+        assert len(quarantine) == 3
+        assert quarantine.counts_by_reason() == {"column-count": 2,
+                                                 "field-parse": 1}
+        assert quarantine.counts_by_source() == {"ssl.log": 2, "x509.log": 1}
+
+    def test_detail_defaults_to_reason(self):
+        record = Quarantine().add(source="s", line=1, reason="no-header")
+        assert record.detail == "no-header"
+
+    def test_records_counted_on_metric(self):
+        before = instruments.QUARANTINE_RECORDS.value(source="unit.log",
+                                                      reason="column-count")
+        Quarantine().add(source="unit.log", line=1, reason="column-count")
+        assert (instruments.QUARANTINE_RECORDS.value(source="unit.log",
+                                                     reason="column-count")
+                == before + 1)
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        assert Quarantine().summary_lines() == [
+            "degraded: 0 records quarantined"]
+
+    def test_summary_groups_by_source_and_reason(self):
+        quarantine = Quarantine()
+        for line in (3, 9):
+            quarantine.add(source="ssl.log", line=line, reason="column-count")
+        quarantine.add(source="x509.log", line=1, reason="field-parse")
+        lines = quarantine.summary_lines()
+        assert lines[0] == "degraded: 3 records quarantined"
+        assert "  ssl.log: column-count ×2" in lines
+        assert "  x509.log: field-parse ×1" in lines
+
+    def test_singular_record(self):
+        quarantine = Quarantine()
+        quarantine.add(source="s", line=1, reason="no-header")
+        assert quarantine.summary_lines()[0] == (
+            "degraded: 1 record quarantined")
+
+
+class TestRoundTrip:
+    def test_write_then_load_restores_every_record(self, tmp_path):
+        quarantine = Quarantine()
+        # Raw bytes with the characters corruption actually produces:
+        # tabs, NUL, non-ASCII — all must survive the JSONL trip.
+        quarantine.add(source="ssl.log", line=7, reason="column-count",
+                       detail="row has 6 columns, expected 5",
+                       raw="1453939200.0\tC1\t10.0.0.1\t443\tx\t\x00garbled")
+        quarantine.add(source="x509.log", line=40_000_000, reason="field-parse",
+                       detail="unparseable field value: bad count",
+                       raw="trüncated…")
+        path = tmp_path / "quarantine.jsonl"
+        assert quarantine.write(str(path)) == 2
+
+        loaded = Quarantine.load(str(path))
+        assert list(loaded) == list(quarantine)
+        assert all(isinstance(r, QuarantinedRecord) for r in loaded)
+
+    def test_file_is_one_json_object_per_line(self, tmp_path):
+        quarantine = Quarantine()
+        quarantine.add(source="ssl.log", line=2, reason="no-header", raw="r")
+        path = tmp_path / "q.jsonl"
+        quarantine.write(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {"source": "ssl.log", "line": 2,
+                          "reason": "no-header", "detail": "no-header",
+                          "raw": "r"}
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        body = json.dumps({"source": "s", "line": 1, "reason": "r",
+                           "detail": "d", "raw": ""})
+        path.write_text(body + "\n\n")
+        assert len(Quarantine.load(str(path))) == 1

@@ -1,0 +1,138 @@
+"""RetryPolicy: deterministic backoff schedules and call semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import instruments
+from repro.resilience import RetryPolicy
+from repro.resilience.errors import ScanTimeout, TransientError
+
+
+class TestBackoffSchedule:
+    def test_schedule_is_deterministic_under_fixed_seed(self):
+        policy = RetryPolicy(max_attempts=6, seed="fixed")
+        again = RetryPolicy(max_attempts=6, seed="fixed")
+        assert policy.schedule("srv-1") == again.schedule("srv-1")
+
+    def test_schedule_varies_by_seed_and_key(self):
+        policy = RetryPolicy(max_attempts=6, seed="a")
+        other_seed = RetryPolicy(max_attempts=6, seed="b")
+        assert policy.schedule("k") != other_seed.schedule("k")
+        assert policy.schedule("k1") != policy.schedule("k2")
+
+    def test_no_jitter_is_pure_exponential_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, multiplier=2.0,
+                             max_delay=5.0, jitter=0.0)
+        assert policy.schedule("any") == (1.0, 2.0, 4.0, 5.0, 5.0)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=0.5, multiplier=2.0,
+                             max_delay=100.0, jitter=0.2, seed=3)
+        for attempt in range(1, policy.max_attempts):
+            raw = min(0.5 * 2.0 ** (attempt - 1), 100.0)
+            delay = policy.delay("key", attempt)
+            assert raw * 0.8 <= delay <= raw * 1.2
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay("k", 0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+
+class TestCall:
+    def test_first_try_success(self):
+        result = RetryPolicy(max_attempts=3).call(lambda attempt: attempt * 10)
+        assert result.value == 10
+        assert result.attempts == 1
+        assert result.delays == []
+        assert result.total_delay == 0.0
+
+    def test_transient_failures_then_success(self):
+        policy = RetryPolicy(max_attempts=5, seed=1)
+
+        def flaky(attempt: int) -> str:
+            if attempt < 3:
+                raise ScanTimeout(f"attempt {attempt} timed out")
+            return "ok"
+
+        result = policy.call(flaky, key="srv")
+        assert result.value == "ok"
+        assert result.attempts == 3
+        # The recorded delays are exactly the schedule's first two entries.
+        assert tuple(result.delays) == policy.schedule("srv")[:2]
+
+    def test_exhaustion_raises_last_error(self):
+        def always(attempt: int):
+            raise ScanTimeout("down")
+
+        with pytest.raises(ScanTimeout):
+            RetryPolicy(max_attempts=3).call(always, key="srv")
+
+    def test_non_transient_error_is_not_retried(self):
+        calls = []
+
+        def broken(attempt: int):
+            calls.append(attempt)
+            raise KeyError("bug, not weather")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=5).call(broken)
+        assert calls == [1]
+
+    def test_custom_retry_on(self):
+        def flaky(attempt: int) -> int:
+            if attempt == 1:
+                raise OSError("disk hiccup")
+            return attempt
+
+        result = RetryPolicy(max_attempts=2).call(flaky, retry_on=(OSError,))
+        assert result.value == 2
+
+    def test_sleep_callable_receives_backoffs(self):
+        policy = RetryPolicy(max_attempts=4, seed=2)
+        slept = []
+
+        def flaky(attempt: int) -> str:
+            if attempt < 4:
+                raise TransientError("again")
+            return "done"
+
+        result = policy.call(flaky, key="k", sleep=slept.append)
+        assert slept == result.delays
+        assert len(slept) == 3
+
+    def test_attempts_counted_on_metric(self):
+        retried = instruments.RETRY_ATTEMPTS.value(operation="unit-test",
+                                                   result="retried")
+        success = instruments.RETRY_ATTEMPTS.value(operation="unit-test",
+                                                   result="success")
+
+        def flaky(attempt: int) -> bool:
+            if attempt == 1:
+                raise TransientError("once")
+            return True
+
+        RetryPolicy(max_attempts=2).call(flaky, operation="unit-test")
+        assert (instruments.RETRY_ATTEMPTS.value(operation="unit-test",
+                                                 result="retried")
+                == retried + 1)
+        assert (instruments.RETRY_ATTEMPTS.value(operation="unit-test",
+                                                 result="success")
+                == success + 1)
+
+    def test_exhaustion_counted_on_metric(self):
+        exhausted = instruments.RETRY_ATTEMPTS.value(operation="unit-ex",
+                                                     result="exhausted")
+        with pytest.raises(TransientError):
+            RetryPolicy(max_attempts=2).call(
+                lambda attempt: (_ for _ in ()).throw(TransientError("x")),
+                operation="unit-ex")
+        assert (instruments.RETRY_ATTEMPTS.value(operation="unit-ex",
+                                                 result="exhausted")
+                == exhausted + 1)

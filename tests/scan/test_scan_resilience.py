@@ -1,0 +1,135 @@
+"""Scanner resilience: injected faults, retries, and emergent unreachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, clear_plan, install_plan
+from repro.resilience import RetryPolicy
+from repro.scan import ActiveScanner
+from repro.scan.scanner import REASON_NO_ANSWER
+from repro.tls import TLSServer
+from repro.x509 import CertificateFactory
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_leak():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.fixture(scope="module")
+def server():
+    factory = CertificateFactory(seed=60)
+    chain = tuple(factory.simple_chain(root_cn="R", intermediate_cns=["I"],
+                                       leaf_cn="resil.example"))
+    return TLSServer("203.0.113.9", 443, chain,
+                     hostnames=("resil.example",))
+
+
+def _scanner(plan=None, **kwargs) -> ActiveScanner:
+    faults = FaultInjector(plan) if plan is not None else None
+    return ActiveScanner(seed=1, faults=faults, **kwargs)
+
+
+class TestInjectedFaults:
+    def test_certain_timeouts_exhaust_retries(self, server):
+        scanner = _scanner(FaultPlan(scan_timeout_rate=1.0))
+        result = scanner.scan(server, server_id="s1")
+        assert not result.reachable
+        assert result.failure_reason == "timeout"
+        assert result.attempts == scanner.retry.max_attempts
+        assert result.chain == ()
+
+    def test_certain_resets_report_reset(self, server):
+        result = _scanner(FaultPlan(scan_reset_rate=1.0)).scan(
+            server, server_id="s1")
+        assert not result.reachable
+        assert result.failure_reason == "reset"
+
+    def test_truncated_chain_fault_drops_last_certificate(self, server):
+        result = _scanner(FaultPlan(scan_truncated_chain_rate=1.0)).scan(
+            server, server_id="s1")
+        assert result.reachable
+        assert result.chain_length == len(server.chain) - 1
+        assert result.failure_reason is None
+
+    def test_slow_handshake_still_answers(self, server):
+        result = _scanner(FaultPlan(scan_slow_handshake_rate=1.0)).scan(
+            server, server_id="s1")
+        assert result.reachable
+        assert result.chain_length == len(server.chain)
+
+    def test_transient_faults_are_retried_to_success(self, server):
+        # 40% per-attempt timeout with a deep retry budget: over many
+        # servers, some succeed only after retrying — visible as
+        # attempts > 1 on a reachable result.
+        plan = FaultPlan(seed="retry-mix", scan_timeout_rate=0.4)
+        scanner = _scanner(plan, retry=RetryPolicy(max_attempts=8, seed=1))
+        results = [scanner.scan(server, server_id=f"s{i}")
+                   for i in range(40)]
+        assert all(r.reachable for r in results)
+        assert any(r.attempts > 1 for r in results)
+        assert any(r.attempts == 1 for r in results)
+
+    def test_outcomes_deterministic_across_scanners(self, server):
+        plan = FaultPlan(seed="det", scan_timeout_rate=0.5)
+        outcomes = [
+            [(r.reachable, r.attempts, r.failure_reason)
+             for r in (scanner.scan(server, server_id=f"s{i}")
+                       for i in range(30))]
+            for scanner in (_scanner(plan, retry=RetryPolicy(seed=9)),
+                            _scanner(plan, retry=RetryPolicy(seed=9)))
+        ]
+        assert outcomes[0] == outcomes[1]
+
+
+class TestNoFaults:
+    def test_clean_scan_unchanged(self, server):
+        result = _scanner().scan(server, server_id="s1")
+        assert result.reachable
+        assert result.attempts == 1
+        assert result.failure_reason is None
+        assert result.chain_length == len(server.chain)
+
+    def test_unreachable_is_zero_attempts(self):
+        result = ActiveScanner(seed=1).unreachable("gone", "gone.example")
+        assert result.attempts == 0
+        assert result.failure_reason == REASON_NO_ANSWER
+
+
+class TestSNIRecording:
+    def test_sni_sent_records_the_fallback_hostname(self, server):
+        # No explicit hostname: the scanner targets the server's first
+        # known name and the wire record must agree.
+        result = ActiveScanner(seed=1).scan(server, server_id="s1")
+        assert result.hostname == "resil.example"
+        assert result.sni_sent == "resil.example"
+
+    def test_sni_sent_records_the_explicit_hostname(self, server):
+        result = ActiveScanner(seed=1).scan(server, server_id="s1",
+                                            hostname="alias.example")
+        assert result.hostname == "alias.example"
+        assert result.sni_sent == "alias.example"
+
+    def test_no_known_name_sends_no_sni(self):
+        factory = CertificateFactory(seed=61)
+        chain = tuple(factory.simple_chain(root_cn="R", intermediate_cns=[],
+                                           leaf_cn="bare.example"))
+        server = TLSServer("203.0.113.10", 443, chain, hostnames=())
+        result = ActiveScanner(seed=1).scan(server, server_id="bare")
+        assert result.hostname is None
+        assert result.sni_sent is None
+
+
+class TestAmbientPlanPickup:
+    def test_scanner_defaults_to_installed_plan(self, server):
+        install_plan(FaultPlan(scan_timeout_rate=1.0))
+        result = ActiveScanner(seed=1).scan(server, server_id="s1")
+        assert not result.reachable
+        assert result.failure_reason == "timeout"
+
+    def test_no_plan_means_no_injector(self, server):
+        scanner = ActiveScanner(seed=1)
+        assert scanner._faults is None

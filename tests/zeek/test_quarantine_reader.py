@@ -1,0 +1,130 @@
+"""Zeek reader degradation: ZeekFormatError locations and quarantine mode."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.resilience import Quarantine
+from repro.zeek import ZeekFormatError
+from repro.zeek.format import ZeekLogReader, read_zeek_log
+
+HEADER = (
+    "#separator \\x09\n"
+    "#path\tssl\n"
+    "#fields\tts\tuid\tserver_name\n"
+    "#types\ttime\tstring\tstring\n"
+)
+GOOD_1 = "1453939200.000000\tC1\texample.com\n"
+GOOD_2 = "1453939201.000000\tC2\texample.org\n"
+
+
+def _reader(text: str, **kwargs) -> ZeekLogReader:
+    return ZeekLogReader(io.StringIO(text), **kwargs)
+
+
+class TestZeekFormatError:
+    def test_error_carries_source_and_line(self):
+        reader = _reader(HEADER + GOOD_1 + "short\trow\n",
+                         source="ssl.log")
+        with pytest.raises(ZeekFormatError) as excinfo:
+            list(reader)
+        error = excinfo.value
+        assert error.source == "ssl.log"
+        assert error.line == 6
+        assert str(error).startswith("ssl.log:6: ")
+        assert "columns" in error.reason
+
+    def test_error_is_a_value_error(self):
+        # Pre-existing except ValueError handlers must keep catching it.
+        with pytest.raises(ValueError, match="columns"):
+            list(_reader(HEADER + "one-column\n"))
+
+    def test_stream_without_source_says_stream(self):
+        with pytest.raises(ZeekFormatError, match=r"<stream>:1: "):
+            list(_reader("data-before-header\n"))
+
+    def test_file_read_names_the_file(self, tmp_path):
+        path = tmp_path / "ssl.log"
+        path.write_text(HEADER + GOOD_1 + "bad\n")
+        with pytest.raises(ZeekFormatError) as excinfo:
+            read_zeek_log(str(path))
+        assert excinfo.value.source == str(path)
+        assert f"{path}:6:" in str(excinfo.value)
+
+
+class TestQuarantineMode:
+    def test_bad_rows_quarantined_good_rows_kept(self):
+        quarantine = Quarantine()
+        text = HEADER + GOOD_1 + "only-one-column\n" + GOOD_2
+        rows = list(_reader(text, source="ssl.log", quarantine=quarantine))
+        assert [row["uid"] for row in rows] == ["C1", "C2"]
+        assert len(quarantine) == 1
+        record = quarantine.records[0]
+        assert record.source == "ssl.log"
+        assert record.line == 6
+        assert record.reason == "column-count"
+        assert record.raw == "only-one-column"
+
+    def test_unparseable_field_reason(self):
+        quarantine = Quarantine()
+        bad_time = "not-a-time\tC9\texample.net\n"
+        rows = list(_reader(HEADER + bad_time + GOOD_1,
+                            quarantine=quarantine))
+        assert len(rows) == 1
+        assert quarantine.records[0].reason == "field-parse"
+        assert "unparseable" in quarantine.records[0].detail
+
+    def test_data_before_header_reason(self):
+        quarantine = Quarantine()
+        rows = list(_reader("early-row\n" + HEADER + GOOD_1,
+                            quarantine=quarantine))
+        assert len(rows) == 1
+        assert quarantine.records[0].reason == "no-header"
+        assert "before #fields" in quarantine.records[0].detail
+
+    def test_quarantine_round_trips_corrupt_rows(self, tmp_path):
+        quarantine = Quarantine()
+        text = HEADER + "a\tb\n" + GOOD_1 + "not-a-time\tC9\tx\n"
+        list(_reader(text, source="ssl.log", quarantine=quarantine))
+        path = tmp_path / "q.jsonl"
+        quarantine.write(str(path))
+        assert list(Quarantine.load(str(path))) == list(quarantine)
+
+
+class TestInjectedCorruption:
+    def test_certain_corruption_quarantines_every_data_row(self):
+        quarantine = Quarantine()
+        injector = FaultInjector(FaultPlan(zeek_corrupt_rate=1.0))
+        rows = list(_reader(HEADER + GOOD_1 + GOOD_2, source="ssl.log",
+                            quarantine=quarantine, faults=injector))
+        assert rows == []
+        assert len(quarantine) == 2
+        assert {r.reason for r in quarantine} == {"column-count"}
+        # Headers are never corrupted: fields were still parsed.
+        assert quarantine.records[0].line == 5
+
+    def test_partial_corruption_is_deterministic(self):
+        plan = FaultPlan(seed="zeek-det", zeek_corrupt_rate=0.5)
+        text = HEADER + GOOD_1 * 40
+
+        def run() -> tuple[int, tuple[int, ...]]:
+            quarantine = Quarantine()
+            rows = list(_reader(text, quarantine=quarantine,
+                                faults=FaultInjector(plan)))
+            return len(rows), tuple(r.line for r in quarantine)
+
+        first, second = run(), run()
+        assert first == second
+        kept, dropped = first
+        assert kept and dropped  # both outcomes occur at 50%
+        assert kept + len(dropped) == 40
+
+    def test_strict_mode_with_faults_raises_located_error(self):
+        injector = FaultInjector(FaultPlan(zeek_truncate_rate=1.0))
+        with pytest.raises(ZeekFormatError) as excinfo:
+            list(_reader(HEADER + GOOD_1, source="ssl.log",
+                         faults=injector))
+        assert excinfo.value.line == 5
