@@ -1,0 +1,123 @@
+"""Parallel ingestion scaling: engine vs the pre-engine serial path.
+
+Measures the legacy serial pipeline (per-line interpreter reader, list
+join, one aggregation pass) against the sharded engine at ``jobs`` 1, 2,
+and 4 over the same corpus, and persists every number to
+``BENCH_ingest.json`` (repo root; override with ``REPRO_BENCH_INGEST_OUT``)
+so CI can archive and gate on it.
+
+The multi-core speedup assertion only runs where multi-core speedup is
+physically possible (``os.cpu_count() >= 4``); on smaller boxes the
+numbers are still measured and recorded.  The compiled-codec win over the
+legacy reader is asserted unconditionally — it is a single-thread
+property.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+
+import pytest
+
+from repro.core.chain import aggregate_chains
+from repro.parallel import discover_shards, ingest_shards, split_zeek_log
+from repro.zeek.format import read_zeek_log
+from repro.zeek.records import SSLRecord, X509Record
+from repro.zeek.tap import join_logs
+
+ROUNDS = 3
+SHARDS = 4
+BENCH_OUT = os.environ.get(
+    "REPRO_BENCH_INGEST_OUT",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "BENCH_ingest.json"))
+
+
+def _best(fn) -> float:
+    return min(_timed(fn) for _ in range(ROUNDS))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def ingest_bench(dataset, tmp_path_factory):
+    """Measure everything once, write BENCH_ingest.json, share the numbers."""
+    base = tmp_path_factory.mktemp("scaling")
+    ssl_path, x509_path = dataset.write_zeek_logs(str(base / "whole"))
+    shard_dir = base / "shards"
+    split_zeek_log(ssl_path, str(shard_dir), SHARDS)
+    shutil.copy(x509_path, shard_dir / "x509.log")
+    shards = discover_shards(str(shard_dir))
+    rows = len(dataset.ssl_records)
+
+    def legacy_serial():
+        _, ssl_rows = read_zeek_log(ssl_path, compiled=False)
+        _, x509_rows = read_zeek_log(x509_path, compiled=False)
+        joined = join_logs([SSLRecord.from_row(r) for r in ssl_rows],
+                           [X509Record.from_row(r) for r in x509_rows])
+        return aggregate_chains(joined)
+
+    serial_seconds = _best(legacy_serial)
+    engine_seconds = {
+        jobs: _best(lambda: ingest_shards(shards, jobs=jobs))
+        for jobs in (1, 2, SHARDS)}
+    read_compiled = _best(lambda: read_zeek_log(ssl_path, compiled=True))
+    read_legacy = _best(lambda: read_zeek_log(ssl_path, compiled=False))
+
+    numbers = {
+        "dataset": {"ssl_rows": rows,
+                    "x509_rows": len(dataset.x509_records)},
+        "cpu_count": os.cpu_count(),
+        "shards": SHARDS,
+        "rounds": ROUNDS,
+        "serial_legacy": {"seconds": serial_seconds,
+                          "rows_per_second": rows / serial_seconds},
+        "engine": {
+            str(jobs): {"seconds": seconds,
+                        "rows_per_second": rows / seconds,
+                        "speedup_vs_serial": serial_seconds / seconds}
+            for jobs, seconds in engine_seconds.items()},
+        "read": {
+            "compiled_seconds": read_compiled,
+            "legacy_seconds": read_legacy,
+            "compiled_rows_per_second": rows / read_compiled,
+            "legacy_rows_per_second": rows / read_legacy,
+            "compiled_over_legacy": read_legacy / read_compiled,
+        },
+    }
+    with open(BENCH_OUT, "w", encoding="utf-8") as handle:
+        json.dump(numbers, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return numbers
+
+
+def test_bench_file_written(ingest_bench):
+    recorded = json.load(open(BENCH_OUT))
+    assert recorded["engine"]["1"]["rows_per_second"] > 0
+    assert recorded["read"]["compiled_rows_per_second"] > 0
+
+
+def test_compiled_read_floor(ingest_bench):
+    # Same 2x-the-old-30k-bar floor that benchmarks/test_throughput.py
+    # enforces, but measured from disk through the full file path.
+    assert ingest_bench["read"]["compiled_rows_per_second"] > 60_000
+    assert ingest_bench["read"]["compiled_over_legacy"] > 1.2
+
+
+def test_engine_beats_legacy_serial_single_worker(ingest_bench):
+    # jobs=1 isolates the single-thread wins (compiled codecs, streaming
+    # join) from parallelism: the engine must already be ahead.
+    assert ingest_bench["engine"]["1"]["speedup_vs_serial"] > 1.1
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="multi-core speedup needs >= 4 CPUs")
+def test_parallel_scaling_at_four_workers(ingest_bench):
+    assert ingest_bench["engine"][str(SHARDS)]["speedup_vs_serial"] > 1.5

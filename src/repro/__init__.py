@@ -28,6 +28,9 @@ Subpackages
 ``repro.obs``
     Observability: metrics registry, stage tracing, structured logging,
     Prometheus/JSON export.
+``repro.parallel``
+    Parallel sharded ingestion: shard discovery/splitting, process-pool
+    map, deterministic ``ChainUsage.merge`` reduce.
 """
 
 __version__ = "1.0.0"

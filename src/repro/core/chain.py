@@ -36,6 +36,19 @@ class ChainUsage:
     last_seen: Optional[float] = None
     server_ips: set[str] = field(default_factory=set)
 
+    def observe_timestamp(self, ts: float) -> None:
+        """Widen the ``first_seen``/``last_seen`` window to include ``ts``.
+
+        The single definition of the min/max fold, shared by
+        :meth:`record` (one connection at a time) and :meth:`merge`
+        (endpoints of another accumulator's window) — which is what makes
+        merge-of-partials reproduce the single-pass window exactly.
+        """
+        if self.first_seen is None or ts < self.first_seen:
+            self.first_seen = ts
+        if self.last_seen is None or ts > self.last_seen:
+            self.last_seen = ts
+
     def record(self, *, established: bool, client_ip: str, server_ip: str,
                port: int, sni: Optional[str], ts: float) -> None:
         self.connections += 1
@@ -47,10 +60,7 @@ class ChainUsage:
         if sni:
             self.sni_present += 1
             self.snis.add(sni)
-        if self.first_seen is None or ts < self.first_seen:
-            self.first_seen = ts
-        if self.last_seen is None or ts > self.last_seen:
-            self.last_seen = ts
+        self.observe_timestamp(ts)
 
     @property
     def establishment_rate(self) -> float:
@@ -73,12 +83,8 @@ class ChainUsage:
         self.sni_present += other.sni_present
         self.snis |= other.snis
         for ts in (other.first_seen, other.last_seen):
-            if ts is None:
-                continue
-            if self.first_seen is None or ts < self.first_seen:
-                self.first_seen = ts
-            if self.last_seen is None or ts > self.last_seen:
-                self.last_seen = ts
+            if ts is not None:
+                self.observe_timestamp(ts)
 
 
 @dataclass

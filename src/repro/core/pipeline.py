@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from ..ct.crtsh import CrtShIndex
 from ..faults.injector import FaultInjector
@@ -32,6 +32,9 @@ from .hybrid import HybridAnalyzer, HybridReport
 from .interception import InterceptionDetector, InterceptionReport, VendorDirectory
 from .lengths import LengthDistribution, length_distributions
 from .matching import ChainStructure, analyze_structure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..parallel.engine import IngestResult
 
 __all__ = ["ChainStructureAnalyzer", "AnalysisResult",
            "SingleCertStats", "MultiCertPathStats"]
@@ -183,6 +186,20 @@ class ChainStructureAnalyzer:
                             *, checkpoint: Optional[CheckpointStore] = None,
                             resume: bool = False) -> AnalysisResult:
         return self.analyze_chains(aggregate_chains(connections),
+                                   checkpoint=checkpoint, resume=resume)
+
+    def analyze_ingest(self, ingest: "IngestResult",
+                       *, checkpoint: Optional[CheckpointStore] = None,
+                       resume: bool = False) -> AnalysisResult:
+        """Analyze the merged chain map of a (parallel) sharded ingest.
+
+        The engine's merge already produced the same chain map a serial
+        pass yields, so the checkpoint fingerprint — derived from the
+        sorted chain keys and usage counts — matches across ``--jobs``
+        values and a resume works regardless of the worker count that
+        wrote the checkpoint.
+        """
+        return self.analyze_chains(ingest.chains,
                                    checkpoint=checkpoint, resume=resume)
 
     def _fingerprint(self, chains: Dict[tuple[str, ...], ObservedChain]

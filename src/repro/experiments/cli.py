@@ -6,7 +6,11 @@ Two modes:
   or all registered experiments, printing paper-vs-measured tables;
 * **logs** — analyze real (or simulated) Zeek ``ssl.log``/``x509.log``
   files with the chain-structure pipeline and print the category summary,
-  which is what a network operator would point this tool at.
+  which is what a network operator would point this tool at.  A single
+  pair (``--ssl-log``/``--x509-log``) or a directory of shard pairs
+  (``--shard-dir``) both go through the parallel ingestion engine;
+  ``--jobs N`` fans shards out across worker processes with output
+  guaranteed identical to ``--jobs 1`` (see docs/PERFORMANCE.md).
 
 Either mode can emit observability artefacts: ``--metrics-out`` writes a
 Prometheus text-exposition (or ``.json``) snapshot of every pipeline
@@ -25,16 +29,15 @@ from ..campus.dataset import cached_campus_dataset
 from ..core.categorization import ChainCategory
 from ..core.pipeline import ChainStructureAnalyzer
 from ..core.report import render_table
-from ..faults import FaultInjector, FaultPlan, clear_plan, install_plan
+from ..faults import FaultPlan, clear_plan, install_plan
 from ..obs.exporters import RunReport, write_metrics_file
 from ..obs.logging import configure_logging, get_logger, kv
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
+from ..parallel import discover_shards, ingest_shards, ShardSpec
 from ..resilience import CheckpointStore, Quarantine
 from ..truststores import build_public_pki
-from ..zeek.format import ZeekFormatError, read_zeek_log
-from ..zeek.records import SSLRecord, X509Record
-from ..zeek.tap import join_logs
+from ..zeek.format import ZeekFormatError
 from .base import registry, run_experiment
 
 __all__ = ["main", "build_parser", "package_version"]
@@ -75,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ssl-log", help="analyze a Zeek ssl.log instead "
                                           "of simulating")
     parser.add_argument("--x509-log", help="x509.log paired with --ssl-log")
+    parser.add_argument("--shard-dir", metavar="DIR",
+                        help="analyze a directory of ssl*/x509* shard "
+                             "pairs instead of a single log pair")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for log ingestion "
+                             "(default: CPU count; capped at the shard "
+                             "count)")
     parser.add_argument("--log-level", metavar="LEVEL", default=None,
                         choices=("debug", "info", "warning", "error"),
                         help="structured-logging level "
@@ -105,17 +115,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _analyze_logs(args: argparse.Namespace,
-                  injector: Optional[FaultInjector]) -> int:
-    ssl_path, x509_path = args.ssl_log, args.x509_log
+                  plan: Optional[FaultPlan]) -> int:
     # A fault plan or an explicit quarantine destination switches the
-    # reader from strict (one bad row aborts) to degraded-but-complete.
-    tolerant = injector is not None or bool(args.quarantine_out)
+    # readers from strict (one bad row aborts) to degraded-but-complete.
+    tolerant = plan is not None or bool(args.quarantine_out)
     quarantine = Quarantine() if tolerant else None
     try:
-        _, ssl_rows = read_zeek_log(ssl_path, quarantine=quarantine,
-                                    faults=injector)
-        _, x509_rows = read_zeek_log(x509_path, quarantine=quarantine,
-                                     faults=injector)
+        if args.shard_dir:
+            corpus_label = args.shard_dir
+            shards = discover_shards(args.shard_dir)
+        else:
+            corpus_label = args.ssl_log
+            shards = [ShardSpec(index=0, ssl_path=args.ssl_log,
+                                x509_path=args.x509_log)]
+        ingest = ingest_shards(shards, jobs=args.jobs, plan=plan,
+                               quarantine=quarantine)
     except OSError as exc:
         print(f"certchain-analyze: cannot read log: {exc}", file=sys.stderr)
         return 2
@@ -129,23 +143,20 @@ def _analyze_logs(args: argparse.Namespace,
         print(f"certchain-analyze: malformed Zeek log: {exc}",
               file=sys.stderr)
         return 2
-    ssl_records = [SSLRecord.from_row(r) for r in ssl_rows]
-    x509_records = [X509Record.from_row(r) for r in x509_rows]
-    joined = join_logs(ssl_records, x509_records)
     checkpoint = (CheckpointStore(args.checkpoint_dir)
                   if args.checkpoint_dir else None)
     # Without a trust-store snapshot every issuer is non-public; callers
     # embedding the library can supply their own registry.
     analyzer = ChainStructureAnalyzer(build_public_pki().registry)
-    result = analyzer.analyze_connections(joined, checkpoint=checkpoint,
-                                          resume=args.resume)
+    result = analyzer.analyze_ingest(ingest, checkpoint=checkpoint,
+                                     resume=args.resume)
     rows = [[row["category"], row["chains"], row["connections"],
              row["client_ips"]]
             for row in result.categorized.summary_rows()]
     print(render_table(["category", "chains", "connections", "client IPs"],
-                       rows, title=f"Chain categories in {ssl_path}"))
+                       rows, title=f"Chain categories in {corpus_label}"))
     print()
-    print(f"distinct certificates: {len(x509_records):,}")
+    print(f"distinct certificates: {len(ingest.cert_fingerprints):,}")
     print(f"hybrid chains: "
           f"{result.categorized.chain_count(ChainCategory.HYBRID):,}")
     if quarantine is not None:
@@ -209,6 +220,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.jobs is not None and not (args.ssl_log or args.x509_log
+                                      or args.shard_dir):
+        parser.error("--jobs only applies to log analysis "
+                     "(--ssl-log/--x509-log or --shard-dir)")
 
     # Resolve the fault plan (flag wins over environment) and install it
     # ambiently so deep call sites — the scanner inside the §5 revisit,
@@ -221,19 +238,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"certchain-analyze: bad fault plan: {exc}", file=sys.stderr)
         return 2
-    injector: Optional[FaultInjector] = None
+    active: Optional[FaultPlan] = None
     if plan is not None and plan.any():
         install_plan(plan)
-        injector = FaultInjector(plan)
+        active = plan
         log.info("fault plan installed", extra=kv(
             **{k: v for k, v in plan.rates().items() if v}))
 
     try:
-        if args.ssl_log or args.x509_log:
-            if not (args.ssl_log and args.x509_log):
+        if args.ssl_log or args.x509_log or args.shard_dir:
+            if args.shard_dir and (args.ssl_log or args.x509_log):
+                parser.error("--shard-dir cannot be combined with "
+                             "--ssl-log/--x509-log")
+            if not args.shard_dir and not (args.ssl_log and args.x509_log):
                 parser.error("--ssl-log and --x509-log must be given "
                              "together")
-            status = _analyze_logs(args, injector)
+            status = _analyze_logs(args, active)
             return status or _write_observability(args, effective_argv)
 
         known = sorted(registry())

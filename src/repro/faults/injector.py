@@ -33,6 +33,12 @@ class FaultInjector:
         digest = hashlib.sha256(token).digest()
         return (int.from_bytes(digest[:8], "big") >> 11) / _DENOM
 
+    def _record(self, kind: str) -> None:
+        """Account one injected fault.  Subclasses may redirect this —
+        the parallel ingest workers tally locally so the driver can emit
+        the canonical metric once, independent of worker count."""
+        instruments.FAULTS_INJECTED.inc(kind=kind)
+
     # -- active scanning --------------------------------------------------------
 
     def scan_fault(self, server_id: str, attempt: int = 1) -> Optional[str]:
@@ -55,7 +61,7 @@ class FaultInjector:
                 ("slow_handshake", plan.scan_slow_handshake_rate),
                 ("truncated_chain", plan.scan_truncated_chain_rate)):
             if rate and draw < rate:
-                instruments.FAULTS_INJECTED.inc(kind=f"scan_{kind}")
+                self._record(f"scan_{kind}")
                 return kind
             draw -= rate
         return None
@@ -66,7 +72,7 @@ class FaultInjector:
         """True when this CT lookup should fail as a remote outage."""
         rate = self.plan.ct_outage_rate
         if rate and self._draw("ct", key) < rate:
-            instruments.FAULTS_INJECTED.inc(kind="ct_outage")
+            self._record("ct_outage")
             return True
         return False
 
@@ -86,11 +92,11 @@ class FaultInjector:
             return None
         draw = self._draw("zeek", str(lineno))
         if plan.zeek_corrupt_rate and draw < plan.zeek_corrupt_rate:
-            instruments.FAULTS_INJECTED.inc(kind="zeek_corrupt")
+            self._record("zeek_corrupt")
             return line + "\t\x00garbled"
         draw -= plan.zeek_corrupt_rate
         if plan.zeek_truncate_rate and draw < plan.zeek_truncate_rate:
-            instruments.FAULTS_INJECTED.inc(kind="zeek_truncate")
+            self._record("zeek_truncate")
             return line[: max(1, len(line) // 3)]
         return None
 

@@ -1,0 +1,74 @@
+"""Bounded LRU cache with metric-instrumented lookups.
+
+The hot ingest paths memoize pure, deterministic computations — RFC 4514
+DN parsing, certificate reconstruction from log rows — whose inputs repeat
+massively in real traffic (a handful of issuer names cover most of a
+campus corpus).  An unbounded ``dict`` would grow with corpus cardinality;
+this cache evicts least-recently-used entries at a fixed ``maxsize`` so a
+year-scale ingest runs in constant memory, and reports hit/miss counts to
+the metrics registry so operators can verify the cache is actually earning
+its keep (see ``docs/PERFORMANCE.md`` on sizing).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+__all__ = ["BoundedLRU"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class BoundedLRU(Generic[K, V]):
+    """A ``maxsize``-bounded mapping with least-recently-used eviction.
+
+    ``hits``/``misses`` are optional metric children (anything with an
+    ``inc()``) bumped on every :meth:`get`.  Not thread-safe by itself —
+    callers in the parallel engine each run in their own process, and the
+    single-process pipeline is single-threaded on these paths.
+    """
+
+    __slots__ = ("maxsize", "_data", "_hits", "_misses")
+
+    def __init__(self, maxsize: int, *, hits=None, misses=None):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._hits = hits
+        self._misses = misses
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value (refreshing its recency), or ``None`` on miss."""
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            if self._misses is not None:
+                self._misses.inc()
+            return None
+        data.move_to_end(key)
+        if self._hits is not None:
+            self._hits.inc()
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data

@@ -56,6 +56,35 @@ ZEEK_JOIN_MISSING_CERTS = _R.counter(
     "repro_zeek_join_missing_certs_total",
     "Chain fingerprints referenced by SSL rows but absent from x509.log.")
 
+# -- parse caches -------------------------------------------------------------
+
+DN_PARSE_CACHE = _R.counter(
+    "repro_dn_parse_cache_lookups_total",
+    "RFC 4514 distinguished-name parse cache lookups, by result.",
+    labelnames=("result",))
+CERT_RECONSTRUCT_CACHE = _R.counter(
+    "repro_cert_reconstruct_cache_lookups_total",
+    "Certificate reconstruction (X509 row -> Certificate) cache lookups, "
+    "by result.",
+    labelnames=("result",))
+
+# -- parallel ingestion -------------------------------------------------------
+
+PARALLEL_SHARDS = _R.counter(
+    "repro_parallel_shards_total",
+    "Shards processed by the parallel ingestion engine, by outcome.",
+    labelnames=("outcome",))
+PARALLEL_SHARD_ROWS = _R.counter(
+    "repro_parallel_shard_rows_total",
+    "Log rows ingested through the parallel engine, by log path label.",
+    labelnames=("path",))
+PARALLEL_WORKERS = _R.gauge(
+    "repro_parallel_workers",
+    "Worker processes used by the most recent parallel ingest.")
+PARALLEL_SHARD_SECONDS = _R.histogram(
+    "repro_parallel_shard_seconds",
+    "Wall-clock seconds one worker spent ingesting one shard.")
+
 # -- CT index -----------------------------------------------------------------
 
 CT_LOOKUPS = _R.counter(
@@ -121,3 +150,7 @@ CT_LOOKUP_HIT = CT_LOOKUPS.labels(result="hit")
 CT_LOOKUP_MISS = CT_LOOKUPS.labels(result="miss")
 CHAIN_CONN_AGGREGATED = CHAIN_CONNECTIONS.labels(result="aggregated")
 CHAIN_CONN_SKIPPED = CHAIN_CONNECTIONS.labels(result="skipped_empty")
+DN_PARSE_CACHE_HIT = DN_PARSE_CACHE.labels(result="hit")
+DN_PARSE_CACHE_MISS = DN_PARSE_CACHE.labels(result="miss")
+CERT_CACHE_HIT = CERT_RECONSTRUCT_CACHE.labels(result="hit")
+CERT_CACHE_MISS = CERT_RECONSTRUCT_CACHE.labels(result="miss")

@@ -1,0 +1,23 @@
+"""Parallel sharded ingestion: map shards over worker processes, reduce
+with ``ChainUsage.merge`` into the exact chain map a serial pass yields.
+
+See ``docs/PERFORMANCE.md`` for the sharding model and the determinism
+guarantees, and ``benchmarks/test_parallel_scaling.py`` for the tracked
+speedup numbers.
+"""
+
+from .engine import IngestResult, ingest_logs, ingest_shards
+from .shards import ShardSpec, discover_shards, split_zeek_log
+from .worker import ShardAggregate, ShardTask, process_shard
+
+__all__ = [
+    "IngestResult",
+    "ShardAggregate",
+    "ShardSpec",
+    "ShardTask",
+    "discover_shards",
+    "ingest_logs",
+    "ingest_shards",
+    "process_shard",
+    "split_zeek_log",
+]

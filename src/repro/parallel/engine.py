@@ -1,0 +1,164 @@
+"""The reduce side of parallel ingestion: fan out shards, merge partials.
+
+:func:`ingest_shards` is the engine's entry point.  It dispatches one
+:func:`~repro.parallel.worker.process_shard` call per shard across a
+``ProcessPoolExecutor`` (``jobs=1`` runs inline — no pool, no pickling)
+and folds the returned :class:`ShardAggregate` partials into a single
+chain map with :meth:`ChainUsage.merge`.
+
+**Determinism.**  The merged output is byte-identical to a serial pass
+over the same shards regardless of worker count or completion order:
+
+* partials are merged strictly in shard-index order, so the chain dict's
+  insertion order — and every ``Counter``'s key order inside the usage
+  accumulators — reproduces the order a single process would have
+  produced scanning shard 0, then 1, …;
+* workers record no metrics; the driver derives the canonical
+  ``repro_zeek_*`` / ``repro_chain_*`` values from the merged totals, so
+  metric exports do not depend on ``--jobs`` either;
+* fault-injection draws are keyed by (plan seed, line number) inside
+  each shard file, independent of which worker reads it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.chain import ObservedChain
+from ..faults.plan import FaultPlan
+from ..obs import instruments
+from ..obs.logging import get_logger, kv
+from ..obs.tracing import trace_span
+from ..resilience.quarantine import Quarantine
+from .shards import ShardSpec
+from .worker import ShardAggregate, ShardTask, process_shard
+
+__all__ = ["IngestResult", "ingest_shards", "ingest_logs"]
+
+log = get_logger(__name__)
+
+
+@dataclass
+class IngestResult:
+    """The merged outcome of one parallel (or inline) ingest."""
+
+    chains: Dict[Tuple[str, ...], ObservedChain] = field(default_factory=dict)
+    #: Distinct certificate fingerprints, first-seen order across shards.
+    cert_fingerprints: List[str] = field(default_factory=list)
+    ssl_rows: int = 0
+    x509_rows: int = 0
+    joined: int = 0
+    missing_certs: int = 0
+    aggregated: int = 0
+    skipped_empty: int = 0
+    jobs: int = 1
+    shard_count: int = 0
+    quarantine: Optional[Quarantine] = None
+
+
+def ingest_shards(shards: Iterable[ShardSpec], *,
+                  jobs: Optional[int] = None,
+                  plan: Optional[FaultPlan] = None,
+                  quarantine: Optional[Quarantine] = None,
+                  compiled: bool = True) -> IngestResult:
+    """Map shards over a process pool and reduce to one chain map.
+
+    ``jobs=None`` uses ``os.cpu_count()``; the effective count is capped
+    at the shard count (no idle workers).  Passing a ``quarantine``
+    switches every worker to tolerant reads, and the workers' captured
+    records are replayed into it — in shard order — so the driver-side
+    sink (and its metrics) end up exactly as a serial tolerant run's
+    would.  Strict mode re-raises the first worker's
+    :class:`~repro.zeek.format.ZeekFormatError` in the caller.
+    """
+    shard_list = sorted(shards, key=lambda spec: spec.index)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(shard_list) or 1))
+    tasks = [ShardTask(index=spec.index, ssl_path=spec.ssl_path,
+                       x509_path=spec.x509_path, plan=plan,
+                       tolerant=quarantine is not None, compiled=compiled)
+             for spec in shard_list]
+    with trace_span("parallel_ingest", shards=len(tasks), jobs=jobs):
+        if jobs == 1:
+            aggregates = [process_shard(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                aggregates = list(pool.map(process_shard, tasks))
+    result = _reduce(aggregates, jobs=jobs, quarantine=quarantine)
+    log.debug("parallel ingest complete", extra=kv(
+        shards=len(tasks), jobs=jobs, ssl_rows=result.ssl_rows,
+        chains=len(result.chains)))
+    return result
+
+
+def ingest_logs(ssl_path: str, x509_path: str, *,
+                jobs: Optional[int] = None,
+                plan: Optional[FaultPlan] = None,
+                quarantine: Optional[Quarantine] = None,
+                compiled: bool = True) -> IngestResult:
+    """Ingest a single unsharded SSL/X509 pair through the same engine."""
+    shard = ShardSpec(index=0, ssl_path=ssl_path, x509_path=x509_path)
+    return ingest_shards([shard], jobs=jobs or 1, plan=plan,
+                         quarantine=quarantine, compiled=compiled)
+
+
+def _reduce(aggregates: List[ShardAggregate], *, jobs: int,
+            quarantine: Optional[Quarantine]) -> IngestResult:
+    """Merge partials in shard-index order; emit the canonical metrics."""
+    result = IngestResult(jobs=jobs, shard_count=len(aggregates),
+                          quarantine=quarantine)
+    merged = result.chains
+    seen_fps = set()
+    for aggregate in sorted(aggregates, key=lambda a: a.index):
+        for key, chain in aggregate.chains.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = chain
+            else:
+                existing.usage.merge(chain.usage)
+        for fingerprint in aggregate.cert_fingerprints:
+            if fingerprint not in seen_fps:
+                seen_fps.add(fingerprint)
+                result.cert_fingerprints.append(fingerprint)
+        if quarantine is not None:
+            for record in aggregate.quarantined:
+                quarantine.add(source=record.source, line=record.line,
+                               reason=record.reason, detail=record.detail,
+                               raw=record.raw)
+        for kind, count in aggregate.faults_injected.items():
+            instruments.FAULTS_INJECTED.inc(count, kind=kind)
+        result.ssl_rows += aggregate.ssl_rows
+        result.x509_rows += aggregate.x509_rows
+        result.joined += aggregate.joined
+        result.missing_certs += aggregate.missing_certs
+        result.aggregated += aggregate.aggregated
+        result.skipped_empty += aggregate.skipped_empty
+        # Canonical per-shard metrics, exactly as the serial readers
+        # would have flushed them (one labelled inc per non-empty log).
+        if aggregate.ssl_rows:
+            instruments.ZEEK_ROWS.inc(aggregate.ssl_rows, direction="read",
+                                      path=aggregate.ssl_log_label)
+            instruments.PARALLEL_SHARD_ROWS.inc(
+                aggregate.ssl_rows, path=aggregate.ssl_log_label)
+        if aggregate.x509_rows:
+            instruments.ZEEK_ROWS.inc(aggregate.x509_rows, direction="read",
+                                      path=aggregate.x509_log_label)
+            instruments.PARALLEL_SHARD_ROWS.inc(
+                aggregate.x509_rows, path=aggregate.x509_log_label)
+        instruments.PARALLEL_SHARDS.inc(outcome="ok")
+        instruments.PARALLEL_SHARD_SECONDS.observe(aggregate.seconds)
+    instruments.PARALLEL_WORKERS.set(jobs)
+    instruments.ZEEK_JOIN_CONNECTIONS.inc(result.joined)
+    instruments.ZEEK_JOIN_MISSING_CERTS.inc(result.missing_certs)
+    instruments.CHAIN_CONN_AGGREGATED.inc(result.aggregated)
+    instruments.CHAIN_CONN_SKIPPED.inc(result.skipped_empty)
+    instruments.CHAIN_DISTINCT.inc(len(merged))
+    if result.missing_certs:
+        log.warning("join dropped unknown certificate references",
+                    extra=kv(missing=result.missing_certs,
+                             joined=result.joined))
+    return result

@@ -1,0 +1,112 @@
+"""Shard discovery and log splitting for the parallel ingestion engine.
+
+A *shard* is one ``ssl.log``/``x509.log`` pair covering a slice of the
+corpus — in the paper's setting, one month (or one Zeek rotation) of the
+12-month campus capture.  :func:`discover_shards` pairs the files found
+in a directory by name; :func:`split_zeek_log` manufactures shards from
+a monolithic log (each piece carries a verbatim copy of the original
+header block, so every shard is a complete, independently parseable
+Zeek log).
+
+Shards are ordered by sorted file name and numbered ``0..n-1``; that
+index is the *only* ordering the reduce step relies on, which is what
+makes the merged result independent of worker count and completion
+order (docs/PERFORMANCE.md, "Determinism").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["ShardSpec", "discover_shards", "split_zeek_log"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One unit of parallel work: an SSL log and its X509 companion."""
+
+    index: int
+    ssl_path: str
+    x509_path: str
+
+
+def discover_shards(directory: str) -> List[ShardSpec]:
+    """Pair ``ssl*``/``x509*`` files in ``directory`` into shards.
+
+    Files pair by the name remainder after the ``ssl``/``x509`` prefix
+    (``ssl.log.003`` ↔ ``x509.log.003``, ``ssl-2024-01.log`` ↔
+    ``x509-2024-01.log``).  A single ``x509*`` file alongside many
+    ``ssl*`` files is broadcast to every shard — the common layout where
+    certificates are de-duplicated corpus-wide but connections rotate.
+
+    Raises :class:`ValueError` when no SSL logs are present or an SSL
+    log has no X509 companion.
+    """
+    ssl_files: Dict[str, str] = {}
+    x509_files: Dict[str, str] = {}
+    for name in sorted(os.listdir(directory)):
+        full = os.path.join(directory, name)
+        if not os.path.isfile(full):
+            continue
+        if name.startswith("ssl"):
+            ssl_files[name[len("ssl"):]] = full
+        elif name.startswith("x509"):
+            x509_files[name[len("x509"):]] = full
+    if not ssl_files:
+        raise ValueError(f"no ssl* log files found in {directory}")
+    broadcast = None
+    if len(x509_files) == 1 and set(x509_files) != set(ssl_files):
+        broadcast = next(iter(x509_files.values()))
+    shards: List[ShardSpec] = []
+    for index, suffix in enumerate(sorted(ssl_files)):
+        x509_path = x509_files.get(suffix, broadcast)
+        if x509_path is None:
+            raise ValueError(
+                f"no matching x509 log for {ssl_files[suffix]} "
+                f"(looked for x509{suffix})")
+        shards.append(ShardSpec(index=index, ssl_path=ssl_files[suffix],
+                                x509_path=x509_path))
+    return shards
+
+
+def split_zeek_log(source: str, out_dir: str, shards: int) -> List[str]:
+    """Split one Zeek log into ``shards`` contiguous-row pieces.
+
+    Each piece is written to ``out_dir`` as ``<basename>.<index:03d>``
+    with the source's full header block (every leading ``#`` line)
+    replicated on top and its trailing ``#`` footer (``#close``)
+    replicated at the bottom, so each piece stands alone.  Rows keep
+    their original relative order; concatenating the pieces' data rows
+    reproduces the source exactly.  Returns the written paths in shard
+    order.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    os.makedirs(out_dir, exist_ok=True)
+    with open(source, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    header: List[str] = []
+    footer: List[str] = []
+    data: List[str] = []
+    for line in lines:
+        if line.startswith("#"):
+            (footer if data else header).append(line)
+        else:
+            data.append(line)
+    base, extra = divmod(len(data), shards)
+    stem = os.path.basename(source)
+    paths: List[str] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        chunk = data[start:start + size]
+        start += size
+        path = os.path.join(out_dir, f"{stem}.{index:03d}")
+        with open(path, "w", encoding="utf-8") as out:
+            out.writelines(header)
+            out.writelines(chunk)
+            out.writelines(footer)
+        paths.append(path)
+    return paths

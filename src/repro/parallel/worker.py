@@ -1,0 +1,143 @@
+"""The map side of parallel ingestion: one shard in, one aggregate out.
+
+:func:`process_shard` runs inside a worker process.  It streams the
+shard's X509 log into a fingerprint-keyed certificate map, then streams
+the SSL log through the join straight into chain aggregation — no
+full-shard row list ever exists — and returns a picklable
+:class:`ShardAggregate`: the shard's chain-key → usage partials plus
+every tally the driver needs to reconstruct the canonical metrics.
+
+Workers record **no metrics themselves** (the registry is disabled for
+the duration): a forked child inherits the parent's counter values, so
+per-worker increments would be double-counted garbage, and per-shard
+``CHAIN_DISTINCT`` increments would overcount chains that appear in
+several shards.  The driver derives every metric from the merged result
+instead, which also makes metric values independent of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.chain import ObservedChain, aggregate_chains
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..obs.metrics import disabled as metrics_disabled
+from ..resilience.quarantine import Quarantine, QuarantinedRecord
+from ..zeek.format import ZeekLogReader, iter_zeek_log
+from ..zeek.records import SSLRecord, X509Record
+from ..zeek.tap import JoinStats, certificate_map, iter_joined
+
+__all__ = ["ShardTask", "ShardAggregate", "process_shard"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """Everything a worker needs, picklable for the process pool."""
+
+    index: int
+    ssl_path: str
+    x509_path: str
+    plan: Optional[FaultPlan] = None
+    tolerant: bool = False
+    compiled: bool = True
+
+
+@dataclass(slots=True)
+class ShardAggregate:
+    """One shard's partial result — the unit the driver reduces over."""
+
+    index: int
+    chains: Dict[Tuple[str, ...], ObservedChain] = field(default_factory=dict)
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    #: Distinct certificate fingerprints in first-seen (row) order.
+    cert_fingerprints: List[str] = field(default_factory=list)
+    ssl_rows: int = 0
+    x509_rows: int = 0
+    ssl_log_label: str = "unknown"
+    x509_log_label: str = "unknown"
+    joined: int = 0
+    missing_certs: int = 0
+    aggregated: int = 0
+    skipped_empty: int = 0
+    #: Injected-fault tallies by kind, re-emitted as metrics by the driver.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+class _TallyingInjector(FaultInjector):
+    """A fault injector that tallies instead of touching the registry.
+
+    Workers run with metrics disabled, so the base class's counter inc
+    would be lost; this override captures the per-kind counts in plain
+    Python for the driver to replay.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        super().__init__(plan)
+        self.injected: Counter = Counter()
+
+    def _record(self, kind: str) -> None:
+        self.injected[kind] += 1
+
+
+def process_shard(task: ShardTask) -> ShardAggregate:
+    """Ingest one shard: stream, join, aggregate; return the partials.
+
+    Strict mode (``tolerant=False``) lets :class:`ZeekFormatError`
+    propagate — the pool re-raises it in the driver with its ``file:line``
+    message intact.  Fault injection uses the task's own plan so each
+    shard file draws the same corruption pattern no matter which worker
+    (or how many workers) processes it.
+    """
+    start = time.perf_counter()
+    quarantine = Quarantine() if task.tolerant else None
+    injector = (_TallyingInjector(task.plan)
+                if task.plan is not None and task.plan.any() else None)
+    aggregate = ShardAggregate(index=task.index)
+    with metrics_disabled():
+        x509_refs: List[ZeekLogReader] = []
+        x509_records: List[X509Record] = []
+        seen_fps = set()
+        for row in iter_zeek_log(task.x509_path, quarantine=quarantine,
+                                 faults=injector, compiled=task.compiled,
+                                 reader_ref=x509_refs):
+            record = X509Record.from_row(row)
+            x509_records.append(record)
+            aggregate.x509_rows += 1
+            fingerprint = record.fingerprint
+            if fingerprint not in seen_fps:
+                seen_fps.add(fingerprint)
+                aggregate.cert_fingerprints.append(fingerprint)
+        certificates = certificate_map(x509_records)
+        del x509_records
+
+        ssl_refs: List[ZeekLogReader] = []
+        stats = JoinStats()
+
+        def ssl_stream() -> Iterator[SSLRecord]:
+            for row in iter_zeek_log(task.ssl_path, quarantine=quarantine,
+                                     faults=injector, compiled=task.compiled,
+                                     reader_ref=ssl_refs):
+                aggregate.ssl_rows += 1
+                yield SSLRecord.from_row(row)
+
+        aggregate.chains = aggregate_chains(
+            iter_joined(ssl_stream(), certificates, stats=stats))
+
+    aggregate.ssl_log_label = (ssl_refs[0].path if ssl_refs else None) or "unknown"
+    aggregate.x509_log_label = (x509_refs[0].path if x509_refs else None) or "unknown"
+    aggregate.joined = stats.joined
+    aggregate.missing_certs = stats.missing_certs
+    aggregate.aggregated = sum(
+        chain.usage.connections for chain in aggregate.chains.values())
+    aggregate.skipped_empty = stats.joined - aggregate.aggregated
+    if quarantine is not None:
+        aggregate.quarantined = quarantine.records
+    if injector is not None:
+        aggregate.faults_injected = dict(injector.injected)
+    aggregate.seconds = time.perf_counter() - start
+    return aggregate

@@ -6,6 +6,7 @@ from .format import (
     ZeekFormatError,
     ZeekLogReader,
     ZeekLogWriter,
+    iter_zeek_log,
     read_zeek_log,
     write_zeek_log,
 )
@@ -17,13 +18,22 @@ from .records import (
     ssl_record_from_connection,
     x509_record_from_certificate,
 )
-from .tap import JoinedConnection, MonitoringTap, join_logs, reconstruct_certificate
+from .tap import (
+    JoinedConnection,
+    JoinStats,
+    MonitoringTap,
+    certificate_map,
+    iter_joined,
+    join_logs,
+    reconstruct_certificate,
+)
 
 __all__ = [
     "BorderSensor",
     "FilesRecord",
     "FlowSample",
     "JoinedConnection",
+    "JoinStats",
     "MonitoringTap",
     "RawFlow",
     "SSLRecord",
@@ -31,8 +41,11 @@ __all__ = [
     "ZeekFormatError",
     "ZeekLogReader",
     "ZeekLogWriter",
+    "certificate_map",
     "client_hello_bytes",
     "fuid_for",
+    "iter_joined",
+    "iter_zeek_log",
     "join_legacy_logs",
     "join_logs",
     "looks_like_tls",

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from ..obs import instruments
+from ..obs.cache import BoundedLRU
 from ..obs.logging import get_logger, kv
 from ..obs.tracing import trace_span
 from ..tls.connection import ConnectionRecord
@@ -28,7 +29,8 @@ from .records import (
     x509_record_from_certificate,
 )
 
-__all__ = ["MonitoringTap", "reconstruct_certificate", "join_logs", "JoinedConnection"]
+__all__ = ["MonitoringTap", "reconstruct_certificate", "certificate_map",
+           "join_logs", "iter_joined", "JoinedConnection", "JoinStats"]
 
 log = get_logger(__name__)
 
@@ -68,13 +70,34 @@ class MonitoringTap:
         return [record.to_row() for record in self.x509_records]
 
 
+#: Reconstruction memo.  An X509 log de-duplicates by fingerprint, but
+#: sharded ingest re-reads the same certificate rows in every shard (and
+#: repeated analyzer runs re-read the same logs); :class:`X509Record` is a
+#: frozen hashable dataclass, so the full record is its own cache key —
+#: two rows that differ in any field can never alias one entry.
+_RECONSTRUCT_CACHE: "BoundedLRU[X509Record, Certificate]" = BoundedLRU(
+    131072,
+    hits=instruments.CERT_CACHE_HIT,
+    misses=instruments.CERT_CACHE_MISS)
+
+
 def reconstruct_certificate(record: X509Record) -> Certificate:
-    """Rebuild a :class:`Certificate` from an X509 log row.
+    """Rebuild a :class:`Certificate` from an X509 log row (memoized).
 
     The result carries no generator ground truth (no signing key id, no true
     role) — by construction the analyzer operates with exactly the paper's
-    information set.
+    information set.  Certificates are immutable, so repeated rows share
+    one reconstructed object.
     """
+    cached = _RECONSTRUCT_CACHE.get(record)
+    if cached is not None:
+        return cached
+    certificate = _reconstruct_uncached(record)
+    _RECONSTRUCT_CACHE.put(record, certificate)
+    return certificate
+
+
+def _reconstruct_uncached(record: X509Record) -> Certificate:
     bc: Optional[BasicConstraints] = None
     if record.basic_constraints_ca is not None:
         bc = BasicConstraints(ca=record.basic_constraints_ca,
@@ -118,6 +141,53 @@ class JoinedConnection:
         return tuple(cert.fingerprint for cert in self.chain)
 
 
+@dataclass(slots=True)
+class JoinStats:
+    """Mutable tallies filled in by :func:`iter_joined` as it streams."""
+
+    joined: int = 0
+    missing_certs: int = 0
+
+
+def certificate_map(x509_records: Iterable[X509Record]) -> Dict[str, Certificate]:
+    """Reconstruct every X509 row into a fingerprint-keyed certificate map."""
+    return {record.fingerprint: reconstruct_certificate(record)
+            for record in x509_records}
+
+
+def iter_joined(ssl_records: Iterable[SSLRecord],
+                certificates: Mapping[str, Certificate],
+                *, strict: bool = False,
+                stats: Optional[JoinStats] = None
+                ) -> Iterator[JoinedConnection]:
+    """Stream SSL rows joined against an already-built certificate map.
+
+    The generator core of :func:`join_logs`: it holds only the
+    certificate map in memory, so shard workers can pipe a streaming
+    SSL reader straight into chain aggregation.  Metrics and logging are
+    the *caller's* job (``join_logs`` for the serial path, the parallel
+    driver after merging) — pass a :class:`JoinStats` to collect the
+    tallies those callers report.
+    """
+    if stats is None:
+        stats = JoinStats()
+    get_certificate = certificates.get
+    for ssl in ssl_records:
+        chain: list[Certificate] = []
+        for fingerprint in ssl.cert_chain_fps:
+            certificate = get_certificate(fingerprint)
+            if certificate is None:
+                if strict:
+                    raise KeyError(
+                        f"SSL row {ssl.uid} references unknown "
+                        f"certificate {fingerprint}")
+                stats.missing_certs += 1
+                continue
+            chain.append(certificate)
+        stats.joined += 1
+        yield JoinedConnection(ssl, tuple(chain))
+
+
 def join_logs(ssl_records: Sequence[SSLRecord],
               x509_records: Sequence[X509Record],
               *, strict: bool = False) -> list[JoinedConnection]:
@@ -128,28 +198,15 @@ def join_logs(ssl_records: Sequence[SSLRecord],
     that *are* present dropped out — matching how real pipelines tolerate
     log rotation races.  ``strict=True`` raises instead.
     """
-    missing = 0
+    stats = JoinStats()
     with trace_span("join_logs", ssl_rows=len(ssl_records),
                     x509_rows=len(x509_records)):
-        certificates = {record.fingerprint: reconstruct_certificate(record)
-                        for record in x509_records}
-        joined: list[JoinedConnection] = []
-        for ssl in ssl_records:
-            chain: list[Certificate] = []
-            for fingerprint in ssl.cert_chain_fps:
-                certificate = certificates.get(fingerprint)
-                if certificate is None:
-                    if strict:
-                        raise KeyError(
-                            f"SSL row {ssl.uid} references unknown "
-                            f"certificate {fingerprint}")
-                    missing += 1
-                    continue
-                chain.append(certificate)
-            joined.append(JoinedConnection(ssl, tuple(chain)))
-    instruments.ZEEK_JOIN_CONNECTIONS.inc(len(joined))
-    instruments.ZEEK_JOIN_MISSING_CERTS.inc(missing)
-    if missing:
+        certificates = certificate_map(x509_records)
+        joined = list(iter_joined(ssl_records, certificates,
+                                  strict=strict, stats=stats))
+    instruments.ZEEK_JOIN_CONNECTIONS.inc(stats.joined)
+    instruments.ZEEK_JOIN_MISSING_CERTS.inc(stats.missing_certs)
+    if stats.missing_certs:
         log.warning("join dropped unknown certificate references",
-                    extra=kv(missing=missing, joined=len(joined)))
+                    extra=kv(missing=stats.missing_certs, joined=stats.joined))
     return joined

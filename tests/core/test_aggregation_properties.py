@@ -107,6 +107,49 @@ def test_aggregation_order_invariant(connections):
 
 
 @settings(max_examples=60, deadline=None)
+@given(connections=joined_connections(),
+       cuts=st.lists(st.integers(0, 40), max_size=4))
+def test_merge_over_any_partition_equals_single_pass(connections, cuts):
+    """Any partition of the stream, aggregated piecewise then merged in
+    order, reproduces the single-pass result field-for-field — including
+    dict insertion order and Counter key order, the invariant the
+    parallel engine's byte-identity guarantee rests on."""
+    bounds = sorted(min(cut, len(connections)) for cut in cuts)
+    pieces, previous = [], 0
+    for bound in bounds + [len(connections)]:
+        pieces.append(connections[previous:bound])
+        previous = bound
+    merged = {}
+    for piece in pieces:
+        for key, chain in aggregate_chains(piece).items():
+            if key in merged:
+                merged[key].usage.merge(chain.usage)
+            else:
+                merged[key] = chain
+    joint = aggregate_chains(connections)
+    assert list(merged) == list(joint)  # key order, not just membership
+    for key in joint:
+        a, b = merged[key].usage, joint[key].usage
+        assert (a.connections, a.established, a.client_ips, a.server_ips,
+                a.sni_present, a.snis, a.first_seen, a.last_seen) == \
+            (b.connections, b.established, b.client_ips, b.server_ips,
+             b.sni_present, b.snis, b.first_seen, b.last_seen)
+        assert list(a.ports.items()) == list(b.ports.items())
+
+
+@settings(max_examples=60, deadline=None)
+@given(connections=joined_connections())
+def test_observe_timestamp_matches_min_max(connections):
+    """record() and merge() share one first/last-seen fold."""
+    usage = ChainUsage()
+    for connection in connections:
+        usage.observe_timestamp(connection.ssl.ts)
+    timestamps = [c.ssl.ts for c in connections]
+    assert usage.first_seen == min(timestamps)
+    assert usage.last_seen == max(timestamps)
+
+
+@settings(max_examples=60, deadline=None)
 @given(connections=joined_connections(), split=st.integers(0, 40))
 def test_merge_equals_joint_aggregation(connections, split):
     """Aggregating two halves and merging equals aggregating everything."""

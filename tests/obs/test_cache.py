@@ -1,0 +1,75 @@
+"""BoundedLRU: eviction order, recency refresh, metric wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.cache import BoundedLRU
+
+
+class _Tally:
+    def __init__(self):
+        self.count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.count += amount
+
+
+class TestBoundedLRU:
+    def test_get_put_round_trip(self):
+        cache: BoundedLRU[str, int] = BoundedLRU(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache: BoundedLRU[str, int] = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache: BoundedLRU[str, int] = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")     # "b" is now least recent
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_put_refreshes_existing_key(self):
+        cache: BoundedLRU[str, int] = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        cache.put("c", 3)   # evicts "b"
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache: BoundedLRU[str, int] = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            BoundedLRU(0)
+
+    def test_hit_miss_metrics(self):
+        hits, misses = _Tally(), _Tally()
+        cache: BoundedLRU[str, int] = BoundedLRU(2, hits=hits, misses=misses)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        assert hits.count == 2
+        assert misses.count == 1

@@ -1,0 +1,121 @@
+"""Shard discovery and log splitting: pairing rules, split integrity."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import discover_shards, split_zeek_log
+from repro.zeek.format import read_zeek_log
+
+HEADER = (
+    "#separator \\x09\n"
+    "#set_separator\t,\n"
+    "#empty_field\t(empty)\n"
+    "#unset_field\t-\n"
+    "#path\tssl\n"
+    "#fields\tts\tuid\n"
+    "#types\ttime\tstring\n"
+)
+FOOTER = "#close\t2021-02-15-00-00-01\n"
+
+
+def _write_log(path, rows: int) -> str:
+    lines = [f"{1000 + i}.000000\tC{i}\n" for i in range(rows)]
+    path.write_text(HEADER + "".join(lines) + FOOTER)
+    return str(path)
+
+
+class TestSplitZeekLog:
+    def test_pieces_carry_header_and_footer(self, tmp_path):
+        source = _write_log(tmp_path / "ssl.log", 10)
+        paths = split_zeek_log(source, str(tmp_path / "shards"), 3)
+        assert [os.path.basename(p) for p in paths] == [
+            "ssl.log.000", "ssl.log.001", "ssl.log.002"]
+        for path in paths:
+            text = open(path).read()
+            assert text.startswith(HEADER)
+            assert text.endswith(FOOTER)
+
+    def test_chunks_are_balanced_and_contiguous(self, tmp_path):
+        source = _write_log(tmp_path / "ssl.log", 10)
+        paths = split_zeek_log(source, str(tmp_path / "shards"), 3)
+        uids = []
+        sizes = []
+        for path in paths:
+            _, rows = read_zeek_log(path)
+            sizes.append(len(rows))
+            uids.extend(row["uid"] for row in rows)
+        assert sizes == [4, 3, 3]  # divmod remainder goes to early shards
+        assert uids == [f"C{i}" for i in range(10)]  # original order
+
+    def test_concatenated_data_reproduces_source(self, tmp_path):
+        source = _write_log(tmp_path / "ssl.log", 7)
+        paths = split_zeek_log(source, str(tmp_path / "shards"), 4)
+        source_data = [line for line in open(source)
+                       if not line.startswith("#")]
+        shard_data = []
+        for path in paths:
+            shard_data.extend(line for line in open(path)
+                              if not line.startswith("#"))
+        assert shard_data == source_data
+
+    def test_more_shards_than_rows_yields_empty_but_valid_pieces(
+            self, tmp_path):
+        source = _write_log(tmp_path / "ssl.log", 2)
+        paths = split_zeek_log(source, str(tmp_path / "shards"), 4)
+        assert len(paths) == 4
+        counts = [len(read_zeek_log(path)[1]) for path in paths]
+        assert counts == [1, 1, 0, 0]
+
+    def test_rejects_non_positive_shard_count(self, tmp_path):
+        source = _write_log(tmp_path / "ssl.log", 2)
+        with pytest.raises(ValueError, match="positive"):
+            split_zeek_log(source, str(tmp_path / "shards"), 0)
+
+
+class TestDiscoverShards:
+    def test_pairs_by_suffix_in_sorted_order(self, tmp_path):
+        for name in ("ssl.log.001", "ssl.log.000", "x509.log.000",
+                     "x509.log.001"):
+            (tmp_path / name).write_text("#fields\tts\n#types\ttime\n")
+        shards = discover_shards(str(tmp_path))
+        assert [s.index for s in shards] == [0, 1]
+        assert [os.path.basename(s.ssl_path) for s in shards] == [
+            "ssl.log.000", "ssl.log.001"]
+        assert [os.path.basename(s.x509_path) for s in shards] == [
+            "x509.log.000", "x509.log.001"]
+
+    def test_single_x509_is_broadcast_to_every_shard(self, tmp_path):
+        # The corpus-wide layout: certificates are de-duplicated once,
+        # connections rotate — every SSL shard joins against the same
+        # x509.log.
+        for name in ("ssl.log.000", "ssl.log.001", "ssl.log.002",
+                     "x509.log"):
+            (tmp_path / name).write_text("#fields\tts\n#types\ttime\n")
+        shards = discover_shards(str(tmp_path))
+        assert len(shards) == 3
+        assert {os.path.basename(s.x509_path) for s in shards} == {
+            "x509.log"}
+
+    def test_no_ssl_files_raises(self, tmp_path):
+        (tmp_path / "x509.log").write_text("#fields\tts\n#types\ttime\n")
+        with pytest.raises(ValueError, match="no ssl"):
+            discover_shards(str(tmp_path))
+
+    def test_missing_companion_raises(self, tmp_path):
+        for name in ("ssl.log.000", "ssl.log.001", "x509.log.000",
+                     "x509.log.007"):
+            (tmp_path / name).write_text("#fields\tts\n#types\ttime\n")
+        with pytest.raises(ValueError, match="x509.log.001"):
+            discover_shards(str(tmp_path))
+
+    def test_ignores_directories_and_unrelated_files(self, tmp_path):
+        (tmp_path / "ssl.log").write_text("#fields\tts\n#types\ttime\n")
+        (tmp_path / "x509.log").write_text("#fields\tts\n#types\ttime\n")
+        (tmp_path / "conn.log").write_text("unrelated\n")
+        (tmp_path / "ssl-subdir").mkdir()
+        shards = discover_shards(str(tmp_path))
+        assert len(shards) == 1
+        assert shards[0].index == 0

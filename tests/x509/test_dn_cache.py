@@ -1,0 +1,56 @@
+"""DistinguishedName.parse memoization: identity, metrics, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import instruments
+from repro.obs.metrics import get_registry
+from repro.x509.dn import DistinguishedName, DNParseError, _PARSE_CACHE
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    _PARSE_CACHE.clear()
+    get_registry().reset()
+    yield
+    _PARSE_CACHE.clear()
+
+
+class TestParseCache:
+    def test_repeat_parse_returns_the_same_object(self):
+        text = "CN=R3,O=Let's Encrypt,C=US"
+        first = DistinguishedName.parse(text)
+        second = DistinguishedName.parse(text)
+        assert second is first
+        assert first.common_name == "R3"
+
+    def test_cached_result_equals_uncached(self):
+        text = "CN=a b\\, c,OU=Dev+O=Org,C=DE"
+        via_cache = DistinguishedName.parse(text)
+        direct = DistinguishedName._parse_uncached(text)
+        assert via_cache == direct
+        assert via_cache.rfc4514() == direct.rfc4514()
+
+    def test_hit_and_miss_metrics(self):
+        DistinguishedName.parse("CN=one")            # miss
+        DistinguishedName.parse("CN=one")            # hit
+        DistinguishedName.parse("CN=one")            # hit
+        DistinguishedName.parse("CN=two")            # miss
+        assert instruments.DN_PARSE_CACHE.value(result="miss") == 2
+        assert instruments.DN_PARSE_CACHE.value(result="hit") == 2
+
+    def test_parse_errors_are_not_cached(self):
+        with pytest.raises(DNParseError):
+            DistinguishedName.parse("no-equals-sign")
+        assert "no-equals-sign" not in _PARSE_CACHE
+        with pytest.raises(DNParseError):
+            DistinguishedName.parse("no-equals-sign")
+
+    def test_distinct_inputs_same_name_both_cached(self):
+        # "CN=x" and "CN=x " normalise to equal DNs but are distinct
+        # cache keys; both resolve correctly.
+        a = DistinguishedName.parse("CN=x")
+        b = DistinguishedName.parse("CN=x ")
+        assert a == b
+        assert len(_PARSE_CACHE) == 2

@@ -1,0 +1,209 @@
+"""Compiled row codecs vs the legacy interpreter: identical semantics.
+
+The compiled reader (exec-generated per-header codec + chunked block
+parsing) must be observationally indistinguishable from the original
+per-line interpreter: same rows, same quarantine records, same strict
+errors with the same ``file:line``, same metric labelling.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import instruments
+from repro.obs.metrics import get_registry
+from repro.resilience import Quarantine
+from repro.zeek import format as zformat
+from repro.zeek.format import (ZeekFormatError, ZeekLogReader, iter_zeek_log,
+                               read_zeek_log, write_zeek_log)
+
+HEADER = (
+    "#separator \\x09\n"
+    "#set_separator\t,\n"
+    "#empty_field\t(empty)\n"
+    "#unset_field\t-\n"
+    "#path\tssl\n"
+    "#open\t2021-02-15-00-00-00\n"
+    "#fields\tts\tuid\tport\tratio\tok\tname\tsans\n"
+    "#types\ttime\tstring\tport\tdouble\tbool\tstring\tvector[string]\n"
+)
+ROWS = (
+    "1453939200.000000\tC1\t443\t0.5\tT\texample.com\ta.com,b.com\n"
+    "1453939201.000000\tC2\t8443\t-\tF\t-\t(empty)\n"
+    "1453939202.000000\tC3\t443\t1.25\tT\t(empty)\t-\n"
+    "1453939203.000000\tC4\t443\t0.0\tT\ttab\\x09here\\x0aline\tx\\x09y,-\n"
+)
+FOOTER = "#close\t2021-02-15-00-00-01\n"
+
+
+def _both(text: str, *, quarantine=False, faults=None):
+    """Run both reader variants over ``text``; return (rows, quarantine)s."""
+    results = []
+    for compiled in (False, True):
+        q = Quarantine() if quarantine else None
+        reader = ZeekLogReader(io.StringIO(text), source="ssl.log",
+                               quarantine=q, faults=faults,
+                               compiled=compiled)
+        results.append((list(reader), q))
+    return results
+
+
+def assert_parity(text: str, *, faults=None):
+    (legacy_rows, legacy_q), (fast_rows, fast_q) = _both(
+        text, quarantine=True, faults=faults)
+    assert fast_rows == legacy_rows
+    assert fast_q.records == legacy_q.records
+
+
+class TestCodecParity:
+    def test_clean_log(self):
+        assert_parity(HEADER + ROWS + FOOTER)
+
+    def test_unset_empty_and_escape_values(self):
+        (rows, _), _ = _both(HEADER + ROWS)
+        assert rows[1]["ratio"] is None
+        assert rows[1]["name"] is None
+        assert rows[1]["sans"] == []
+        assert rows[2]["name"] == ""
+        assert rows[2]["sans"] is None
+        assert rows[3]["name"] == "tab\there\nline"
+        assert rows[3]["sans"] == ["x\ty", None]
+
+    def test_bad_rows_same_reason_detail_and_line(self):
+        text = (HEADER + ROWS
+                + "bad\tcolumns\n"                               # column-count
+                + "not-a-time\tC9\t443\t0.1\tT\tx\t-\n"          # field-parse
+                + ROWS + FOOTER)
+        assert_parity(text)
+        _, (_, q) = _both(text, quarantine=True)
+        assert [(r.reason, r.line) for r in q.records] == [
+            ("column-count", 13), ("field-parse", 14)]
+        assert "expected 7" in q.records[0].detail
+        assert "unparseable" in q.records[1].detail
+
+    def test_data_before_header(self):
+        assert_parity("early\trow\n" + HEADER + ROWS)
+
+    def test_blank_lines_and_missing_trailing_newline(self):
+        assert_parity(HEADER + "\n" + ROWS + "\n\n"
+                      + ROWS[:-1])  # last line has no newline
+
+    def test_header_mid_file_rebuilds_codec(self):
+        narrow = ("#fields\tts\tuid\n"
+                  "#types\ttime\tstring\n"
+                  "1453939300.000000\tN1\n")
+        assert_parity(HEADER + ROWS + narrow)
+        (rows, _), _ = _both(HEADER + ROWS + narrow)
+        assert rows[-1] == {"ts": 1453939300.0, "uid": "N1"}
+
+    def test_strict_error_location_identical(self):
+        text = HEADER + ROWS + "short\trow\n"
+        errors = []
+        for compiled in (False, True):
+            reader = ZeekLogReader(io.StringIO(text), source="ssl.log",
+                                   compiled=compiled)
+            with pytest.raises(ZeekFormatError) as excinfo:
+                list(reader)
+            errors.append((excinfo.value.source, excinfo.value.line,
+                           str(excinfo.value)))
+        assert errors[0] == errors[1]
+        assert errors[0][1] == 13
+
+    def test_injected_corruption_parity(self):
+        faults_a = FaultInjector(FaultPlan(seed="codec", zeek_corrupt_rate=0.3,
+                                           zeek_truncate_rate=0.2))
+        faults_b = FaultInjector(FaultPlan(seed="codec", zeek_corrupt_rate=0.3,
+                                           zeek_truncate_rate=0.2))
+        text = HEADER + ROWS * 25 + FOOTER
+        (legacy_rows, legacy_q), _ = _both(text, quarantine=True,
+                                           faults=faults_a)
+        fast_q = Quarantine()
+        fast_rows = list(ZeekLogReader(io.StringIO(text), source="ssl.log",
+                                       quarantine=fast_q, faults=faults_b,
+                                       compiled=True))
+        assert fast_rows == legacy_rows
+        assert fast_q.records == legacy_q.records
+        assert legacy_q.records  # the plan actually corrupted something
+
+    @pytest.mark.parametrize("chunk", [7, 64, 1024])
+    def test_chunk_boundaries_do_not_change_output(self, chunk, monkeypatch):
+        text = HEADER + ROWS * 10 + "bad\trow\n" + ROWS + FOOTER
+        (reference, ref_q), _ = _both(text, quarantine=True)
+        monkeypatch.setattr(zformat, "_CHUNK_CHARS", chunk)
+        q = Quarantine()
+        rows = list(ZeekLogReader(io.StringIO(text), source="ssl.log",
+                                  quarantine=q, compiled=True))
+        assert rows == reference
+        assert q.records == ref_q.records
+
+    def test_read_all_matches_iteration(self):
+        text = HEADER + ROWS + FOOTER
+        via_iter = list(ZeekLogReader(io.StringIO(text)))
+        via_read_all = ZeekLogReader(io.StringIO(text)).read_all()
+        assert via_read_all == via_iter
+
+    def test_write_read_round_trip_both_modes(self, tmp_path):
+        fields = ("ts", "uid", "names")
+        types = ("time", "string", "vector[string]")
+        rows = [[1.5, "C1", ["a", "b"]], [2.0, None, []],
+                [3.0, "tab\there", None]]
+        path = tmp_path / "rt.log"
+        write_zeek_log(str(path), "rt", fields, types, rows)
+        for compiled in (False, True):
+            _, parsed = read_zeek_log(str(path), compiled=compiled)
+            assert [[r["ts"], r["uid"], r["names"]] for r in parsed] == rows
+
+
+class TestIterZeekLog:
+    def test_streams_rows_and_exposes_reader(self, tmp_path):
+        path = tmp_path / "ssl.log"
+        path.write_text(HEADER + ROWS + FOOTER)
+        refs: list[ZeekLogReader] = []
+        rows = list(iter_zeek_log(str(path), reader_ref=refs))
+        assert len(rows) == 4
+        assert refs[0].path == "ssl"
+        assert refs[0].fields[0] == "ts"
+
+
+class TestRowMetricLabelling:
+    """ZEEK_ROWS must be flushed once, under the final ``#path`` label."""
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_rows_before_path_header_use_final_path(self, compiled):
+        # #path arrives only *after* data rows have been read: the flush
+        # at exhaustion still attributes every row to the declared path,
+        # never to "unknown".
+        text = (
+            "#fields\tts\tuid\n"
+            "#types\ttime\tstring\n"
+            "1.0\tC1\n"
+            "2.0\tC2\n"
+            "#path\tlate-ssl\n"
+            "3.0\tC3\n"
+        )
+        get_registry().reset()
+        list(ZeekLogReader(io.StringIO(text), compiled=compiled))
+        assert instruments.ZEEK_ROWS.value(direction="read",
+                                           path="late-ssl") == 3
+        assert instruments.ZEEK_ROWS.value(direction="read",
+                                           path="unknown") == 0
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_pathless_log_counts_as_unknown(self, compiled):
+        text = ("#fields\tts\tuid\n"
+                "#types\ttime\tstring\n"
+                "1.0\tC1\n")
+        get_registry().reset()
+        list(ZeekLogReader(io.StringIO(text), compiled=compiled))
+        assert instruments.ZEEK_ROWS.value(direction="read",
+                                           path="unknown") == 1
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_empty_log_flushes_nothing(self, compiled):
+        get_registry().reset()
+        list(ZeekLogReader(io.StringIO(HEADER + FOOTER), compiled=compiled))
+        samples = get_registry().snapshot()["repro_zeek_rows_total"]["samples"]
+        assert all(sample["value"] == 0 for sample in samples)
