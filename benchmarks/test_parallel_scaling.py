@@ -65,8 +65,13 @@ def ingest_bench(dataset, tmp_path_factory):
         return aggregate_chains(joined)
 
     serial_seconds = _best(legacy_serial)
+    engine_results = {}
+
+    def run_engine(jobs):
+        engine_results[jobs] = ingest_shards(shards, jobs=jobs)
+
     engine_seconds = {
-        jobs: _best(lambda: ingest_shards(shards, jobs=jobs))
+        jobs: _best(lambda jobs=jobs: run_engine(jobs))
         for jobs in (1, 2, SHARDS)}
     read_compiled = _best(lambda: read_zeek_log(ssl_path, compiled=True))
     read_legacy = _best(lambda: read_zeek_log(ssl_path, compiled=False))
@@ -82,7 +87,9 @@ def ingest_bench(dataset, tmp_path_factory):
         "engine": {
             str(jobs): {"seconds": seconds,
                         "rows_per_second": rows / seconds,
-                        "speedup_vs_serial": serial_seconds / seconds}
+                        "speedup_vs_serial": serial_seconds / seconds,
+                        "requested_jobs": engine_results[jobs].requested_jobs,
+                        "effective_jobs": engine_results[jobs].jobs}
             for jobs, seconds in engine_seconds.items()},
         "read": {
             "compiled_seconds": read_compiled,
@@ -102,6 +109,11 @@ def test_bench_file_written(ingest_bench):
     recorded = json.load(open(BENCH_OUT))
     assert recorded["engine"]["1"]["rows_per_second"] > 0
     assert recorded["read"]["compiled_rows_per_second"] > 0
+    # The CPU clamp is part of the recorded contract: a 4-worker request
+    # on a smaller box must report what actually ran.
+    four = recorded["engine"][str(SHARDS)]
+    assert four["requested_jobs"] == SHARDS
+    assert four["effective_jobs"] <= (recorded["cpu_count"] or 1)
 
 
 def test_compiled_read_floor(ingest_bench):

@@ -11,6 +11,7 @@ both signals.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
@@ -21,7 +22,12 @@ __all__ = ["CrossSignDisclosures", "detect_cross_sign_candidates"]
 
 
 def _dn_key(dn: DistinguishedName) -> tuple:
-    return tuple(sorted(dn.normalized()))
+    return dn.sorted_key()
+
+
+#: Process-local ids handed to disclosure sets on first use; see
+#: :attr:`CrossSignDisclosures.memo_token`.
+_TOKEN_COUNTER = itertools.count(1)
 
 
 class CrossSignDisclosures:
@@ -39,10 +45,17 @@ class CrossSignDisclosures:
       variants of a cross-signed CA delivered back-to-back).
     """
 
+    #: Class-level fallbacks so instances unpickled from old checkpoints
+    #: (whose ``__dict__`` predates these fields) still resolve them.
+    _token: Optional[int] = None
+    _epoch: int = 0
+
     def __init__(self, disclosures: Iterable[Tuple[DistinguishedName,
                                                    DistinguishedName]] = ()):
         self._alt_issuers: Dict[tuple, Set[tuple]] = {}
         self._pairs: list[Tuple[DistinguishedName, DistinguishedName]] = []
+        self._token = None
+        self._epoch = 0
         for subject, issuer in disclosures:
             self.add(subject, issuer)
 
@@ -54,6 +67,27 @@ class CrossSignDisclosures:
     def add(self, subject: DistinguishedName, issuer: DistinguishedName) -> None:
         self._alt_issuers.setdefault(_dn_key(subject), set()).add(_dn_key(issuer))
         self._pairs.append((subject, issuer))
+        self._epoch += 1
+
+    @property
+    def memo_token(self) -> tuple[int, int]:
+        """Identity of this disclosure set's *current contents*.
+
+        The pair-match memo (:mod:`repro.core.matching`) keys cached
+        verdicts by ``(child_fp, parent_fp, memo_token)``: the first
+        component is a process-local instance id (assigned lazily, dropped
+        on pickling so unpickled copies never alias another instance's
+        cache lines), the second an epoch bumped by every :meth:`add` so
+        mutating the disclosures invalidates prior verdicts.
+        """
+        if self._token is None:
+            self._token = next(_TOKEN_COUNTER)
+        return (self._token, self._epoch)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_token", None)  # instance ids are process-local
+        return state
 
     def __len__(self) -> int:
         return len(self._pairs)

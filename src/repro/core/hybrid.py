@@ -223,9 +223,8 @@ class HybridReport:
         matching = [a for a in self.analyses if a.leaf_missing_issuer]
         connections = sum(a.chain.usage.connections for a in matching)
         established = sum(a.chain.usage.established for a in matching)
-        clients: set[str] = set()
-        for analysis in matching:
-            clients |= analysis.chain.usage.client_ips
+        clients = set().union(
+            *(a.chain.usage.client_ips for a in matching))
         return {
             "chains": len(matching),
             "connections": connections,
@@ -329,10 +328,16 @@ class HybridAnalyzer:
             report.analyses.append(self.analyze_chain(chain))
         return report
 
-    def analyze_chain(self, chain: ObservedChain) -> HybridChainAnalysis:
-        structure = analyze_structure(chain.certificates,
-                                      disclosures=self.disclosures,
-                                      require_leaf=self.require_leaf)
+    def analyze_chain(self, chain: ObservedChain, *,
+                      structure: Optional[ChainStructure] = None,
+                      ) -> HybridChainAnalysis:
+        """Analyze one chain; ``structure`` may be supplied precomputed
+        (it must be this analyzer's ``require_leaf`` variant — the
+        parallel engine reuses the eager with-leaf structure here)."""
+        if structure is None:
+            structure = analyze_structure(chain.certificates,
+                                          disclosures=self.disclosures,
+                                          require_leaf=self.require_leaf)
         classes = tuple(self.classifier.classify(c) for c in chain.certificates)
         anchored = self.classifier.chain_anchored_to_public_root(
             structure.path_certificates() or chain.certificates)

@@ -46,7 +46,7 @@ CATEGORY_ORDER: tuple[str, ...] = (
 
 
 def _dn_key(dn: DistinguishedName) -> tuple:
-    return tuple(sorted(dn.normalized()))
+    return dn.sorted_key()
 
 
 class VendorDirectory:
@@ -114,14 +114,14 @@ class InterceptionReport:
         """
         vendors_per_category: Dict[str, set] = {c: set() for c in CATEGORY_ORDER}
         connections_per_category: Counter = Counter()
-        clients_per_category: Dict[str, set] = {c: set() for c in CATEGORY_ORDER}
+        client_sets: Dict[str, list] = {c: [] for c in CATEGORY_ORDER}
         for chain_key, issuer in self.flagged_chains.items():
             chain = chains.get(chain_key)
             if chain is None:
                 continue
             vendors_per_category[issuer.category].add(issuer.vendor)
             connections_per_category[issuer.category] += chain.usage.connections
-            clients_per_category[issuer.category] |= chain.usage.client_ips
+            client_sets[issuer.category].append(chain.usage.client_ips)
         total_connections = sum(connections_per_category.values()) or 1
         rows = []
         for category in CATEGORY_ORDER:
@@ -130,7 +130,9 @@ class InterceptionReport:
                 "issuers": len(vendors_per_category[category]),
                 "pct_connections": 100.0 * connections_per_category[category]
                 / total_connections,
-                "client_ips": len(clients_per_category[category]),
+                # One n-ary union per category instead of per-chain |=
+                # (each of which copies the accumulator).
+                "client_ips": len(set().union(*client_sets[category])),
             })
         return rows
 
@@ -176,6 +178,13 @@ class InterceptionDetector:
     def detect(self, chains: Iterable[ObservedChain]) -> InterceptionReport:
         report = InterceptionReport()
         issuer_seen: Dict[tuple, InterceptionIssuer] = {}
+        # CT verdicts are batched per unique (leaf, domain set) evidence
+        # key: many chains share one appliance leaf and SNI population, so
+        # the fan-out to CT runs once per distinct lookup instead of once
+        # per chain.  Only *successful* verdicts are memoised — a degraded
+        # chain must re-attempt its lookups so breaker dynamics and the
+        # per-chain degraded bookkeeping stay exactly as an unbatched pass.
+        verdict_seen: Dict[tuple, bool] = {}
         for chain in chains:
             leaf = chain.leaf
             if leaf is None:
@@ -184,12 +193,28 @@ class InterceptionDetector:
             if self.classifier.classify(leaf) is not IssuerClass.NON_PUBLIC_DB:
                 instruments.INTERCEPTION_CHAINS.inc(verdict="public_issuer")
                 continue
-            try:
-                flagged = self._flag_via_ct(leaf, chain)
-            except (CTUnavailableError, CircuitOpenError):
-                instruments.INTERCEPTION_CHAINS.inc(verdict="ct_unavailable")
-                report.degraded_chains.append(chain.key)
-                continue
+            domains = set(chain.usage.snis)
+            san = leaf.extensions.subject_alt_name
+            if san is not None:
+                domains.update(san.dns_names)
+            # Sorted so lookup order (and thus per-domain fault draws and
+            # any early return) is identical across processes and runs.
+            domain_key = tuple(sorted(domains))
+            memo_key = (leaf.fingerprint, domain_key)
+            cached = verdict_seen.get(memo_key)
+            if cached is not None:
+                instruments.CT_VERDICT_MEMO_HIT.inc()
+                flagged = cached
+            else:
+                instruments.CT_VERDICT_MEMO_MISS.inc()
+                try:
+                    flagged = self._flag_via_ct(leaf, domain_key)
+                except (CTUnavailableError, CircuitOpenError):
+                    instruments.INTERCEPTION_CHAINS.inc(
+                        verdict="ct_unavailable")
+                    report.degraded_chains.append(chain.key)
+                    continue
+                verdict_seen[memo_key] = flagged
             if not flagged:
                 instruments.INTERCEPTION_CHAINS.inc(verdict="not_flagged")
                 continue
@@ -222,20 +247,16 @@ class InterceptionDetector:
             return self.breaker.call(lookup)  # type: ignore[return-value]
         return lookup()
 
-    def _flag_via_ct(self, leaf: Certificate, chain: ObservedChain) -> bool:
+    def _flag_via_ct(self, leaf: Certificate,
+                     domains: Sequence[str]) -> bool:
         """True when CT records a different issuer for any domain this
-        chain served, over the observed validity period."""
-        domains = set(chain.usage.snis)
-        san = leaf.extensions.subject_alt_name
-        if san is not None:
-            domains.update(san.dns_names)
-        # Sorted so lookup order (and thus per-domain fault draws and any
-        # early return) is identical across processes.
-        for domain in sorted(domains):
+        chain served (pre-sorted by the caller), over the observed
+        validity period."""
+        observed = _dn_key(leaf.issuer)
+        for domain in domains:
             recorded = self._ct_issuers(domain, leaf.validity)
             if not recorded:
                 continue  # absent from CT: undetectable (Appendix B caveat)
-            observed = _dn_key(leaf.issuer)
             if all(_dn_key(issuer) != observed for issuer in recorded):
                 return True
         return False

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Sequence
 
+from ..obs import instruments
+from ..obs.cache import BoundedLRU
 from ..x509.certificate import Certificate
 from .crosssign import CrossSignDisclosures
 
@@ -30,7 +32,11 @@ __all__ = [
     "Segment",
     "ChainStructure",
     "analyze_structure",
+    "analyze_structure_pair",
+    "match_pair",
     "is_leaf_like",
+    "pack_structure",
+    "unpack_structure",
 ]
 
 
@@ -89,15 +95,19 @@ def is_leaf_like(certificate: Certificate,
     ext = certificate.extensions
     if ext.basic_constraints is not None:
         return not ext.basic_constraints.ca
+    # Identity is the fingerprint, not the Python object: a chain
+    # reconstructed from logs may hold several distinct objects for one
+    # certificate, and they must all answer alike.
+    fingerprint = certificate.fingerprint
     issues_someone = any(
-        other is not certificate and certificate.issued(other)
+        other.fingerprint != fingerprint and certificate.issued(other)
         for other in chain
     )
     if issues_someone:
         return False
     if ext.subject_alt_name is not None and ext.subject_alt_name.dns_names:
         return True
-    return bool(chain) and chain[0] is certificate
+    return bool(chain) and chain[0].fingerprint == fingerprint
 
 
 @dataclass
@@ -176,29 +186,65 @@ def _match_pair(child: Certificate, parent: Certificate,
     return PairMatch.MISMATCH
 
 
+#: Pair-match memo.  The corpus repeats adjacent pairs massively — every
+#: Let's Encrypt leaf shares the same (R3, ISRG Root) tail — so one verdict
+#: per distinct (child, parent, disclosure-state) triple covers hundreds of
+#: thousands of chains.  262,144 entries bound the memory on adversarial
+#: input; hit rates export as ``repro_match_memo_lookups_total``.
+_MATCH_MEMO: BoundedLRU[tuple, PairMatch] = BoundedLRU(
+    262_144,
+    hits=instruments.MATCH_MEMO_HIT,
+    misses=instruments.MATCH_MEMO_MISS)
+
+
+def match_pair(child: Certificate, parent: Certificate,
+               disclosures: Optional[CrossSignDisclosures] = None) -> PairMatch:
+    """Memoised adjacent-pair verdict.
+
+    Keyed by certificate fingerprints plus the disclosure set's
+    ``memo_token`` (a process-local instance id + mutation epoch), so a
+    verdict cached under one disclosure state is never served for another:
+    mutating or swapping the disclosures changes the token and the memo
+    line goes cold.  Safe because :func:`_match_pair` is a pure function
+    of the two certificates' names and the disclosure contents.
+    """
+    token = disclosures.memo_token if disclosures is not None else None
+    key = (child.fingerprint, parent.fingerprint, token)
+    cached = _MATCH_MEMO.get(key)
+    if cached is None:
+        cached = _match_pair(child, parent, disclosures)
+        _MATCH_MEMO.put(key, cached)
+    return cached
+
+
 def _leaf_like_index(certs: Sequence[Certificate]):
     """O(1)-per-query equivalent of :func:`is_leaf_like` for one chain.
 
-    Precomputes, per subject name, how many *distinct certificate objects*
-    in the chain name it as their issuer — replacing the O(n) rescan that
-    made pathological 3,800-certificate chains quadratic to analyze.
+    Precomputes, per subject name, how many *distinct certificates* in the
+    chain name it as their issuer — replacing the O(n) rescan that made
+    pathological 3,800-certificate chains quadratic to analyze.
+    Distinctness is by fingerprint: a reconstructed chain may carry
+    several Python objects for one certificate, and counting them per
+    object would inflate the issuer counts and flip leaf verdicts
+    depending on how the chain was materialised.
     """
     issuer_counts: dict[tuple, int] = {}
-    seen_objects: set[int] = set()
+    seen_fingerprints: set[str] = set()
     for certificate in certs:
-        if id(certificate) in seen_objects:
+        fingerprint = certificate.fingerprint
+        if fingerprint in seen_fingerprints:
             continue
-        seen_objects.add(id(certificate))
-        key = tuple(sorted(certificate.issuer.normalized()))
+        seen_fingerprints.add(fingerprint)
+        key = certificate.issuer.sorted_key()
         issuer_counts[key] = issuer_counts.get(key, 0) + 1
 
-    first = certs[0] if certs else None
+    first_fp = certs[0].fingerprint if certs else None
 
     def leaf_like(certificate: Certificate) -> bool:
         ext = certificate.extensions
         if ext.basic_constraints is not None:
             return not ext.basic_constraints.ca
-        key = tuple(sorted(certificate.subject.normalized()))
+        key = certificate.subject.sorted_key()
         named_by = issuer_counts.get(key, 0)
         if certificate.is_self_signed:
             named_by -= 1  # its own issuer field
@@ -206,7 +252,7 @@ def _leaf_like_index(certs: Sequence[Certificate]):
             return False
         if ext.subject_alt_name is not None and ext.subject_alt_name.dns_names:
             return True
-        return certificate is first
+        return certificate.fingerprint == first_fp
 
     return leaf_like
 
@@ -222,9 +268,37 @@ def analyze_structure(chain: Sequence[Certificate], *,
     """
     certs = tuple(chain)
     pairs = tuple(
-        _match_pair(child, parent, disclosures)
+        match_pair(child, parent, disclosures)
         for child, parent in zip(certs, certs[1:])
     )
+    return _structure_from_pairs(certs, pairs, require_leaf)
+
+
+def analyze_structure_pair(chain: Sequence[Certificate], *,
+                           disclosures: Optional[CrossSignDisclosures] = None,
+                           ) -> tuple[ChainStructure, ChainStructure]:
+    """Both ``require_leaf`` variants of one chain from a single
+    pair-match pass.
+
+    The pair verdicts do not depend on ``require_leaf`` — only the
+    segment ``has_leaf`` flags do — so eager enrichment (the parallel
+    analysis engine computes both variants for every multi-certificate
+    chain) matches pairs once instead of twice.  Returns
+    ``(with_leaf, without_leaf)``.
+    """
+    certs = tuple(chain)
+    pairs = tuple(
+        match_pair(child, parent, disclosures)
+        for child, parent in zip(certs, certs[1:])
+    )
+    return (_structure_from_pairs(certs, pairs, True),
+            _structure_from_pairs(certs, pairs, False))
+
+
+def _structure_from_pairs(certs: tuple[Certificate, ...],
+                          pairs: tuple[PairMatch, ...],
+                          require_leaf: bool) -> ChainStructure:
+    """Segment/path/ratio derivation shared by both entry points."""
     leaf_like = _leaf_like_index(certs) if (certs and require_leaf) else None
     segments: list[Segment] = []
     if certs:
@@ -234,6 +308,13 @@ def analyze_structure(chain: Sequence[Certificate], *,
                 segments.append(_make_segment(certs, start, i, leaf_like))
                 start = i + 1
         segments.append(_make_segment(certs, start, len(certs) - 1, leaf_like))
+    return _assemble_structure(certs, pairs, tuple(segments))
+
+
+def _assemble_structure(certs: tuple[Certificate, ...],
+                        pairs: tuple[PairMatch, ...],
+                        segments: tuple[Segment, ...]) -> ChainStructure:
+    """Derive complete paths / best path / ratio from pairs + segments."""
     complete = tuple(s for s in segments if s.is_complete_matched_path)
     best = None
     for segment in complete:
@@ -250,6 +331,36 @@ def analyze_structure(chain: Sequence[Certificate], *,
         best_path=best,
         mismatch_ratio=ratio,
     )
+
+
+#: Wire order for the packed pair-match encoding — append only.
+_PAIR_ORDER = (PairMatch.DIRECT, PairMatch.CROSS_SIGN, PairMatch.MISMATCH)
+_PAIR_ORDINAL = {match: i for i, match in enumerate(_PAIR_ORDER)}
+
+
+def pack_structure(structure: ChainStructure) -> tuple:
+    """Encode a structure's *derived* state as pickle-cheap primitives.
+
+    The artifact cache (:mod:`repro.resilience.checkpoint`) must not
+    persist certificates — the caller re-supplies them on load — and
+    unpickling tens of thousands of ``Segment`` dataclasses costs more
+    than the analysis it saves.  The packed form is one bytes object plus
+    int triples; :func:`unpack_structure` rebuilds everything derivable.
+    """
+    return (
+        bytes(_PAIR_ORDINAL[m] for m in structure.pair_matches),
+        tuple((s.start, s.end, s.has_leaf) for s in structure.segments),
+    )
+
+
+def unpack_structure(certificates: Sequence[Certificate],
+                     packed: tuple) -> ChainStructure:
+    """Rebuild a :func:`pack_structure` encoding against live certificates."""
+    pair_bytes, segment_triples = packed
+    pairs = tuple(_PAIR_ORDER[b] for b in pair_bytes)
+    segments = tuple(Segment(start=start, end=end, has_leaf=has_leaf)
+                     for start, end, has_leaf in segment_triples)
+    return _assemble_structure(tuple(certificates), pairs, segments)
 
 
 def _make_segment(certs: Sequence[Certificate], start: int, end: int,

@@ -19,8 +19,10 @@ from ..faults.plan import active_plan
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
 from ..obs.tracing import trace_span
+from .. import __version__
 from ..resilience.breaker import CircuitBreaker
-from ..resilience.checkpoint import CheckpointStore, input_fingerprint
+from ..resilience.checkpoint import (ArtifactStore, CheckpointStore,
+                                     input_fingerprint)
 from ..truststores.registry import PublicDBRegistry
 from ..zeek.tap import JoinedConnection
 from .categorization import CategorizedChains, ChainCategorizer, ChainCategory
@@ -28,10 +30,11 @@ from .chain import ObservedChain, aggregate_chains
 from .classification import CertificateClassifier
 from .crosssign import CrossSignDisclosures
 from .dga import DGACluster, DGADetector
-from .hybrid import HybridAnalyzer, HybridReport
+from .hybrid import HybridAnalyzer, HybridChainAnalysis, HybridReport
 from .interception import InterceptionDetector, InterceptionReport, VendorDirectory
 from .lengths import LengthDistribution, length_distributions
-from .matching import ChainStructure, analyze_structure
+from .matching import (ChainStructure, analyze_structure, pack_structure,
+                       unpack_structure)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..parallel.engine import IngestResult
@@ -40,6 +43,11 @@ __all__ = ["ChainStructureAnalyzer", "AnalysisResult",
            "SingleCertStats", "MultiCertPathStats"]
 
 log = get_logger(__name__)
+
+#: Part of the artifact-cache key.  Bump whenever enrichment semantics
+#: change (new category rules, structure derivation, hybrid taxonomy…) so
+#: cached ``AnalysisResult`` pickles from older code read as stale.
+_ANALYSIS_CODE_VERSION = "analysis-v2"
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +91,11 @@ class AnalysisResult:
     disclosures: Optional[CrossSignDisclosures]
     _structure_cache: Dict[tuple[str, ...], ChainStructure] = field(
         default_factory=dict)
+    #: Artifact-cache entries not yet decoded: chain key -> packed
+    #: (require_leaf=True, require_leaf=False) structure encodings.
+    #: Decoded lazily so a warm load does no per-structure Python work.
+    _packed_structures: Dict[tuple[str, ...], tuple] = field(
+        default_factory=dict)
 
     # -- structure access -------------------------------------------------------
 
@@ -90,14 +103,22 @@ class AnalysisResult:
                      require_leaf: bool = False) -> ChainStructure:
         cache_key = chain.key + (("L",) if require_leaf else ("N",))
         cached = self._structure_cache.get(cache_key)
-        if cached is None:
+        if cached is not None:
+            instruments.STRUCTURE_CACHE_HIT.inc()
+            return cached
+        packed_pair = self._packed_structures.get(chain.key)
+        packed = packed_pair[0 if require_leaf else 1] if packed_pair else None
+        if packed is not None:
+            # Decoding a packed artifact entry skips the pair matching —
+            # observable as a cache hit.
+            instruments.STRUCTURE_CACHE_HIT.inc()
+            cached = unpack_structure(chain.certificates, packed)
+        else:
             instruments.STRUCTURE_CACHE_MISS.inc()
             cached = analyze_structure(chain.certificates,
                                        disclosures=self.disclosures,
                                        require_leaf=require_leaf)
-            self._structure_cache[cache_key] = cached
-        else:
-            instruments.STRUCTURE_CACHE_HIT.inc()
+        self._structure_cache[cache_key] = cached
         return cached
 
     # -- §4.1 -------------------------------------------------------------------
@@ -113,9 +134,7 @@ class AnalysisResult:
         self_signed = sum(1 for c in singles if c.is_single_self_signed)
         connections = sum(c.usage.connections for c in singles)
         no_sni = sum(c.usage.connections - c.usage.sni_present for c in singles)
-        clients: set[str] = set()
-        for chain in singles:
-            clients |= chain.usage.client_ips
+        clients = set().union(*(c.usage.client_ips for c in singles))
         return SingleCertStats(
             chains=len(singles),
             share_of_category=100.0 * len(singles) / len(chains) if chains else 0.0,
@@ -184,13 +203,20 @@ class ChainStructureAnalyzer:
 
     def analyze_connections(self, connections: Iterable[JoinedConnection],
                             *, checkpoint: Optional[CheckpointStore] = None,
-                            resume: bool = False) -> AnalysisResult:
+                            resume: bool = False,
+                            jobs: Optional[int] = None,
+                            artifacts: Optional[ArtifactStore] = None,
+                            ) -> AnalysisResult:
         return self.analyze_chains(aggregate_chains(connections),
-                                   checkpoint=checkpoint, resume=resume)
+                                   checkpoint=checkpoint, resume=resume,
+                                   jobs=jobs, artifacts=artifacts)
 
     def analyze_ingest(self, ingest: "IngestResult",
                        *, checkpoint: Optional[CheckpointStore] = None,
-                       resume: bool = False) -> AnalysisResult:
+                       resume: bool = False,
+                       jobs: Optional[int] = None,
+                       artifacts: Optional[ArtifactStore] = None,
+                       ) -> AnalysisResult:
         """Analyze the merged chain map of a (parallel) sharded ingest.
 
         The engine's merge already produced the same chain map a serial
@@ -200,7 +226,8 @@ class ChainStructureAnalyzer:
         wrote the checkpoint.
         """
         return self.analyze_chains(ingest.chains,
-                                   checkpoint=checkpoint, resume=resume)
+                                   checkpoint=checkpoint, resume=resume,
+                                   jobs=jobs, artifacts=artifacts)
 
     def _fingerprint(self, chains: Dict[tuple[str, ...], ObservedChain]
                      ) -> str:
@@ -218,12 +245,138 @@ class ChainStructureAnalyzer:
                           usage.sni_present))
         return input_fingerprint(parts)
 
+    def _artifact_fingerprint(self, fingerprint: str) -> str:
+        """Content address of one run's whole ``AnalysisResult``.
+
+        Chain-map identity + analyzer configuration (both folded into
+        ``fingerprint``) + the analysis code version + the package
+        version.  ``jobs`` is deliberately absent: the parallel engine is
+        byte-identical to a serial pass, so a warm artifact serves any
+        worker count.
+        """
+        return input_fingerprint([
+            "analysis-artifact", _ANALYSIS_CODE_VERSION, __version__,
+            fingerprint,
+        ])
+
+    def _dehydrate(self, result: AnalysisResult) -> dict:
+        """The artifact payload: derived state only.
+
+        Certificates, chains, and the classifier cache are reproducible
+        from the caller's chain map, and unpickling them costs about as
+        much as recomputing the analysis — so the artifact stores the
+        *decisions* (category per chain, hybrid verdicts, packed
+        structure encodings, cluster membership) keyed by chain key, and
+        :meth:`_rehydrate` reattaches them to live objects.
+        """
+        categories = {}
+        for category in ChainCategory:
+            for chain in result.categorized.chains(category):
+                categories[chain.key] = category
+        structures = {}
+        for key in result.chains:
+            with_leaf = result._structure_cache.get(key + ("L",))
+            without_leaf = result._structure_cache.get(key + ("N",))
+            if with_leaf is not None or without_leaf is not None:
+                structures[key] = (
+                    pack_structure(with_leaf)
+                    if with_leaf is not None else None,
+                    pack_structure(without_leaf)
+                    if without_leaf is not None else None)
+        hybrid = [(analysis.chain.key, pack_structure(analysis.structure),
+                   analysis.classes, analysis.category,
+                   analysis.complete_kind, analysis.no_path_category,
+                   analysis.anchored_to_public_root, analysis.entity)
+                  for analysis in result.hybrid.analyses]
+        return {
+            "categories": categories,
+            "structures": structures,
+            "hybrid": hybrid,
+            # Small on its own (issuers + name keys + chain keys), and
+            # degraded_chains already holds keys, not chains.
+            "interception": result.interception,
+            "dga": [(cluster.template,
+                     [chain.key for chain in cluster.chains])
+                    for cluster in result.dga_clusters],
+        }
+
+    def _rehydrate(self, chains: Dict[tuple[str, ...], ObservedChain],
+                   state: dict) -> Optional[AnalysisResult]:
+        """Reassemble a cached analysis against the live chain map.
+
+        Returns ``None`` when the payload does not fit ``chains`` (a
+        truncated or malformed artifact) so the caller recomputes and
+        overwrites instead of failing the run.
+        """
+        try:
+            categories = state["categories"]
+            categorized = CategorizedChains()
+            for key, chain in chains.items():
+                categorized.add(categories[key], chain)
+            analyses = []
+            for (key, packed, classes, category, complete_kind,
+                 no_path_category, anchored, entity) in state["hybrid"]:
+                chain = chains[key]
+                analyses.append(HybridChainAnalysis(
+                    chain=chain,
+                    structure=unpack_structure(chain.certificates, packed),
+                    classes=classes, category=category,
+                    complete_kind=complete_kind,
+                    no_path_category=no_path_category,
+                    anchored_to_public_root=anchored, entity=entity))
+            dga = [DGACluster(template=template,
+                              chains=[chains[key] for key in keys])
+                   for template, keys in state["dga"]]
+            packed_structures = dict(state["structures"])
+            interception = state["interception"]
+        except (KeyError, IndexError, TypeError, ValueError):
+            log.warning("analysis artifact failed to rehydrate; recomputing")
+            return None
+        return AnalysisResult(
+            chains=chains,
+            categorized=categorized,
+            interception=interception,
+            hybrid=HybridReport(analyses=analyses),
+            dga_clusters=dga,
+            classifier=CertificateClassifier(self.registry),
+            disclosures=self.disclosures,
+            _packed_structures=packed_structures,
+        )
+
     def analyze_chains(self, chains: Dict[tuple[str, ...], ObservedChain],
                        *, checkpoint: Optional[CheckpointStore] = None,
-                       resume: bool = False) -> AnalysisResult:
+                       resume: bool = False,
+                       jobs: Optional[int] = None,
+                       artifacts: Optional[ArtifactStore] = None,
+                       ) -> AnalysisResult:
+        """Run the Figure-2 pipeline over a merged chain map.
+
+        ``jobs=None`` keeps the historical serial stage sequence
+        (interception → categorize → hybrid → dga).  Any integer ``jobs``
+        routes stages 2–3 through the parallel enrichment engine
+        (:mod:`repro.parallel.analysis`), which additionally computes both
+        ``ChainStructure`` variants for every multi-certificate chain
+        eagerly — the result is byte-identical either way, and identical
+        at every ``jobs`` value.
+
+        ``artifacts`` layers the content-addressed cache on top: when a
+        stored ``AnalysisResult`` matches this input + configuration +
+        code version, it is served whole from disk and no stage runs.
+        """
         classifier = CertificateClassifier(self.registry)
         instruments.PIPELINE_CHAINS.inc(len(chains))
-        fingerprint = self._fingerprint(chains) if checkpoint else ""
+        fingerprint = (self._fingerprint(chains)
+                       if (checkpoint is not None or artifacts is not None)
+                       else "")
+        if artifacts is not None:
+            artifact_fp = self._artifact_fingerprint(fingerprint)
+            hit, state = artifacts.load("analysis", artifact_fp)
+            if hit:
+                cached = self._rehydrate(chains, state)
+                if cached is not None:
+                    log.info("analysis served from artifact cache",
+                             extra=kv(chains=len(chains)))
+                    return cached
 
         def staged(name: str, compute):
             """Serve a stage from the checkpoint on resume, else compute
@@ -251,27 +404,74 @@ class ChainStructureAnalyzer:
                     return detector.detect(chains.values())
                 interception = staged("interception", run_interception)
 
-            # Stage 2 — chain categorisation.
-            with trace_span("categorize", chains=len(chains)):
-                def run_categorize() -> CategorizedChains:
-                    categorizer = ChainCategorizer(
-                        classifier, interception.issuer_name_keys)
-                    result = categorizer.categorize(chains.values())
-                    for category in ChainCategory:
-                        instruments.PIPELINE_CATEGORY_CHAINS.inc(
-                            result.chain_count(category),
-                            category=category.value)
-                    return result
-                categorized = staged("categorize", run_categorize)
+            structure_cache: Dict[tuple[str, ...], ChainStructure] = {}
+            if jobs is None:
+                # Stage 2 — chain categorisation (serial).
+                with trace_span("categorize", chains=len(chains)):
+                    def run_categorize() -> CategorizedChains:
+                        categorizer = ChainCategorizer(
+                            classifier, interception.issuer_name_keys)
+                        result = categorizer.categorize(chains.values())
+                        for category in ChainCategory:
+                            instruments.PIPELINE_CATEGORY_CHAINS.inc(
+                                result.chain_count(category),
+                                category=category.value)
+                        return result
+                    categorized = staged("categorize", run_categorize)
 
-            # Stage 3 — mismatch/cross-sign + path detection on hybrids.
-            hybrid_chains = categorized.chains(ChainCategory.HYBRID)
-            with trace_span("hybrid_analysis", chains=len(hybrid_chains)):
-                def run_hybrid() -> HybridReport:
-                    hybrid_analyzer = HybridAnalyzer(classifier,
-                                                     self.disclosures)
-                    return hybrid_analyzer.analyze(hybrid_chains)
-                hybrid = staged("hybrid", run_hybrid)
+                # Stage 3 — mismatch/cross-sign + path detection on hybrids.
+                hybrid_chains = categorized.chains(ChainCategory.HYBRID)
+                with trace_span("hybrid_analysis", chains=len(hybrid_chains)):
+                    def run_hybrid() -> HybridReport:
+                        hybrid_analyzer = HybridAnalyzer(classifier,
+                                                         self.disclosures)
+                        return hybrid_analyzer.analyze(hybrid_chains)
+                    hybrid = staged("hybrid", run_hybrid)
+            else:
+                # Stages 2+3 — sharded chain enrichment: categorisation,
+                # hybrid analysis, and eager structure computation fan out
+                # across partitions; the merge is byte-identical to the
+                # serial stages above at any jobs value.
+                from ..parallel.analysis import analyze_partitions
+                with trace_span("enrichment", chains=len(chains), jobs=jobs):
+                    def run_enrichment():
+                        return analyze_partitions(
+                            chains, registry=self.registry,
+                            disclosures=self.disclosures,
+                            interception_keys=frozenset(
+                                interception.issuer_name_keys),
+                            jobs=jobs)
+                    enriched = staged("enrichment", run_enrichment)
+
+                # Reassemble in the chain map's insertion order so list
+                # and Counter orderings match the serial pass exactly.
+                categorized = CategorizedChains()
+                for key, chain in chains.items():
+                    categorized.add(enriched.categories[key], chain)
+                for category in ChainCategory:
+                    instruments.PIPELINE_CATEGORY_CHAINS.inc(
+                        categorized.chain_count(category),
+                        category=category.value)
+                classifier.preload(enriched.classes)
+                hybrid_chains = categorized.chains(ChainCategory.HYBRID)
+                analyses = []
+                for chain in hybrid_chains:
+                    analysis = enriched.hybrid_by_key[chain.key]
+                    # Rebind to the driver's objects: the worker's copies
+                    # crossed a pickle boundary, and downstream consumers
+                    # expect the analysis to reference the same chain the
+                    # result's chain map holds.
+                    analysis.chain = chain
+                    analysis.structure.certificates = chain.certificates
+                    analyses.append(analysis)
+                hybrid = HybridReport(analyses=analyses)
+                for key, (with_leaf, without_leaf) in \
+                        enriched.structures.items():
+                    certificates = chains[key].certificates
+                    with_leaf.certificates = certificates
+                    without_leaf.certificates = certificates
+                    structure_cache[key + ("L",)] = with_leaf
+                    structure_cache[key + ("N",)] = without_leaf
 
             # Stage 4 — special populations.
             with trace_span("special_populations"):
@@ -285,7 +485,7 @@ class ChainStructureAnalyzer:
             chains=len(chains),
             flagged_interception=len(interception.flagged_chains),
             hybrid=len(hybrid_chains), dga_clusters=len(dga)))
-        return AnalysisResult(
+        result = AnalysisResult(
             chains=chains,
             categorized=categorized,
             interception=interception,
@@ -293,4 +493,8 @@ class ChainStructureAnalyzer:
             dga_clusters=dga,
             classifier=classifier,
             disclosures=self.disclosures,
+            _structure_cache=structure_cache,
         )
+        if artifacts is not None:
+            artifacts.save("analysis", artifact_fp, self._dehydrate(result))
+        return result

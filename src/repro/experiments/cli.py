@@ -9,8 +9,11 @@ Two modes:
   which is what a network operator would point this tool at.  A single
   pair (``--ssl-log``/``--x509-log``) or a directory of shard pairs
   (``--shard-dir``) both go through the parallel ingestion engine;
-  ``--jobs N`` fans shards out across worker processes with output
+  ``--jobs N`` fans shards out across worker processes — and switches the
+  analysis stage to the sharded enrichment engine — with output
   guaranteed identical to ``--jobs 1`` (see docs/PERFORMANCE.md).
+  ``--analysis-cache DIR`` serves a whole repeated analysis from a
+  content-addressed artifact store.
 
 Either mode can emit observability artefacts: ``--metrics-out`` writes a
 Prometheus text-exposition (or ``.json``) snapshot of every pipeline
@@ -35,7 +38,7 @@ from ..obs.logging import configure_logging, get_logger, kv
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
 from ..parallel import discover_shards, ingest_shards, ShardSpec
-from ..resilience import CheckpointStore, Quarantine
+from ..resilience import ArtifactStore, CheckpointStore, Quarantine
 from ..truststores import build_public_pki
 from ..zeek.format import ZeekFormatError
 from .base import registry, run_experiment
@@ -82,9 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="analyze a directory of ssl*/x509* shard "
                              "pairs instead of a single log pair")
     parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
-                        help="worker processes for log ingestion "
-                             "(default: CPU count; capped at the shard "
-                             "count)")
+                        help="worker processes for log ingestion and chain "
+                             "analysis (default: CPU count for ingestion, "
+                             "serial analysis; capped at the CPU and shard "
+                             "counts)")
     parser.add_argument("--log-level", metavar="LEVEL", default=None,
                         choices=("debug", "info", "warning", "error"),
                         help="structured-logging level "
@@ -111,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--resume", action="store_true",
                         help="serve completed stages from --checkpoint-dir "
                              "instead of recomputing them")
+    parser.add_argument("--analysis-cache", metavar="DIR",
+                        help="content-addressed AnalysisResult cache: a "
+                             "repeat run over unchanged inputs serves the "
+                             "whole analysis from DIR (logs mode)")
     return parser
 
 
@@ -145,11 +153,14 @@ def _analyze_logs(args: argparse.Namespace,
         return 2
     checkpoint = (CheckpointStore(args.checkpoint_dir)
                   if args.checkpoint_dir else None)
+    artifacts = (ArtifactStore(args.analysis_cache)
+                 if args.analysis_cache else None)
     # Without a trust-store snapshot every issuer is non-public; callers
     # embedding the library can supply their own registry.
     analyzer = ChainStructureAnalyzer(build_public_pki().registry)
     result = analyzer.analyze_ingest(ingest, checkpoint=checkpoint,
-                                     resume=args.resume)
+                                     resume=args.resume, jobs=args.jobs,
+                                     artifacts=artifacts)
     rows = [[row["category"], row["chains"], row["connections"],
              row["client_ips"]]
             for row in result.categorized.summary_rows()]
@@ -225,6 +236,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs is not None and not (args.ssl_log or args.x509_log
                                       or args.shard_dir):
         parser.error("--jobs only applies to log analysis "
+                     "(--ssl-log/--x509-log or --shard-dir)")
+    if args.analysis_cache and not (args.ssl_log or args.x509_log
+                                    or args.shard_dir):
+        parser.error("--analysis-cache only applies to log analysis "
                      "(--ssl-log/--x509-log or --shard-dir)")
 
     # Resolve the fault plan (flag wins over environment) and install it

@@ -85,6 +85,44 @@ PARALLEL_SHARD_SECONDS = _R.histogram(
     "repro_parallel_shard_seconds",
     "Wall-clock seconds one worker spent ingesting one shard.")
 
+# -- parallel analysis --------------------------------------------------------
+
+ANALYSIS_PARTITIONS = _R.counter(
+    "repro_analysis_partitions_total",
+    "Chain partitions processed by the parallel analysis engine, "
+    "by outcome.",
+    labelnames=("outcome",))
+ANALYSIS_CHAINS = _R.counter(
+    "repro_analysis_chains_total",
+    "Chains enriched through the parallel analysis engine, by stage.",
+    labelnames=("stage",))
+ANALYSIS_WORKERS = _R.gauge(
+    "repro_analysis_workers",
+    "Worker processes used by the most recent parallel analysis.")
+ANALYSIS_PARTITION_SECONDS = _R.histogram(
+    "repro_analysis_partition_seconds",
+    "Wall-clock seconds one worker spent enriching one chain partition.")
+ANALYSIS_STRUCTURES = _R.counter(
+    "repro_analysis_structures_total",
+    "ChainStructure objects computed eagerly by the analysis engine.")
+ANALYSIS_ARTIFACTS = _R.counter(
+    "repro_analysis_artifacts_total",
+    "Content-addressed analysis artifact events (hit/miss/stale/corrupt/"
+    "saved).",
+    labelnames=("result",))
+
+# -- matching memos -----------------------------------------------------------
+
+MATCH_MEMO = _R.counter(
+    "repro_match_memo_lookups_total",
+    "(child_fp, parent_fp) pair-match memo lookups, by result.",
+    labelnames=("result",))
+CT_VERDICT_MEMO = _R.counter(
+    "repro_ct_verdict_memo_lookups_total",
+    "Interception CT-verdict memo lookups (per leaf + domain set), "
+    "by result.",
+    labelnames=("result",))
+
 # -- CT index -----------------------------------------------------------------
 
 CT_LOOKUPS = _R.counter(
@@ -154,3 +192,7 @@ DN_PARSE_CACHE_HIT = DN_PARSE_CACHE.labels(result="hit")
 DN_PARSE_CACHE_MISS = DN_PARSE_CACHE.labels(result="miss")
 CERT_CACHE_HIT = CERT_RECONSTRUCT_CACHE.labels(result="hit")
 CERT_CACHE_MISS = CERT_RECONSTRUCT_CACHE.labels(result="miss")
+MATCH_MEMO_HIT = MATCH_MEMO.labels(result="hit")
+MATCH_MEMO_MISS = MATCH_MEMO.labels(result="miss")
+CT_VERDICT_MEMO_HIT = CT_VERDICT_MEMO.labels(result="hit")
+CT_VERDICT_MEMO_MISS = CT_VERDICT_MEMO.labels(result="miss")

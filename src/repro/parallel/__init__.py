@@ -1,23 +1,49 @@
-"""Parallel sharded ingestion: map shards over worker processes, reduce
-with ``ChainUsage.merge`` into the exact chain map a serial pass yields.
+"""Parallel sharded ingestion and analysis.
 
-See ``docs/PERFORMANCE.md`` for the sharding model and the determinism
-guarantees, and ``benchmarks/test_parallel_scaling.py`` for the tracked
-speedup numbers.
+Two engines share the same map-reduce discipline — partials merged in a
+deterministic index order, workers recording no metrics, the driver
+emitting canonical values — so outputs are byte-identical at any
+``--jobs``:
+
+* **ingestion** (:mod:`repro.parallel.engine`): map shard files over
+  worker processes, reduce with ``ChainUsage.merge`` into the exact
+  chain map a serial pass yields;
+* **analysis** (:mod:`repro.parallel.analysis`): partition the merged
+  chain map by a stable hash of the chain key, enrich each partition
+  (classify, categorise, eager ``ChainStructure``), merge in partition
+  order.
+
+See ``docs/PERFORMANCE.md`` for both models and the determinism
+guarantees, and ``benchmarks/test_parallel_scaling.py`` /
+``benchmarks/test_analysis_scaling.py`` for the tracked speedup numbers.
 """
 
+from .analysis import (
+    AnalysisPartial,
+    AnalysisTask,
+    EnrichedChains,
+    analyze_partitions,
+    partition_index,
+    process_partition,
+)
 from .engine import IngestResult, ingest_logs, ingest_shards
 from .shards import ShardSpec, discover_shards, split_zeek_log
 from .worker import ShardAggregate, ShardTask, process_shard
 
 __all__ = [
+    "AnalysisPartial",
+    "AnalysisTask",
+    "EnrichedChains",
     "IngestResult",
     "ShardAggregate",
     "ShardSpec",
     "ShardTask",
+    "analyze_partitions",
     "discover_shards",
     "ingest_logs",
     "ingest_shards",
+    "partition_index",
+    "process_partition",
     "process_shard",
     "split_zeek_log",
 ]

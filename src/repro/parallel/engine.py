@@ -54,7 +54,11 @@ class IngestResult:
     missing_certs: int = 0
     aggregated: int = 0
     skipped_empty: int = 0
+    #: The worker count actually used (requested, clamped to CPU count and
+    #: shard count).
     jobs: int = 1
+    #: The worker count the caller asked for, before clamping.
+    requested_jobs: int = 1
     shard_count: int = 0
     quarantine: Optional[Quarantine] = None
 
@@ -67,7 +71,11 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
     """Map shards over a process pool and reduce to one chain map.
 
     ``jobs=None`` uses ``os.cpu_count()``; the effective count is capped
-    at the shard count (no idle workers).  Passing a ``quarantine``
+    at the CPU count (extra workers past the cores only add pool and
+    pickling overhead — on a 1-CPU box ``--jobs 4`` used to run *slower*
+    than serial for exactly that reason) and at the shard count (no idle
+    workers).  The request and the clamped value are both recorded on the
+    result (``requested_jobs`` / ``jobs``).  Passing a ``quarantine``
     switches every worker to tolerant reads, and the workers' captured
     records are replayed into it — in shard order — so the driver-side
     sink (and its metrics) end up exactly as a serial tolerant run's
@@ -77,7 +85,8 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
     shard_list = sorted(shards, key=lambda spec: spec.index)
     if jobs is None:
         jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, len(shard_list) or 1))
+    requested = max(1, jobs)
+    jobs = max(1, min(requested, os.cpu_count() or 1, len(shard_list) or 1))
     tasks = [ShardTask(index=spec.index, ssl_path=spec.ssl_path,
                        x509_path=spec.x509_path, plan=plan,
                        tolerant=quarantine is not None, compiled=compiled)
@@ -89,9 +98,10 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 aggregates = list(pool.map(process_shard, tasks))
     result = _reduce(aggregates, jobs=jobs, quarantine=quarantine)
+    result.requested_jobs = requested
     log.debug("parallel ingest complete", extra=kv(
-        shards=len(tasks), jobs=jobs, ssl_rows=result.ssl_rows,
-        chains=len(result.chains)))
+        shards=len(tasks), jobs=jobs, requested_jobs=requested,
+        ssl_rows=result.ssl_rows, chains=len(result.chains)))
     return result
 
 

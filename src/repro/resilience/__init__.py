@@ -16,13 +16,15 @@ half).  Five modules:
     of raising; JSONL round-trip; degradation summaries.
 ``checkpoint``
     :class:`CheckpointStore`: fingerprint-guarded per-stage pickle
-    checkpoints enabling ``--resume``.
+    checkpoints enabling ``--resume``; :class:`ArtifactStore`:
+    content-addressed whole-``AnalysisResult`` cache enabling warm
+    ``--analysis-cache`` runs.
 """
 
 from __future__ import annotations
 
 from .breaker import BreakerState, CircuitBreaker
-from .checkpoint import CheckpointStore, input_fingerprint
+from .checkpoint import ArtifactStore, CheckpointStore, input_fingerprint
 from .errors import (
     CircuitOpenError,
     CTUnavailableError,
@@ -46,5 +48,6 @@ __all__ = [
     "Quarantine",
     "QuarantinedRecord",
     "CheckpointStore",
+    "ArtifactStore",
     "input_fingerprint",
 ]

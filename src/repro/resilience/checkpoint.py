@@ -1,4 +1,4 @@
-"""Stage-level checkpoint/resume for the analysis pipeline.
+"""Stage-level checkpoints and content-addressed analysis artifacts.
 
 A year-of-logs run that dies in stage 3 should not redo stages 1–2.  The
 :class:`CheckpointStore` persists each completed stage's output to a
@@ -8,6 +8,14 @@ against different logs, a different trust-store registry, or a different
 analyzer configuration silently recomputes instead of serving stale
 state.  Loads/saves/stale hits are counted on
 ``repro_checkpoint_stages_total``.
+
+The :class:`ArtifactStore` layers a content-addressed cache on the same
+envelope format: instead of one file per *stage name* (overwritten by the
+next run), it keeps one file per *fingerprint* — chain-map identity +
+analyzer configuration + analysis code version — so a warm ``repro
+report`` over unchanged inputs serves the whole ``AnalysisResult`` from
+disk and only re-renders tables and figures.  Events are counted on
+``repro_analysis_artifacts_total``.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from typing import Any, Iterable, List, Optional, Tuple
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
 
-__all__ = ["CheckpointStore", "input_fingerprint"]
+__all__ = ["CheckpointStore", "ArtifactStore", "input_fingerprint"]
 
 log = get_logger(__name__)
 
@@ -43,6 +51,31 @@ def input_fingerprint(parts: Iterable[object]) -> str:
     return digest.hexdigest()
 
 
+def _write_envelope(path: str, *, stage: str, fingerprint: str,
+                    payload: Any) -> None:
+    """Atomic (tmp + rename) pickle of one versioned envelope."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        pickle.dump({"version": _FORMAT_VERSION,
+                     "stage": stage,
+                     "fingerprint": fingerprint,
+                     "payload": payload}, handle,
+                    protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _read_envelope(path: str) -> Tuple[str, Optional[dict]]:
+    """``(status, envelope)``: 'missing'/'corrupt' carry ``None``."""
+    if not os.path.exists(path):
+        return "missing", None
+    try:
+        with open(path, "rb") as handle:
+            return "ok", pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return "corrupt", None
+
+
 class CheckpointStore:
     """Per-stage pickle files under one checkpoint directory."""
 
@@ -57,14 +90,8 @@ class CheckpointStore:
     def save(self, stage: str, fingerprint: str, payload: Any) -> None:
         """Persist one stage's output (atomic: tmp file + rename)."""
         path = self.stage_path(stage)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            pickle.dump({"version": _FORMAT_VERSION,
-                         "stage": stage,
-                         "fingerprint": fingerprint,
-                         "payload": payload}, handle,
-                        protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        _write_envelope(path, stage=stage, fingerprint=fingerprint,
+                        payload=payload)
         instruments.CHECKPOINT_STAGES.inc(stage=stage, result="saved")
         log.debug("checkpoint saved", extra=kv(stage=stage, path=path))
 
@@ -73,13 +100,10 @@ class CheckpointStore:
         ``(False, None)`` — also on fingerprint/version mismatch (stale)
         or an unreadable file (corrupt)."""
         path = self.stage_path(stage)
-        if not os.path.exists(path):
+        status, envelope = _read_envelope(path)
+        if status == "missing":
             return False, None
-        try:
-            with open(path, "rb") as handle:
-                envelope = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        if status == "corrupt":
             instruments.CHECKPOINT_STAGES.inc(stage=stage, result="corrupt")
             log.warning("checkpoint unreadable; recomputing",
                         extra=kv(stage=stage, path=path))
@@ -106,3 +130,59 @@ class CheckpointStore:
             if entry.startswith("stage-") and (entry.endswith(".ckpt")
                                                or entry.endswith(".tmp")):
                 os.remove(os.path.join(self.directory, entry))
+
+
+class ArtifactStore:
+    """Content-addressed analysis artifacts: one pickle per fingerprint.
+
+    File names embed a prefix of the fingerprint (``artifact-<kind>-
+    <fp[:32]>.pkl``), so distinct inputs/configurations coexist in one
+    directory; the envelope's full fingerprint is double-checked on load
+    and a prefix collision reads as ``stale`` (recompute), never as a
+    false hit.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def path(self, kind: str, fingerprint: str) -> str:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in kind)
+        return os.path.join(self.directory,
+                            f"artifact-{safe}-{fingerprint[:32]}.pkl")
+
+    def save(self, kind: str, fingerprint: str, payload: Any) -> None:
+        path = self.path(kind, fingerprint)
+        _write_envelope(path, stage=kind, fingerprint=fingerprint,
+                        payload=payload)
+        instruments.ANALYSIS_ARTIFACTS.inc(result="saved")
+        log.debug("artifact saved", extra=kv(kind=kind, path=path))
+
+    def load(self, kind: str, fingerprint: str) -> Tuple[bool, Any]:
+        """``(True, payload)`` on a verified hit, else ``(False, None)``."""
+        path = self.path(kind, fingerprint)
+        status, envelope = _read_envelope(path)
+        if status == "missing":
+            instruments.ANALYSIS_ARTIFACTS.inc(result="miss")
+            return False, None
+        if status == "corrupt":
+            instruments.ANALYSIS_ARTIFACTS.inc(result="corrupt")
+            log.warning("artifact unreadable; recomputing",
+                        extra=kv(kind=kind, path=path))
+            return False, None
+        if (envelope.get("version") != _FORMAT_VERSION
+                or envelope.get("fingerprint") != fingerprint):
+            instruments.ANALYSIS_ARTIFACTS.inc(result="stale")
+            log.warning("artifact stale; recomputing",
+                        extra=kv(kind=kind, path=path))
+            return False, None
+        instruments.ANALYSIS_ARTIFACTS.inc(result="hit")
+        log.debug("artifact loaded", extra=kv(kind=kind, path=path))
+        return True, envelope["payload"]
+
+    def artifacts_present(self) -> List[str]:
+        names = []
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.startswith("artifact-") and entry.endswith(".pkl"):
+                names.append(entry[len("artifact-"):-len(".pkl")])
+        return names

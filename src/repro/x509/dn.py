@@ -275,8 +275,25 @@ class DistinguishedName:
 
     def _sorted_key(self) -> tuple[tuple[str, str], ...]:
         if self._sorted_normalized is None:
-            self._sorted_normalized = tuple(sorted(self.normalized()))
+            key = tuple(sorted(self.normalized()))
+            # Intern the key: thousands of certificates repeat the same
+            # issuer DN, and downstream indexes (interception name keys,
+            # cross-sign disclosures, leaf-like counts) use these tuples as
+            # dict keys — sharing one object per distinct name makes those
+            # hash-compares pointer-equal fast paths and stops each parsed
+            # DN from carrying its own copy.  The table is bounded by the
+            # corpus's distinct-name cardinality (~50k in the paper).
+            self._sorted_normalized = _SORTED_KEY_INTERN.setdefault(key, key)
         return self._sorted_normalized
+
+    def sorted_key(self) -> tuple[tuple[str, str], ...]:
+        """Order-insensitive normalized key (interned).
+
+        Equal for any two DNs that :meth:`matches` treats as the same
+        name, which makes it the canonical dict key for name-indexed
+        structures (issuer counts, disclosure maps, interception keys).
+        """
+        return self._sorted_key()
 
     def matches(self, other: "DistinguishedName") -> bool:
         """RFC 5280-style name match: same attributes ignoring case and order."""
@@ -302,6 +319,9 @@ class DistinguishedName:
     def __repr__(self) -> str:
         return f"DistinguishedName({self.rfc4514()!r})"
 
+
+#: Shared storage for sorted normalized keys; see ``_sorted_key``.
+_SORTED_KEY_INTERN: dict[tuple, tuple] = {}
 
 #: DN-parse memo.  65,536 entries × two names per certificate comfortably
 #: covers the paper's 5,047 issuer / ~50k distinct subject universe while

@@ -1,0 +1,123 @@
+"""The pair-match memo and the fingerprint-keyed leaf-like index.
+
+The memo (:func:`repro.core.matching.match_pair`) must be a transparent
+cache: agreeing with the uncached :func:`_match_pair` for every pair and
+every disclosure state, going cold when disclosures mutate, and never
+leaking verdicts across disclosure instances — including instances
+reconstituted from pickles (checkpoints, worker partials).
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crosssign import CrossSignDisclosures
+from repro.core.matching import (
+    PairMatch,
+    _match_pair,
+    analyze_structure,
+    is_leaf_like,
+    match_pair,
+)
+from repro.truststores import build_public_pki
+from repro.x509 import CertificateFactory, name
+
+# The same diverse pool the structural property tests draw from: a proper
+# hierarchy, self-signed oddballs, and cross-signed material.
+_PKI = build_public_pki(seed=404)
+_FACTORY = CertificateFactory(seed=404)
+_ROOT = _FACTORY.root(name("Memo Root", o="Memo"))
+_INTER_A = _FACTORY.intermediate(_ROOT, name("Memo Inter A", o="Memo"))
+_INTER_B = _FACTORY.intermediate(_INTER_A, name("Memo Inter B", o="Memo"),
+                                 path_len=None)
+_POOL = [
+    _FACTORY.leaf(_INTER_B, name("memo-leaf.example"),
+                  dns_names=["memo-leaf.example"]),
+    _INTER_B.certificate,
+    _INTER_A.certificate,
+    _ROOT.certificate,
+    _FACTORY.self_signed(name("memo-ss.local")),
+    _FACTORY.mismatched_pair_cert(name("memo-x"), name("memo-y")),
+    _FACTORY.leaf(_PKI.ca("lets_encrypt").intermediates["R3"],
+                  name("memo-le.example")),
+    _PKI.ca("identrust").root.certificate,
+    _PKI.cross_signed["R3-cross"].certificate,
+]
+#: Every disclosure that could possibly matter for the pool: the real
+#: PKI's disclosures plus synthetic (child.issuer, parent.subject) links,
+#: so random subsets actually flip verdicts between examples.
+_DISCLOSURE_POOL = list(_PKI.cross_sign_disclosures()) + [
+    (child.issuer, parent.subject)
+    for child in _POOL for parent in _POOL
+    if not child.issuer.matches(parent.subject)
+][:24]
+
+certs = st.integers(0, len(_POOL) - 1).map(lambda i: _POOL[i])
+disclosure_sets = st.lists(
+    st.integers(0, len(_DISCLOSURE_POOL) - 1),
+    unique=True, max_size=8,
+).map(lambda idx: CrossSignDisclosures(_DISCLOSURE_POOL[i] for i in idx))
+
+
+@settings(max_examples=200, deadline=None)
+@given(child=certs, parent=certs, disclosures=disclosure_sets)
+def test_memo_agrees_with_uncached_match(child, parent, disclosures):
+    """Fresh disclosure instances per example (fresh memo token), so the
+    memo must never serve one subset's verdict for another."""
+    expected = _match_pair(child, parent, disclosures)
+    assert match_pair(child, parent, disclosures) is expected
+    # Second lookup is served from the memo — still the same verdict.
+    assert match_pair(child, parent, disclosures) is expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(child=certs, parent=certs)
+def test_memo_agrees_without_disclosures(child, parent):
+    assert match_pair(child, parent) is _match_pair(child, parent, None)
+
+
+def test_mutating_disclosures_invalidates_cached_verdicts():
+    child, parent = _POOL[0], _ROOT.certificate  # names do not chain
+    disclosures = CrossSignDisclosures()
+    assert match_pair(child, parent, disclosures) is PairMatch.MISMATCH
+    # The add bumps the epoch: the cached MISMATCH must not survive.
+    disclosures.add(child.issuer, parent.subject)
+    assert match_pair(child, parent, disclosures) is PairMatch.CROSS_SIGN
+    assert _match_pair(child, parent, disclosures) is PairMatch.CROSS_SIGN
+
+
+def test_unpickled_disclosures_never_alias_the_original():
+    disclosures = CrossSignDisclosures(_PKI.cross_sign_disclosures())
+    original_token = disclosures.memo_token
+    clone = pickle.loads(pickle.dumps(disclosures))
+    assert clone.memo_token != original_token
+    assert clone.memo_token[1] == original_token[1]  # same epoch
+    # Same contents, so verdicts agree even though cache lines differ.
+    child, parent = _POOL[0], _POOL[1]
+    assert match_pair(child, parent, clone) is \
+        match_pair(child, parent, disclosures)
+
+
+class TestLeafLikeFingerprintIdentity:
+    """A chain rebuilt from logs may hold several distinct objects for one
+    certificate; leaf verdicts must not depend on object identity."""
+
+    def test_duplicate_objects_answer_like_duplicate_references(self):
+        ss = _FACTORY.self_signed(name("dup-ss.local"))
+        twin = copy.deepcopy(ss)
+        assert twin is not ss and twin.fingerprint == ss.fingerprint
+        assert is_leaf_like(ss, [ss, ss]) == is_leaf_like(ss, [ss, twin])
+        assert is_leaf_like(ss, [ss, twin]) is True
+
+    def test_structure_identical_for_object_and_reference_duplicates(self):
+        ss = _FACTORY.self_signed(name("dup-ss2.local"))
+        twin = copy.deepcopy(ss)
+        by_reference = analyze_structure([ss, ss])
+        by_object = analyze_structure([ss, twin])
+        assert by_object.segments == by_reference.segments
+        assert by_object.pair_matches == by_reference.pair_matches
+        assert [s.has_leaf for s in by_object.segments] == \
+            [s.has_leaf for s in by_reference.segments]

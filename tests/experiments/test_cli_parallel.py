@@ -69,6 +69,33 @@ class TestQuarantineParity:
         assert dumps[0] == dumps[1]
 
 
+class TestAnalysisCacheFlag:
+    def test_warm_run_identical_and_artifact_present(self, corpus, tmp_path,
+                                                     capsys):
+        cache_dir = tmp_path / "analysis-cache"
+        outputs = []
+        for _ in range(2):
+            assert main(["--shard-dir", corpus["shard_dir"], "--jobs", "2",
+                         "--analysis-cache", str(cache_dir)]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        artifacts = [entry for entry in cache_dir.iterdir()
+                     if entry.name.startswith("artifact-")]
+        assert len(artifacts) == 1
+
+    def test_cache_shared_between_serial_and_parallel_runs(self, corpus,
+                                                           tmp_path, capsys):
+        cache_dir = tmp_path / "analysis-cache"
+        assert main(["--ssl-log", corpus["ssl"], "--x509-log", corpus["x509"],
+                     "--analysis-cache", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        assert main(["--ssl-log", corpus["ssl"], "--x509-log", corpus["x509"],
+                     "--jobs", "2", "--analysis-cache", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert len(list(cache_dir.iterdir())) == 1
+
+
 class TestFlagValidation:
     def test_jobs_requires_log_mode(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -81,6 +108,12 @@ class TestFlagValidation:
             main(["--shard-dir", corpus["shard_dir"], "--jobs", "0"])
         assert excinfo.value.code == 2
         assert "at least 1" in capsys.readouterr().err
+
+    def test_analysis_cache_requires_log_mode(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--analysis-cache", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "--analysis-cache" in capsys.readouterr().err
 
     def test_shard_dir_excludes_single_pair_flags(self, corpus, capsys):
         with pytest.raises(SystemExit) as excinfo:
