@@ -26,7 +26,7 @@ import pytest
 
 from repro.core import matching
 from repro.core.chain import aggregate_chains
-from repro.parallel.analysis import DEFAULT_PARTITIONS
+from repro.parallel.analysis import DEFAULT_PARTITIONS, effective_analysis_jobs
 from repro.resilience import ArtifactStore
 
 ROUNDS = 3
@@ -91,7 +91,9 @@ def analysis_bench(dataset, tmp_path_factory):
         "engine": {
             str(jobs): {"seconds": seconds,
                         "chains_per_second": count / seconds,
-                        "speedup_vs_serial": serial_seconds / seconds}
+                        "speedup_vs_serial": serial_seconds / seconds,
+                        "requested_jobs": jobs,
+                        "effective_jobs": effective_analysis_jobs(jobs)}
             for jobs, seconds in engine_seconds.items()},
         "artifact": {
             "cold_seconds": cold_seconds,
@@ -128,6 +130,11 @@ def test_warm_artifact_at_least_5x_faster_than_cold(analysis_bench):
 def test_parallel_scaling_at_four_workers(analysis_bench):
     # Engine-vs-engine, not engine-vs-legacy: the serial stages skip the
     # eager structure pass, so the fair parallelism baseline is jobs=1.
+    # Asserting a speedup only makes sense when the clamp actually let
+    # more than one worker run — on a 1-CPU box "jobs=4" silently runs
+    # inline and the ratio below would gate on hardware, not code.
+    fanned_entry = analysis_bench["engine"]["4"]
+    if fanned_entry["effective_jobs"] <= 1:
+        pytest.skip("jobs clamp left a single effective worker")
     inline = analysis_bench["engine"]["1"]["seconds"]
-    fanned = analysis_bench["engine"]["4"]["seconds"]
-    assert inline / fanned > 1.15
+    assert inline / fanned_entry["seconds"] > 1.15

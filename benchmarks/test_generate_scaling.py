@@ -1,0 +1,152 @@
+"""Generation scaling: the parallel engine and the compiled write path.
+
+Measures the compiled row renderer against the legacy per-column closure
+walk (single-thread, pure write path), then the full generation engine —
+simulate + render + write — at ``jobs`` 1, 2, and 4, and persists every
+number to ``BENCH_generate.json`` (repo root; override with
+``REPRO_BENCH_GENERATE_OUT``) so CI can archive and gate on it.
+
+Generation re-runs the whole simulation per round, so this benchmark
+uses the small scale by default (``REPRO_BENCH_GENERATE_SCALE`` to
+override) — scale changes move absolute numbers, not the compiled-vs-
+legacy ratio or the jobs scaling the gates assert.  The multi-core
+speedup assertion only runs where multi-core speedup is physically
+possible and the clamp actually granted more than one worker.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import time
+
+import pytest
+
+from repro.campus.dataset import build_campus_dataset, resolve_scale
+from repro.parallel.generate import generate_dataset
+from repro.zeek.format import ZeekLogWriter
+from repro.zeek.records import SSLRecord
+
+ROUNDS = 3
+JOBS_MATRIX = (1, 2, 4)
+GEN_SEED = os.environ.get("REPRO_BENCH_GENERATE_SEED", "0")
+GEN_SCALE = os.environ.get("REPRO_BENCH_GENERATE_SCALE", "small")
+BENCH_OUT = os.environ.get(
+    "REPRO_BENCH_GENERATE_OUT",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "BENCH_generate.json"))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _best(fn) -> float:
+    return min(_timed(fn) for _ in range(ROUNDS))
+
+
+@pytest.fixture(scope="module")
+def generate_bench(tmp_path_factory):
+    """Measure everything once, write BENCH_generate.json, share numbers."""
+    scale = resolve_scale(GEN_SCALE)
+    # The pure write path: identical pre-rendered rows through both
+    # writer modes, so the ratio isolates the renderer + buffering win.
+    dataset = build_campus_dataset(seed=GEN_SEED, scale=scale)
+    ssl_rows = [record.to_row() for record in dataset.tap.ssl_records]
+
+    def write_all(compiled: bool) -> None:
+        sink = io.StringIO()
+        with ZeekLogWriter(sink, "ssl", SSLRecord.FIELDS, SSLRecord.TYPES,
+                           compiled=compiled) as writer:
+            for row in ssl_rows:
+                writer.write_row(row)
+
+    write_compiled = _best(lambda: write_all(True))
+    write_legacy = _best(lambda: write_all(False))
+
+    # The full engine: simulate + render + write, per jobs value.
+    base = tmp_path_factory.mktemp("generate-scaling")
+    engine_results = {}
+
+    def run_engine(jobs: int) -> None:
+        out = str(base / f"jobs-{jobs}")
+        shutil.rmtree(out, ignore_errors=True)
+        engine_results[jobs] = generate_dataset(
+            out, seed=GEN_SEED, scale=scale, jobs=jobs)
+
+    run_engine(1)  # warm the per-process generation context once
+    engine_seconds = {jobs: _best(lambda jobs=jobs: run_engine(jobs))
+                      for jobs in JOBS_MATRIX}
+    legacy_engine_seconds = _best(lambda: generate_dataset(
+        str(base / "legacy"), seed=GEN_SEED, scale=scale, jobs=1,
+        compiled=False))
+
+    rows = len(ssl_rows)
+    total = engine_results[1].ssl_rows + engine_results[1].x509_rows
+    numbers = {
+        "dataset": {"ssl_rows": rows,
+                    "x509_rows": engine_results[1].x509_rows,
+                    "scale": scale.name},
+        "cpu_count": os.cpu_count(),
+        "shards": engine_results[1].shard_count,
+        "rounds": ROUNDS,
+        "write": {
+            "compiled_seconds": write_compiled,
+            "legacy_seconds": write_legacy,
+            "compiled_rows_per_second": rows / write_compiled,
+            "legacy_rows_per_second": rows / write_legacy,
+            "compiled_over_legacy": write_legacy / write_compiled,
+        },
+        "engine_legacy_writer": {
+            "seconds": legacy_engine_seconds,
+            "rows_written_per_second": total / legacy_engine_seconds,
+        },
+        "engine": {
+            str(jobs): {"seconds": seconds,
+                        "rows_written_per_second": total / seconds,
+                        "speedup_vs_single": engine_seconds[1] / seconds,
+                        "requested_jobs": engine_results[jobs].requested_jobs,
+                        "effective_jobs": engine_results[jobs].jobs}
+            for jobs, seconds in engine_seconds.items()},
+    }
+    with open(BENCH_OUT, "w", encoding="utf-8") as handle:
+        json.dump(numbers, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return numbers
+
+
+def test_bench_file_written(generate_bench):
+    recorded = json.load(open(BENCH_OUT))
+    assert recorded["write"]["compiled_rows_per_second"] > 0
+    assert recorded["engine"]["1"]["rows_written_per_second"] > 0
+    # The CPU clamp is part of the recorded contract: a 4-worker request
+    # on a smaller box must report what actually ran.
+    four = recorded["engine"]["4"]
+    assert four["requested_jobs"] == 4
+    assert four["effective_jobs"] <= (recorded["cpu_count"] or 1)
+
+
+def test_compiled_write_path_beats_legacy_renderer(generate_bench):
+    # The ISSUE gate: exec-compiled renderers + buffered block writes
+    # must beat the per-column closure walk by >= 1.5x single-threaded.
+    assert generate_bench["write"]["compiled_over_legacy"] >= 1.5
+
+
+def test_serial_rows_written_floor(generate_bench):
+    # Loose floor (~half the calibration box) on the full simulate +
+    # render + write loop: catches a quadratic regression anywhere in
+    # the generation path, not just the renderer.
+    assert generate_bench["engine"]["1"]["rows_written_per_second"] > 5_000
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="multi-core speedup needs >= 4 CPUs")
+def test_parallel_scaling_at_four_workers(generate_bench):
+    fanned = generate_bench["engine"]["4"]
+    if fanned["effective_jobs"] <= 1:
+        pytest.skip("jobs clamp left a single effective worker")
+    assert fanned["speedup_vs_single"] > 1.15

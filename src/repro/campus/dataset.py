@@ -9,8 +9,10 @@ and the generator's ground truth (test oracle).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass
+from datetime import datetime
 from typing import Dict, List, Optional
 
 from ..core.crosssign import CrossSignDisclosures
@@ -38,9 +40,10 @@ from .population import (
 )
 from .profiles import DEFAULT_SCALE, SMALL_SCALE, ScaleConfig, build_vendor_directory
 from .spec import ChainSpec
-from .workload import WorkloadGenerator
+from .workload import GENERATION_SHARDS, WorkloadGenerator
 
-__all__ = ["CampusDataset", "build_campus_dataset", "cached_campus_dataset",
+__all__ = ["CampusDataset", "GenerationContext", "build_campus_dataset",
+           "build_generation_context", "cached_campus_dataset",
            "resolve_scale"]
 
 
@@ -116,15 +119,22 @@ class CampusDataset:
 
     # -- log files --------------------------------------------------------------------
 
-    def write_zeek_logs(self, directory: str) -> tuple[str, str]:
-        """Write ``ssl.log`` and ``x509.log`` in Zeek ASCII format."""
+    def write_zeek_logs(self, directory: str, *,
+                        open_time: Optional[datetime] = None
+                        ) -> tuple[str, str]:
+        """Write ``ssl.log`` and ``x509.log`` in Zeek ASCII format.
+
+        ``open_time`` pins the ``#open``/``#close`` header stamps, making
+        the files byte-reproducible (the parallel generation engine pins
+        them to ``STUDY_START`` for its shard files).
+        """
         os.makedirs(directory, exist_ok=True)
         ssl_path = os.path.join(directory, "ssl.log")
         x509_path = os.path.join(directory, "x509.log")
         write_zeek_log(ssl_path, "ssl", SSLRecord.FIELDS, SSLRecord.TYPES,
-                       self.tap.ssl_rows())
+                       self.tap.ssl_rows(), open_time=open_time)
         write_zeek_log(x509_path, "x509", X509Record.FIELDS, X509Record.TYPES,
-                       self.tap.x509_rows())
+                       self.tap.x509_rows(), open_time=open_time)
         return ssl_path, x509_path
 
     @property
@@ -139,15 +149,32 @@ class CampusDataset:
 _DATASET_CACHE: Dict[tuple, CampusDataset] = {}
 
 
+def generator_config_token(scale: ScaleConfig) -> str:
+    """Cache-key token naming the generator code + configuration.
+
+    Folds in the package version, the study-window shard layout, and
+    every :class:`ScaleConfig` field — so a code change that alters what
+    a (seed, scale) pair produces also changes the token and cannot serve
+    a stale memoized dataset to the CLI or reportgen.
+    """
+    from .. import __version__
+
+    fields = ",".join(f"{f.name}={getattr(scale, f.name)!r}"
+                      for f in dataclasses.fields(scale))
+    return f"v{__version__}:shards{GENERATION_SHARDS}:{fields}"
+
+
 def cached_campus_dataset(seed: int | str = 0,
                           scale: str | ScaleConfig = "small") -> CampusDataset:
     """Process-wide cache for expensive dataset builds.
 
     Benchmarks and integration tests share one immutable-by-convention
-    dataset per (seed, scale); callers must not mutate it.
+    dataset per (seed, generator configuration); callers must not mutate
+    it.  The key carries :func:`generator_config_token`, not just the
+    scale's name, so version or config drift invalidates naturally.
     """
     resolved = resolve_scale(scale)
-    key = (seed, resolved.name)
+    key = (seed, generator_config_token(resolved))
     dataset = _DATASET_CACHE.get(key)
     if dataset is None:
         dataset = build_campus_dataset(seed=seed, scale=resolved)
@@ -155,21 +182,32 @@ def cached_campus_dataset(seed: int | str = 0,
     return dataset
 
 
-def build_campus_dataset(seed: int | str = 0,
-                         scale: str | ScaleConfig = "small",
-                         *, noise_ratio: float = 0.0) -> CampusDataset:
-    """Simulate one 12-month campus measurement campaign.
+@dataclass
+class GenerationContext:
+    """Everything workers need to generate connections for (seed, scale).
 
-    ``scale`` is ``"small"`` (fast, for tests), ``"default"`` (benchmark
-    fidelity), or a custom :class:`ScaleConfig`.  The same seed and scale
-    always produce the identical dataset.
-
-    ``noise_ratio > 0`` routes the workload through the DPD border sensor
-    together with that fraction of non-TLS flows (HTTP/SSH/DNS).  The noise
-    is generated from an independent RNG stream and is dropped by DPD, so
-    the logged dataset is byte-identical to the noise-free build — which is
-    precisely what the sensor is supposed to guarantee.
+    The expensive deterministic substrate of :func:`build_campus_dataset`
+    — PKI, CT log/index, server populations, workload generator — without
+    any connections simulated yet.  Parallel generation workers rebuild
+    this per process from just (seed, scale) and then simulate only their
+    own study-window shards.
     """
+
+    seed: int | str
+    scale: ScaleConfig
+    pki: PublicPKI
+    registry: PublicDBRegistry
+    ct_log: CTLog
+    ct_index: CrtShIndex
+    middleboxes: List[InterceptionMiddlebox]
+    specs: List[ChainSpec]
+    generator: WorkloadGenerator
+
+
+def build_generation_context(seed: int | str = 0,
+                             scale: str | ScaleConfig = "small"
+                             ) -> GenerationContext:
+    """Build the deterministic pre-workload substrate for (seed, scale)."""
     scale = resolve_scale(scale)
     pki = build_public_pki(seed=seed)
     registry = pki.registry
@@ -189,9 +227,43 @@ def build_campus_dataset(seed: int | str = 0,
         pki, seed=seed, scale=scale)
     specs.extend(interception_specs)
 
-    ct_index = CrtShIndex([ct_log])
+    return GenerationContext(
+        seed=seed,
+        scale=scale,
+        pki=pki,
+        registry=registry,
+        ct_log=ct_log,
+        ct_index=CrtShIndex([ct_log]),
+        middleboxes=middleboxes,
+        specs=specs,
+        generator=WorkloadGenerator(registry, seed=seed, scale=scale),
+    )
 
-    generator = WorkloadGenerator(registry, seed=seed, scale=scale)
+
+def build_campus_dataset(seed: int | str = 0,
+                         scale: str | ScaleConfig = "small",
+                         *, noise_ratio: float = 0.0) -> CampusDataset:
+    """Simulate one 12-month campus measurement campaign.
+
+    ``scale`` is ``"small"`` (fast, for tests), ``"default"`` (benchmark
+    fidelity), or a custom :class:`ScaleConfig`.  The same seed and scale
+    always produce the identical dataset.
+
+    ``noise_ratio > 0`` routes the workload through the DPD border sensor
+    together with that fraction of non-TLS flows (HTTP/SSH/DNS).  The noise
+    is generated from an independent RNG stream and is dropped by DPD, so
+    the logged dataset is byte-identical to the noise-free build — which is
+    precisely what the sensor is supposed to guarantee.
+    """
+    context = build_generation_context(seed=seed, scale=scale)
+    scale = context.scale
+    pki = context.pki
+    registry = context.registry
+    ct_log = context.ct_log
+    specs = context.specs
+    middleboxes = context.middleboxes
+    ct_index = context.ct_index
+    generator = context.generator
     sensor: Optional[BorderSensor] = None
     if noise_ratio > 0:
         import random as _random

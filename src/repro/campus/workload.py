@@ -5,13 +5,22 @@ campus border: per-spec connection volumes, NAT'd client pools sized to the
 paper's per-category client-IP counts, per-connection client validation
 policies, SNI behaviour, Table 4 port models, and a TLS 1.3 slice whose
 certificates the monitor cannot see.
+
+The study window is partitioned into :data:`GENERATION_SHARDS` fixed
+intervals, independent of how many worker processes generate them.  Each
+(interval, spec) cell draws from its own deterministically-derived RNG
+stream, so any process can generate any cell in isolation and the
+shard-major concatenation of cells is byte-identical however the work is
+distributed (see ``docs/PERFORMANCE.md``, "Generation stage").
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+from dataclasses import dataclass
 from datetime import datetime, timedelta, timezone
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..tls.connection import ConnectionRecord
 from ..tls.handshake import HandshakeSimulator, TLSClient, TLSServer
@@ -26,10 +35,26 @@ from ..truststores.registry import PublicDBRegistry
 from .profiles import PAPER, PORT_MODELS, ScaleConfig
 from .spec import ChainSpec
 
-__all__ = ["ClientPools", "WorkloadGenerator", "STUDY_START", "STUDY_DAYS"]
+__all__ = ["ClientPools", "SpecPlan", "WorkloadGenerator",
+           "GENERATION_SHARDS", "STUDY_START", "STUDY_DAYS", "shard_window"]
 
 STUDY_START = datetime(2020, 9, 1, tzinfo=timezone.utc)
 STUDY_DAYS = 365
+
+#: Fixed number of study-window intervals the workload is generated in.
+#: A month-like granularity: fine enough that a worker pool up to 12 wide
+#: stays busy, coarse enough that per-cell RNG/simulator setup amortises.
+#: Deliberately *not* derived from ``--jobs`` — the interval layout (and
+#: therefore every derived RNG stream and the output bytes) must be
+#: identical at any worker count.
+GENERATION_SHARDS = 12
+
+
+def shard_window(shard: int, shards: int = GENERATION_SHARDS
+                 ) -> Tuple[float, float]:
+    """(start_offset_seconds, span_seconds) of one interval of the window."""
+    span = STUDY_DAYS * 86400 / shards
+    return shard * span, span
 
 
 class ClientPools:
@@ -70,15 +95,54 @@ class ClientPools:
         return {pool_name: len(ips) for pool_name, ips in self._pools.items()}
 
 
+@dataclass(frozen=True, slots=True)
+class SpecPlan:
+    """The shard-independent draws for one spec, made once up front.
+
+    Everything that must be identical no matter which worker generates
+    which interval lives here: the jittered connection volume, the port,
+    the client subset, and each connection's interval assignment.  All of
+    it comes from the spec's own ``plan`` RNG stream, derived from the
+    workload seed plus a content digest of the spec — never from a shared
+    generator-instance stream — so any process recomputes the identical
+    plan from just (seed, spec).
+    """
+
+    plan_id: str
+    n_visible: int
+    n_tls13: int
+    port: int
+    clients: Tuple[str, ...]
+    #: Interval index of connection ``i``; indices ``< n_visible`` are the
+    #: monitor-visible TLS 1.2 connections, the rest the TLS 1.3 slice.
+    shard_of: Tuple[int, ...]
+    #: Intervals containing at least one monitor-visible connection —
+    #: precomputed for the x509 first-appearance ownership scan.
+    visible_shards: frozenset
+
+    @property
+    def total(self) -> int:
+        return self.n_visible + self.n_tls13
+
+
 class WorkloadGenerator:
-    """Drives handshakes for every spec and yields monitor-view records."""
+    """Drives handshakes for every spec and yields monitor-view records.
+
+    Generation is cell-structured: :meth:`generate_cell` simulates the
+    connections of one (interval, spec) pair from that cell's private RNG
+    stream and handshake simulator.  :meth:`generate` walks cells
+    shard-major (interval 0 for every spec, then interval 1, ...), which
+    is exactly the concatenation order of the parallel engine's per-shard
+    log files — so serial output and merged parallel output are
+    byte-identical by construction.
+    """
 
     def __init__(self, registry: PublicDBRegistry, *, seed: int | str,
-                 scale: ScaleConfig):
+                 scale: ScaleConfig, shards: int = GENERATION_SHARDS):
         self.registry = registry
         self.scale = scale
-        self._rng = random.Random(f"workload:{seed}")
-        self._sim = HandshakeSimulator(seed=f"workload-hs:{seed}")
+        self.seed = seed
+        self.shards = shards
         self.pools = ClientPools(seed, scale)
         self._policies: Dict[str, ValidationPolicy] = {
             "browser": BrowserPolicy(registry),
@@ -101,8 +165,9 @@ class WorkloadGenerator:
             self._trusting_cache[cache_key] = policy
         return policy
 
-    def _draw(self, weighted: Sequence[tuple[object, float]]):
-        roll = self._rng.random()
+    @staticmethod
+    def _draw(rng: random.Random, weighted: Sequence[tuple[object, float]]):
+        roll = rng.random()
         acc = 0.0
         for value, weight in weighted:
             acc += weight
@@ -110,50 +175,131 @@ class WorkloadGenerator:
                 return value
         return weighted[-1][0]
 
-    # -- generation -------------------------------------------------------------
+    # -- per-spec planning ------------------------------------------------------
 
-    def connection_count(self, spec: ChainSpec) -> int:
+    @staticmethod
+    def _plan_id(spec: ChainSpec) -> str:
+        """Content digest naming the spec's RNG streams.
+
+        Derived from what the spec *is* rather than its position in the
+        spec list, so a worker holding only (seed, spec) derives the same
+        streams as the serial path.  BLAKE2b, never ``hash()`` — stable
+        across interpreter runs.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for fingerprint in spec.key:
+            digest.update(fingerprint.encode("ascii"))
+            digest.update(b"\x00")
+        for token in (spec.hostname or "", str(spec.server_id),
+                      spec.category_truth, spec.port_model, spec.client_pool,
+                      str(spec.mean_connections), str(spec.sni_rate),
+                      str(spec.tls13_rate)):
+            digest.update(token.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def plan_for(self, spec: ChainSpec) -> SpecPlan:
+        """Compute the spec's shard-independent plan (volume, port,
+        client subset, per-connection interval assignment)."""
+        plan_id = self._plan_id(spec)
+        rng = random.Random(f"workload:{self.seed}:plan:{plan_id}")
         if spec.labels.get("outlier"):
-            return 1
-        jitter = self._rng.uniform(0.6, 1.6)
-        return max(self.scale.min_connections,
-                   round(spec.mean_connections * jitter))
-
-    def generate_for_spec(self, spec: ChainSpec) -> Iterator[ConnectionRecord]:
-        n_visible = self.connection_count(spec)
+            n_visible = 1
+        else:
+            jitter = rng.uniform(0.6, 1.6)
+            n_visible = max(self.scale.min_connections,
+                            round(spec.mean_connections * jitter))
         n_tls13 = round(n_visible * spec.tls13_rate)
-        port = self._draw(tuple(
+        port = self._draw(rng, tuple(
             (p, w) for p, w in _normalized(PORT_MODELS[spec.port_model])))
-        server = TLSServer(
-            ip=self._server_ip(spec),
-            port=port,
-            chain=spec.chain,
-            max_version=TLSVersion.TLS13 if n_tls13 else TLSVersion.TLS12,
-            hostnames=(spec.hostname,) if spec.hostname else (),
-        )
         pool = self.pools.pool(spec.client_pool)
         subset_size = max(1, min(len(pool), round(n_visible * 0.7)))
-        clients = [pool[self._rng.randrange(len(pool))]
-                   for _ in range(subset_size)]
+        clients = tuple(pool[rng.randrange(len(pool))]
+                        for _ in range(subset_size))
+        shard_of = tuple(rng.randrange(self.shards)
+                         for _ in range(n_visible + n_tls13))
+        return SpecPlan(
+            plan_id=plan_id,
+            n_visible=n_visible,
+            n_tls13=n_tls13,
+            port=port,
+            clients=clients,
+            shard_of=shard_of,
+            visible_shards=frozenset(shard_of[:n_visible]),
+        )
+
+    def connection_count(self, spec: ChainSpec) -> int:
+        return self.plan_for(spec).n_visible
+
+    # -- generation -------------------------------------------------------------
+
+    def _server_for(self, spec: ChainSpec, plan: SpecPlan) -> TLSServer:
+        return TLSServer(
+            ip=self._server_ip(spec),
+            port=plan.port,
+            chain=spec.chain,
+            max_version=(TLSVersion.TLS13 if plan.n_tls13
+                         else TLSVersion.TLS12),
+            hostnames=(spec.hostname,) if spec.hostname else (),
+        )
+
+    def generate_cell(self, spec: ChainSpec, shard: int, *,
+                      plan: Optional[SpecPlan] = None
+                      ) -> Iterator[ConnectionRecord]:
+        """Simulate one (interval, spec) cell's connections.
+
+        The cell has its own RNG stream and handshake simulator, both
+        derived from (seed, interval, spec digest), so it depends on
+        nothing generated before it — any worker can produce it, in any
+        order, with identical output.
+        """
+        if plan is None:
+            plan = self.plan_for(spec)
+        indices = [i for i, s in enumerate(plan.shard_of) if s == shard]
+        if not indices:
+            return
+        stream = f"{self.seed}:{shard:02d}:{plan.plan_id}"
+        rng = random.Random(f"workload:{stream}")
+        sim = HandshakeSimulator(seed=f"workload-hs:{stream}")
+        server = self._server_for(spec, plan)
+        start, span = shard_window(shard, self.shards)
         mix = spec.mix.weights()
-        for i in range(n_visible + n_tls13):
-            kind = self._draw(mix)
-            version = TLSVersion.TLS13 if i >= n_visible else TLSVersion.TLS12
+        clients = plan.clients
+        for i in indices:
+            kind = self._draw(rng, mix)
+            version = (TLSVersion.TLS13 if i >= plan.n_visible
+                       else TLSVersion.TLS12)
             client = TLSClient(
-                ip=clients[self._rng.randrange(len(clients))],
+                ip=clients[rng.randrange(len(clients))],
                 policy=self._policy_for(kind, spec),
                 version=version,
-                sends_sni=self._rng.random() < spec.sni_rate,
+                sends_sni=rng.random() < spec.sni_rate,
             )
             when = STUDY_START + timedelta(
-                seconds=self._rng.uniform(0, STUDY_DAYS * 86400))
-            outcome = self._sim.connect(client, server, sni=spec.hostname,
-                                        when=when)
+                seconds=start + rng.uniform(0, span))
+            outcome = sim.connect(client, server, sni=spec.hostname,
+                                  when=when)
             yield outcome.record
 
+    def generate_for_spec(self, spec: ChainSpec) -> Iterator[ConnectionRecord]:
+        plan = self.plan_for(spec)
+        for shard in range(self.shards):
+            yield from self.generate_cell(spec, shard, plan=plan)
+
+    def generate_shard(self, specs: Sequence[ChainSpec], shard: int, *,
+                       plans: Optional[Sequence[SpecPlan]] = None
+                       ) -> Iterator[ConnectionRecord]:
+        """One interval's connections across every spec — a worker's unit."""
+        if plans is None:
+            plans = [self.plan_for(spec) for spec in specs]
+        for spec, plan in zip(specs, plans):
+            yield from self.generate_cell(spec, shard, plan=plan)
+
     def generate(self, specs: Iterable[ChainSpec]) -> Iterator[ConnectionRecord]:
-        for spec in specs:
-            yield from self.generate_for_spec(spec)
+        spec_list = list(specs)
+        plans = [self.plan_for(spec) for spec in spec_list]
+        for shard in range(self.shards):
+            yield from self.generate_shard(spec_list, shard, plans=plans)
 
     def _server_ip(self, spec: ChainSpec) -> str:
         # Stable per-server external address (seeded, not hash()-based, so

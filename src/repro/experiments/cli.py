@@ -1,6 +1,6 @@
-"""Command-line interface: ``certchain-analyze``.
+"""Command-line interface: ``certchain-analyze`` / ``repro-experiments``.
 
-Two modes:
+Three modes:
 
 * **simulate** (default) — build the synthetic campus dataset and run any
   or all registered experiments, printing paper-vs-measured tables;
@@ -14,8 +14,13 @@ Two modes:
   guaranteed identical to ``--jobs 1`` (see docs/PERFORMANCE.md).
   ``--analysis-cache DIR`` serves a whole repeated analysis from a
   content-addressed artifact store.
+* **generate** (``repro-experiments generate --out DIR --jobs N``) —
+  run the parallel deterministic generation engine: simulate the
+  campus workload and write it as paired ``ssl-NN.log``/``x509-NN.log``
+  study-window shards ready for ``--shard-dir`` ingestion, byte-identical
+  at any ``--jobs``.
 
-Either mode can emit observability artefacts: ``--metrics-out`` writes a
+Any mode can emit observability artefacts: ``--metrics-out`` writes a
 Prometheus text-exposition (or ``.json``) snapshot of every pipeline
 metric, ``--run-report`` writes the diffable per-run JSON summary (stage
 timings, throughput, cache hit rates), and ``--log-level debug`` turns on
@@ -28,7 +33,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from ..campus.dataset import cached_campus_dataset
+from ..campus.dataset import cached_campus_dataset, resolve_scale
 from ..core.categorization import ChainCategory
 from ..core.pipeline import ChainStructureAnalyzer
 from ..core.report import render_table
@@ -37,13 +42,15 @@ from ..obs.exporters import RunReport, write_metrics_file
 from ..obs.logging import configure_logging, get_logger, kv
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
-from ..parallel import discover_shards, ingest_shards, ShardSpec
+from ..parallel import (ShardSpec, discover_shards, generate_dataset,
+                        ingest_shards)
 from ..resilience import ArtifactStore, CheckpointStore, Quarantine
 from ..truststores import build_public_pki
 from ..zeek.format import ZeekFormatError
 from .base import registry, run_experiment
 
-__all__ = ["main", "build_parser", "package_version"]
+__all__ = ["main", "build_parser", "build_generate_parser",
+           "package_version"]
 
 log = get_logger(__name__)
 
@@ -120,6 +127,80 @@ def build_parser() -> argparse.ArgumentParser:
                              "repeat run over unchanged inputs serves the "
                              "whole analysis from DIR (logs mode)")
     return parser
+
+
+def build_generate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments generate",
+        description="Generate the synthetic campus dataset as "
+                    "ssl-NN.log study-window shards plus one broadcast "
+                    "x509.log, ready for --shard-dir ingestion; "
+                    "byte-identical at any --jobs")
+    parser.add_argument("--out", required=True, metavar="DIR",
+                        help="directory to write the shard logs into")
+    parser.add_argument("--seed", default="0",
+                        help="deterministic simulation seed (default 0)")
+    parser.add_argument("--scale", default="small",
+                        choices=("small", "default"),
+                        help="simulation scale preset")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes (default: CPU count; capped "
+                             "at the CPU and interval counts)")
+    parser.add_argument("--legacy-writer", action="store_true",
+                        help="use the per-row legacy write path instead of "
+                             "the compiled renderer (identical bytes, "
+                             "slower; kept as the benchmark baseline)")
+    parser.add_argument("--log-level", metavar="LEVEL", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-logging level "
+                             "(overrides REPRO_LOG_LEVEL)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a metrics snapshot on exit")
+    parser.add_argument("--run-report", metavar="PATH",
+                        help="write the per-run JSON report")
+    parser.add_argument("--fault-plan", metavar="SPEC",
+                        help="install a deterministic fault plan for the "
+                             "run; generation draws from its own derived "
+                             "RNG streams, so output is identical with or "
+                             "without one (asserted by the golden tests)")
+    return parser
+
+
+def _generate(argv: Sequence[str]) -> int:
+    parser = build_generate_parser()
+    args = parser.parse_args(argv)
+    configure_logging(level=args.log_level)
+    get_registry().reset()
+    get_tracer().reset()
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    try:
+        plan = (FaultPlan.parse(args.fault_plan, seed=args.seed)
+                if args.fault_plan else FaultPlan.from_env(seed=args.seed))
+    except ValueError as exc:
+        print(f"repro-experiments: bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    if plan is not None and plan.any():
+        install_plan(plan)
+    try:
+        result = generate_dataset(args.out, seed=args.seed,
+                                  scale=resolve_scale(args.scale),
+                                  jobs=args.jobs,
+                                  compiled=not args.legacy_writer)
+    except OSError as exc:
+        print(f"repro-experiments: cannot write dataset: {exc}",
+              file=sys.stderr)
+        return 2
+    finally:
+        clear_plan()
+    print(f"generated {result.ssl_rows:,} connections and "
+          f"{result.x509_rows:,} certificates into "
+          f"{result.shard_count} ssl shards + broadcast x509.log under "
+          f"{result.out_dir} "
+          f"(jobs: {result.jobs} of {result.requested_jobs} requested)")
+    print(f"analyze with: certchain-analyze --shard-dir {result.out_dir} "
+          f"--jobs {result.jobs}")
+    return _write_observability(args, ["generate", *argv])
 
 
 def _analyze_logs(args: argparse.Namespace,
@@ -218,6 +299,9 @@ def _write_observability(args: argparse.Namespace,
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    if raw_argv and raw_argv[0] == "generate":
+        return _generate(raw_argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level)

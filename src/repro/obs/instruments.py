@@ -67,6 +67,10 @@ CERT_RECONSTRUCT_CACHE = _R.counter(
     "Certificate reconstruction (X509 row -> Certificate) cache lookups, "
     "by result.",
     labelnames=("result",))
+DER_ENCODE_CACHE = _R.counter(
+    "repro_der_encode_cache_lookups_total",
+    "Certificate DER serialization memo lookups, by result.",
+    labelnames=("result",))
 
 # -- parallel ingestion -------------------------------------------------------
 
@@ -110,6 +114,19 @@ ANALYSIS_ARTIFACTS = _R.counter(
     "Content-addressed analysis artifact events (hit/miss/stale/corrupt/"
     "saved).",
     labelnames=("result",))
+
+# -- parallel generation ------------------------------------------------------
+
+GENERATE_SHARDS = _R.counter(
+    "repro_generate_shards_total",
+    "Dataset shards produced by the parallel generation engine, by outcome.",
+    labelnames=("outcome",))
+GENERATE_WORKERS = _R.gauge(
+    "repro_generate_workers",
+    "Worker processes used by the most recent parallel generation.")
+GENERATE_SHARD_SECONDS = _R.histogram(
+    "repro_generate_shard_seconds",
+    "Wall-clock seconds one worker spent generating one dataset shard.")
 
 # -- matching memos -----------------------------------------------------------
 
@@ -192,6 +209,8 @@ DN_PARSE_CACHE_HIT = DN_PARSE_CACHE.labels(result="hit")
 DN_PARSE_CACHE_MISS = DN_PARSE_CACHE.labels(result="miss")
 CERT_CACHE_HIT = CERT_RECONSTRUCT_CACHE.labels(result="hit")
 CERT_CACHE_MISS = CERT_RECONSTRUCT_CACHE.labels(result="miss")
+DER_CACHE_HIT = DER_ENCODE_CACHE.labels(result="hit")
+DER_CACHE_MISS = DER_ENCODE_CACHE.labels(result="miss")
 MATCH_MEMO_HIT = MATCH_MEMO.labels(result="hit")
 MATCH_MEMO_MISS = MATCH_MEMO.labels(result="miss")
 CT_VERDICT_MEMO_HIT = CT_VERDICT_MEMO.labels(result="hit")

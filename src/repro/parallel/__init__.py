@@ -1,10 +1,15 @@
-"""Parallel sharded ingestion and analysis.
+"""Parallel sharded generation, ingestion, and analysis.
 
-Two engines share the same map-reduce discipline — partials merged in a
-deterministic index order, workers recording no metrics, the driver
+Three engines share the same map-reduce discipline — partials merged in
+a deterministic index order, workers recording no metrics, the driver
 emitting canonical values — so outputs are byte-identical at any
 ``--jobs``:
 
+* **generation** (:mod:`repro.parallel.generate`): map fixed
+  study-window intervals over worker processes that simulate their
+  interval's handshakes and write ``ssl-NN.log``/``x509-NN.log`` shard
+  files directly — the in-order concatenation reproduces the serial
+  dataset write-out byte for byte;
 * **ingestion** (:mod:`repro.parallel.engine`): map shard files over
   worker processes, reduce with ``ChainUsage.merge`` into the exact
   chain map a serial pass yields;
@@ -13,8 +18,9 @@ emitting canonical values — so outputs are byte-identical at any
   (classify, categorise, eager ``ChainStructure``), merge in partition
   order.
 
-See ``docs/PERFORMANCE.md`` for both models and the determinism
-guarantees, and ``benchmarks/test_parallel_scaling.py`` /
+See ``docs/PERFORMANCE.md`` for the three models and the determinism
+guarantees, and ``benchmarks/test_generate_scaling.py`` /
+``benchmarks/test_parallel_scaling.py`` /
 ``benchmarks/test_analysis_scaling.py`` for the tracked speedup numbers.
 """
 
@@ -23,10 +29,18 @@ from .analysis import (
     AnalysisTask,
     EnrichedChains,
     analyze_partitions,
+    effective_analysis_jobs,
     partition_index,
     process_partition,
 )
 from .engine import IngestResult, ingest_logs, ingest_shards
+from .generate import (
+    GenerateResult,
+    GenerateShardResult,
+    GenerateTask,
+    generate_dataset,
+    process_generate_shard,
+)
 from .shards import ShardSpec, discover_shards, split_zeek_log
 from .worker import ShardAggregate, ShardTask, process_shard
 
@@ -34,16 +48,21 @@ __all__ = [
     "AnalysisPartial",
     "AnalysisTask",
     "EnrichedChains",
+    "GenerateResult",
+    "GenerateShardResult",
+    "GenerateTask",
     "IngestResult",
     "ShardAggregate",
     "ShardSpec",
     "ShardTask",
     "analyze_partitions",
     "discover_shards",
+    "effective_analysis_jobs",
+    "generate_dataset",
     "ingest_logs",
     "ingest_shards",
     "partition_index",
-    "process_partition",
+    "process_generate_shard",
     "process_shard",
     "split_zeek_log",
 ]

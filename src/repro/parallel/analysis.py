@@ -54,6 +54,7 @@ __all__ = [
     "partition_index",
     "process_partition",
     "analyze_partitions",
+    "effective_analysis_jobs",
 ]
 
 log = get_logger(__name__)
@@ -162,6 +163,18 @@ def process_partition(task: AnalysisTask) -> AnalysisPartial:
     return partial
 
 
+def effective_analysis_jobs(jobs: int,
+                            partitions: int = DEFAULT_PARTITIONS) -> int:
+    """The worker count :func:`analyze_partitions` will actually use.
+
+    The same clamp the engine applies (CPU count, partition count) —
+    exposed so benchmarks and gates can distinguish "asked for 4 workers"
+    from "physically ran 4 workers" on small machines, where asserting a
+    multi-job speedup would be asserting against the hardware.
+    """
+    return max(1, min(jobs, os.cpu_count() or 1, max(1, partitions)))
+
+
 def analyze_partitions(chains: Dict[Tuple[str, ...], ObservedChain], *,
                        registry: PublicDBRegistry,
                        disclosures: Optional[CrossSignDisclosures] = None,
@@ -186,7 +199,7 @@ def analyze_partitions(chains: Dict[Tuple[str, ...], ObservedChain], *,
     tasks = [AnalysisTask(index=i, chains=tuple(bucket), registry=registry,
                           disclosures=disclosures, interception_keys=keys)
              for i, bucket in enumerate(buckets)]
-    effective = max(1, min(jobs, os.cpu_count() or 1, partitions))
+    effective = effective_analysis_jobs(jobs, partitions)
     with trace_span("parallel_analysis", chains=len(chains),
                     partitions=partitions, jobs=effective):
         if effective == 1:

@@ -1,0 +1,279 @@
+"""Parallel deterministic dataset generation: stage 0 goes wide.
+
+:func:`generate_dataset` partitions the 12-month study window into the
+workload's :data:`~repro.campus.workload.GENERATION_SHARDS` fixed
+intervals and dispatches one :func:`process_generate_shard` call per
+interval across a ``ProcessPoolExecutor`` (``jobs=1`` runs inline — no
+pool, no pickling).  Each worker simulates its interval's handshakes and
+writes its ``ssl-NN.log`` shard plus an x509 piece directly; the driver
+concatenates the pieces into one broadcast ``x509.log`` — the layout the
+ingestion engine's ``--shard-dir`` discovery pairs with zero
+re-splitting, closing a fully parallel generate → ingest → analyze loop.
+(Certificates are de-duplicated corpus-wide, so a shard's SSL rows may
+reference certificates a *different* interval introduced — per-shard
+x509 files would leave every ingestion worker's join incomplete, which
+is why the certificate log is broadcast rather than paired 1:1.)
+
+**Determinism.**  The shard files are byte-identical at any worker count,
+and their in-order concatenation (data rows; every header is pinned via
+``open_time``) is byte-identical to the serial
+:func:`~repro.campus.dataset.build_campus_dataset` write-out:
+
+* the interval layout is fixed — never derived from ``--jobs``;
+* every (interval, spec) cell draws from its own derived RNG stream
+  (``workload:{seed}:{shard}:{digest}``), so a cell's bytes depend on
+  nothing generated before it;
+* the x509 corpus-wide first-appearance dedup is reproduced from the
+  per-spec plans alone: a worker pre-seeds its seen-fingerprint set with
+  every certificate some earlier interval introduces, so certificate
+  rows land in exactly the piece (and order, and with the timestamp)
+  the serial monitoring tap would have recorded them — and because every
+  header is pinned, stitching piece 0's header block onto the in-order
+  data rows reproduces the serial ``x509.log`` byte for byte;
+* workers record no metrics (a forked child inherits parent counter
+  values); the driver replays canonical ``repro_zeek_rows_total`` /
+  ``repro_generate_*`` values from the returned tallies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Tuple
+
+from ..campus.profiles import ScaleConfig
+from ..campus.workload import GENERATION_SHARDS, STUDY_START
+from ..obs import instruments
+from ..obs.logging import get_logger, kv
+from ..obs.metrics import disabled as metrics_disabled
+from ..obs.tracing import trace_span
+from ..zeek.format import ZeekLogWriter
+from ..zeek.records import (SSLRecord, X509Record, ssl_record_from_connection,
+                            x509_record_from_certificate)
+from .shards import ShardSpec
+
+__all__ = ["GenerateTask", "GenerateShardResult", "GenerateResult",
+           "generate_dataset", "process_generate_shard"]
+
+log = get_logger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class GenerateTask:
+    """Everything a worker needs, picklable for the process pool."""
+
+    shard: int
+    seed: int | str
+    scale: ScaleConfig
+    ssl_path: str
+    x509_path: str
+    open_time: datetime = STUDY_START
+    compiled: bool = True
+
+
+@dataclass(slots=True)
+class GenerateShardResult:
+    """One interval's write-out tallies — the unit the driver reduces."""
+
+    shard: int
+    ssl_path: str
+    x509_path: str
+    ssl_rows: int = 0
+    x509_rows: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class GenerateResult:
+    """The merged outcome of one parallel (or inline) generation run."""
+
+    out_dir: str
+    #: Shard pairs in interval order (every one sharing the broadcast
+    #: ``x509.log``), ready for ``ingest_shards``.
+    shards: List[ShardSpec] = field(default_factory=list)
+    x509_path: str = ""
+    ssl_rows: int = 0
+    x509_rows: int = 0
+    #: The worker count actually used (requested, clamped to CPU count
+    #: and shard count) and the caller's pre-clamp request.
+    jobs: int = 1
+    requested_jobs: int = 1
+    shard_count: int = 0
+
+
+#: Per-process context memo: (seed, scale) -> (context, plans).  Pool
+#: workers process several intervals each; the PKI/population build and
+#: the per-spec plans are identical for all of them, so pay once.
+_CONTEXT_CACHE: Dict[tuple, tuple] = {}
+
+
+def _context_for(seed: int | str, scale: ScaleConfig):
+    from ..campus.dataset import build_generation_context
+
+    key = (seed, scale)
+    cached = _CONTEXT_CACHE.get(key)
+    if cached is None:
+        context = build_generation_context(seed=seed, scale=scale)
+        plans = [context.generator.plan_for(spec) for spec in context.specs]
+        cached = (context, plans)
+        _CONTEXT_CACHE.clear()  # one live context per worker is plenty
+        _CONTEXT_CACHE[key] = cached
+    return cached
+
+
+def _preseeded_fingerprints(specs, plans, shard: int) -> set:
+    """Certificates some interval before ``shard`` already introduced.
+
+    Walks earlier intervals in generation order (interval-major, then
+    spec order, then chain order) marking every certificate presented by
+    a cell with at least one monitor-visible connection — exactly the
+    first-appearance order of the serial monitoring tap, recovered from
+    the cheap per-spec plans without simulating anything.
+    """
+    seen: set = set()
+    for earlier in range(shard):
+        for spec, plan in zip(specs, plans):
+            if earlier in plan.visible_shards:
+                for certificate in spec.chain:
+                    seen.add(certificate.fingerprint)
+    return seen
+
+
+def process_generate_shard(task: GenerateTask) -> GenerateShardResult:
+    """Simulate one study-window interval and write its shard logs.
+
+    Streams connection records straight into the two log writers: the
+    SSL row per connection, and an X509 row for each certificate not
+    introduced by an earlier interval (or earlier in this one) —
+    timestamped, like the serial tap, with the first presenting
+    connection's timestamp.
+    """
+    start = time.perf_counter()
+    result = GenerateShardResult(shard=task.shard, ssl_path=task.ssl_path,
+                                 x509_path=task.x509_path)
+    with metrics_disabled():
+        context, plans = _context_for(task.seed, task.scale)
+        specs = context.specs
+        generator = context.generator
+        seen = _preseeded_fingerprints(specs, plans, task.shard)
+        with open(task.ssl_path, "w", encoding="utf-8") as ssl_handle, \
+                open(task.x509_path, "w", encoding="utf-8") as x509_handle:
+            with ZeekLogWriter(ssl_handle, "ssl", SSLRecord.FIELDS,
+                               SSLRecord.TYPES, open_time=task.open_time,
+                               compiled=task.compiled) as ssl_writer, \
+                    ZeekLogWriter(x509_handle, "x509", X509Record.FIELDS,
+                                  X509Record.TYPES, open_time=task.open_time,
+                                  compiled=task.compiled) as x509_writer:
+                for record in generator.generate_shard(specs, task.shard,
+                                                       plans=plans):
+                    ssl_writer.write_row(
+                        ssl_record_from_connection(record).to_row())
+                    result.ssl_rows += 1
+                    for certificate in record.chain:
+                        fingerprint = certificate.fingerprint
+                        if fingerprint not in seen:
+                            seen.add(fingerprint)
+                            x509_writer.write_row(x509_record_from_certificate(
+                                certificate, record.timestamp).to_row())
+                            result.x509_rows += 1
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+def generate_dataset(out_dir: str, *,
+                     seed: int | str = 0,
+                     scale: ScaleConfig,
+                     jobs: Optional[int] = None,
+                     open_time: datetime = STUDY_START,
+                     compiled: bool = True) -> GenerateResult:
+    """Generate the (seed, scale) dataset as paired shard logs.
+
+    ``jobs=None`` uses ``os.cpu_count()``; the effective count is capped
+    at the CPU count and the fixed interval count (the request and the
+    clamped value are both recorded on the result).  Output is
+    ``ssl-NN.log`` shards plus one broadcast ``x509.log`` under
+    ``out_dir`` — the layout
+    :func:`~repro.parallel.shards.discover_shards` pairs directly.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    shard_count = GENERATION_SHARDS
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    requested = max(1, jobs)
+    jobs = max(1, min(requested, os.cpu_count() or 1, shard_count))
+    tasks = [GenerateTask(shard=shard, seed=seed, scale=scale,
+                          ssl_path=os.path.join(out_dir,
+                                                f"ssl-{shard:02d}.log"),
+                          x509_path=os.path.join(out_dir,
+                                                 f".x509-{shard:02d}.part"),
+                          open_time=open_time, compiled=compiled)
+             for shard in range(shard_count)]
+    with trace_span("parallel_generate", shards=shard_count, jobs=jobs):
+        if jobs == 1:
+            partials = [process_generate_shard(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                partials = list(pool.map(process_generate_shard, tasks))
+        x509_path = _merge_x509(out_dir, partials)
+    result = _reduce(out_dir, partials, jobs=jobs, x509_path=x509_path)
+    result.requested_jobs = requested
+    log.debug("parallel generate complete", extra=kv(
+        shards=shard_count, jobs=jobs, requested_jobs=requested,
+        ssl_rows=result.ssl_rows, x509_rows=result.x509_rows))
+    return result
+
+
+def _merge_x509(out_dir: str, partials: List[GenerateShardResult]) -> str:
+    """Stitch the per-interval x509 pieces into one broadcast log.
+
+    Piece headers are identical (pinned ``open_time``), so the merged
+    log is piece 0's header block, every piece's data rows in interval
+    order, and the shared ``#close`` footer — byte-identical to the
+    serial ``x509.log``.  The intermediates (hidden ``.x509-NN.part``
+    names that shard discovery never pairs) are removed afterwards.
+    """
+    merged_path = os.path.join(out_dir, "x509.log")
+    footer = ""
+    with open(merged_path, "w", encoding="utf-8") as merged:
+        for position, partial in enumerate(
+                sorted(partials, key=lambda p: p.shard)):
+            with open(partial.x509_path, "r", encoding="utf-8") as piece:
+                for line in piece:
+                    if not line.startswith("#"):
+                        merged.write(line)
+                    elif line.startswith("#close"):
+                        footer = line
+                    elif position == 0:
+                        merged.write(line)
+        merged.write(footer)
+    for partial in partials:
+        os.remove(partial.x509_path)
+    return merged_path
+
+
+def _reduce(out_dir: str, partials: List[GenerateShardResult], *,
+            jobs: int, x509_path: str) -> GenerateResult:
+    """Fold partials in interval order; emit the canonical metrics."""
+    result = GenerateResult(out_dir=out_dir, jobs=jobs,
+                            shard_count=len(partials), x509_path=x509_path)
+    for partial in sorted(partials, key=lambda p: p.shard):
+        result.shards.append(ShardSpec(index=partial.shard,
+                                       ssl_path=partial.ssl_path,
+                                       x509_path=x509_path))
+        result.ssl_rows += partial.ssl_rows
+        result.x509_rows += partial.x509_rows
+        # Canonical write metrics, exactly as the serial writers would
+        # have recorded them (one labelled inc per non-empty log).
+        if partial.ssl_rows:
+            instruments.ZEEK_ROWS.inc(partial.ssl_rows,
+                                      direction="written", path="ssl")
+        if partial.x509_rows:
+            instruments.ZEEK_ROWS.inc(partial.x509_rows,
+                                      direction="written", path="x509")
+        instruments.GENERATE_SHARDS.inc(outcome="ok")
+        instruments.GENERATE_SHARD_SECONDS.observe(partial.seconds)
+    instruments.GENERATE_WORKERS.set(jobs)
+    return result

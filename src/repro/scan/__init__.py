@@ -18,7 +18,8 @@ from .evolution import (
 )
 from .revisit import RevisitReport, run_revisit
 from .survey import SurveyFinding, SurveyReport, run_survey
-from .scanner import REVISIT_TIME, ActiveScanner, ScanResult, render_showcerts
+from .scanner import (REVISIT_TIME, ActiveScanner, ScanResult, ScanTarget,
+                      render_showcerts)
 
 __all__ = [
     "ActiveScanner",
@@ -40,6 +41,7 @@ __all__ = [
     "SurveyFinding",
     "SurveyReport",
     "ScanResult",
+    "ScanTarget",
     "evolve_fleet",
     "render_showcerts",
     "run_revisit",

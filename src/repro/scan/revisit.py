@@ -25,7 +25,7 @@ from ..core.matching import analyze_structure
 from ..tls.handshake import TLSServer
 from ..tls.policy import BrowserPolicy, StrictPresentedChainPolicy
 from .evolution import EvolvedFleet, EvolvedServer, evolve_fleet
-from .scanner import ActiveScanner, REVISIT_TIME, ScanResult
+from .scanner import ActiveScanner, REVISIT_TIME, ScanResult, ScanTarget
 
 __all__ = ["RevisitReport", "run_revisit"]
 
@@ -83,24 +83,35 @@ class RevisitReport:
 
 
 def _scan_fleet(fleet_servers: List[EvolvedServer],
-                scanner: ActiveScanner) -> Dict[str, ScanResult]:
-    results: Dict[str, ScanResult] = {}
-    for server in fleet_servers:
-        if not server.reachable:
-            results[server.server_id] = scanner.unreachable(
-                server.server_id, server.hostname)
-            continue
-        tls_server = TLSServer("203.0.113.200", 443, server.new_chain,
-                               hostnames=(server.hostname,)
-                               if server.hostname else ())
-        results[server.server_id] = scanner.scan(
-            tls_server, server_id=server.server_id, hostname=server.hostname)
-    return results
+                scanner: ActiveScanner, *,
+                jobs: int = 1) -> Dict[str, ScanResult]:
+    """Scan one fleet side via ``scan_many``; key results by server id.
+
+    Results come back in target order, so the dict's insertion order —
+    and every statistic folded from it — is identical at any ``jobs``.
+    """
+    targets = [
+        ScanTarget(
+            server_id=server.server_id,
+            server=TLSServer("203.0.113.200", 443, server.new_chain,
+                             hostnames=(server.hostname,)
+                             if server.hostname else ())
+            if server.reachable else None,
+            hostname=server.hostname)
+        for server in fleet_servers]
+    results = scanner.scan_many(targets, jobs=jobs)
+    return {result.server_id: result for result in results}
 
 
 def run_revisit(dataset: CampusDataset, *, seed: int | str = 0,
-                fleet: Optional[EvolvedFleet] = None) -> RevisitReport:
-    """Evolve (unless given), scan, and re-analyze — the full §5 pipeline."""
+                fleet: Optional[EvolvedFleet] = None,
+                jobs: int = 1) -> RevisitReport:
+    """Evolve (unless given), scan, and re-analyze — the full §5 pipeline.
+
+    ``jobs`` fans the active scans out across worker processes (see
+    :meth:`~repro.scan.scanner.ActiveScanner.scan_many`); the report is
+    identical at any value.
+    """
     if fleet is None:
         fleet = evolve_fleet(dataset, seed=seed)
     scanner = ActiveScanner(seed=seed)
@@ -108,7 +119,7 @@ def run_revisit(dataset: CampusDataset, *, seed: int | str = 0,
     report = RevisitReport()
 
     # -- hybrid servers ---------------------------------------------------------
-    hybrid_scans = _scan_fleet(fleet.hybrid, scanner)
+    hybrid_scans = _scan_fleet(fleet.hybrid, scanner, jobs=jobs)
     report.hybrid_total = len(fleet.hybrid)
     browser = BrowserPolicy(dataset.registry)
     strict = StrictPresentedChainPolicy(dataset.registry)
@@ -144,7 +155,7 @@ def run_revisit(dataset: CampusDataset, *, seed: int | str = 0,
             report.still_no_path += 1
 
     # -- non-public-only servers ----------------------------------------------------
-    nonpub_scans = _scan_fleet(fleet.nonpub, scanner)
+    nonpub_scans = _scan_fleet(fleet.nonpub, scanner, jobs=jobs)
     for server in fleet.nonpub:
         scan = nonpub_scans[server.server_id]
         if not scan.reachable:

@@ -18,9 +18,11 @@ outcome of exhausted retries, not only a caller-supplied label.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..faults.injector import FaultInjector
 from ..faults.plan import active_plan
@@ -32,7 +34,7 @@ from ..tls.handshake import HandshakeSimulator, TLSClient, TLSServer
 from ..tls.policy import PermissivePolicy
 from ..x509.certificate import Certificate
 
-__all__ = ["ScanResult", "ActiveScanner", "render_showcerts"]
+__all__ = ["ScanResult", "ScanTarget", "ActiveScanner", "render_showcerts"]
 
 #: The revisit experiment ran in November 2024.
 REVISIT_TIME = datetime(2024, 11, 15, tzinfo=timezone.utc)
@@ -70,6 +72,20 @@ class ScanResult:
         return self.is_single and self.chain[0].is_self_signed
 
 
+@dataclass(frozen=True, slots=True)
+class ScanTarget:
+    """One unit of :meth:`ActiveScanner.scan_many` work.
+
+    ``server=None`` marks a server known-dead before scanning (gone,
+    firewalled, moved) — it is recorded unreachable without an attempt,
+    exactly like :meth:`ActiveScanner.unreachable`.
+    """
+
+    server_id: str
+    server: Optional[TLSServer] = None
+    hostname: Optional[str] = None
+
+
 class ActiveScanner:
     """Scans servers and records whatever they present, verbatim."""
 
@@ -77,6 +93,8 @@ class ActiveScanner:
                  when: datetime = REVISIT_TIME, seed: int | str = 0,
                  faults: Optional[FaultInjector] = None,
                  retry: Optional[RetryPolicy] = None):
+        self._scanner_ip = scanner_ip
+        self._seed = seed
         self._client = TLSClient(scanner_ip, policy=PermissivePolicy())
         self._sim = HandshakeSimulator(seed=f"scanner:{seed}")
         self.when = when
@@ -143,6 +161,118 @@ class ActiveScanner:
         return ScanResult(server_id=server_id, hostname=hostname,
                           reachable=False, attempts=0,
                           failure_reason=REASON_NO_ANSWER)
+
+    def scan_target(self, target: ScanTarget) -> ScanResult:
+        """Scan one :class:`ScanTarget` (or record it known-dead)."""
+        if target.server is None:
+            return self.unreachable(target.server_id, target.hostname)
+        return self.scan(target.server, server_id=target.server_id,
+                         hostname=target.hostname)
+
+    def scan_many(self, targets: Sequence[ScanTarget], *,
+                  jobs: int = 1) -> List[ScanResult]:
+        """Scan a target list, optionally across a bounded worker pool.
+
+        ``jobs`` bounds the pool (clamped to the CPU count and the target
+        count; ``jobs=1`` scans inline — no pool, no pickling).  Targets
+        are split into contiguous batches, one per worker slot, and the
+        merged list is always in the input's target order.
+
+        Every per-target decision — fault draws, retry schedules, the
+        emergent unreachable outcomes — is a pure function of
+        ``(seed, server_id, attempt)``, never of shared RNG state, so the
+        results are identical at any ``jobs``.  Workers run with metrics
+        *enabled* against their forked (then zeroed) registry and return
+        their ``repro_scan_attempts_total`` / ``repro_retry_attempts_total``
+        / ``repro_faults_injected_total`` tallies; the driver replays them
+        in batch order, so counter exports match a serial scan exactly.
+        """
+        targets = list(targets)
+        requested = max(1, jobs)
+        jobs = max(1, min(requested, os.cpu_count() or 1,
+                          len(targets) or 1))
+        if jobs == 1:
+            return [self.scan_target(target) for target in targets]
+        base, extra = divmod(len(targets), jobs)
+        tasks: List[_ScanBatchTask] = []
+        start = 0
+        for index in range(jobs):
+            size = base + (1 if index < extra else 0)
+            tasks.append(_ScanBatchTask(
+                index=index, targets=tuple(targets[start:start + size]),
+                scanner_ip=self._scanner_ip, when=self.when,
+                seed=self._seed, faults=self._faults, retry=self.retry))
+            start += size
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            partials = list(pool.map(_scan_batch, tasks))
+        results: List[ScanResult] = []
+        for partial in sorted(partials, key=lambda p: p.index):
+            for name, labels, value in partial.tallies:
+                family = _TALLIED[name]
+                family.labels(**dict(zip(family.labelnames,
+                                         labels))).inc(value)
+            results.extend(partial.results)
+        return results
+
+
+#: Counter families the scan path touches — what batch workers tally and
+#: the driver replays.  Nothing else on the scan path records metrics.
+_TALLIED = {family.name: family for family in (
+    instruments.SCAN_ATTEMPTS,
+    instruments.RETRY_ATTEMPTS,
+    instruments.FAULTS_INJECTED,
+)}
+
+
+@dataclass(frozen=True, slots=True)
+class _ScanBatchTask:
+    """One contiguous slice of a ``scan_many`` call, picklable for the
+    pool.  The injector and retry policy travel whole (both are frozen /
+    stateless), so a custom ``faults=`` or ``retry=`` behaves identically
+    under fan-out."""
+
+    index: int
+    targets: Tuple[ScanTarget, ...]
+    scanner_ip: str
+    when: datetime
+    seed: int | str
+    faults: Optional[FaultInjector]
+    retry: RetryPolicy
+
+
+@dataclass(slots=True)
+class _ScanBatchResult:
+    index: int
+    results: List[ScanResult]
+    #: (family name, label values, count) for every nonzero scan counter.
+    tallies: List[Tuple[str, Tuple[str, ...], float]]
+
+
+def _scan_batch(task: _ScanBatchTask) -> _ScanBatchResult:
+    """Scan one batch inside a worker process.
+
+    Unlike the generation/ingestion/analysis workers (which run metrics-
+    disabled), scan workers *count normally* into their own process-local
+    registry — zeroed first, since a forked child inherits the parent's
+    values — and ship the resulting tallies back for the driver to
+    replay.  That keeps the per-attempt outcome labels (``scanned`` vs
+    ``slow`` vs ``timeout``…) exact without threading a tally object
+    through the retry and fault layers.
+    """
+    from ..obs.metrics import get_registry
+
+    get_registry().reset()
+    scanner = ActiveScanner(scanner_ip=task.scanner_ip, when=task.when,
+                            seed=task.seed, faults=task.faults,
+                            retry=task.retry)
+    results = [scanner.scan_target(target) for target in task.targets]
+    tallies: List[Tuple[str, Tuple[str, ...], float]] = []
+    for family in _TALLIED.values():
+        for labels, child in family.samples():
+            if child.value:
+                tallies.append((family.name, labels, child.value))
+    return _ScanBatchResult(index=task.index, results=results,
+                            tallies=tallies)
 
 
 def render_showcerts(chain: Sequence[Certificate], *, sni: str = "",

@@ -99,6 +99,11 @@ class Certificate:
     #: Set when the certificate was reconstructed from a log row, so the
     #: identity stays the one the SSL log references.
     fingerprint_override: Optional[str] = None
+    #: Lazily computed :attr:`fingerprint`.  Excluded from equality and
+    #: repr; ``dataclasses.replace`` re-runs ``__init__`` so a copy with
+    #: edited fields starts with a clean memo.
+    _fingerprint_memo: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def fingerprint(self) -> str:
@@ -106,22 +111,31 @@ class Certificate:
 
         Serial numbers are factory-unique, so the canonical string (and the
         fingerprint) survives a round trip through an X509 log row.
+
+        Memoized per instance: the workload generator asks for every chain
+        member's fingerprint once per simulated connection (SSL rows, tap
+        dedup, spec keys), and the canonical string renders two RFC 4514
+        names each time — recomputing it dominated generation profiles.
         """
         if self.fingerprint_override is not None:
             return self.fingerprint_override
-        canonical = "|".join(
-            (
-                self.subject.rfc4514(),
-                self.issuer.rfc4514(),
-                self.serial,
-                f"{self.validity.not_before.timestamp():.6f}",
-                f"{self.validity.not_after.timestamp():.6f}",
-                self.key_algorithm.value,
-                str(self.key_bits),
-                self.signature_algorithm,
+        memo = self._fingerprint_memo
+        if memo is None:
+            canonical = "|".join(
+                (
+                    self.subject.rfc4514(),
+                    self.issuer.rfc4514(),
+                    self.serial,
+                    f"{self.validity.not_before.timestamp():.6f}",
+                    f"{self.validity.not_after.timestamp():.6f}",
+                    self.key_algorithm.value,
+                    str(self.key_bits),
+                    self.signature_algorithm,
+                )
             )
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            memo = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_fingerprint_memo", memo)
+        return memo
 
     @property
     def is_self_signed(self) -> bool:

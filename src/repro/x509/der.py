@@ -21,6 +21,8 @@ import hashlib
 from datetime import datetime, timezone
 from typing import Iterable, List, Sequence
 
+from ..obs.cache import BoundedLRU
+from ..obs.instruments import DER_CACHE_HIT, DER_CACHE_MISS
 from .certificate import Certificate, KeyAlgorithm
 from .dn import DistinguishedName
 from .extensions import ExtensionSet
@@ -307,12 +309,31 @@ def _encode_extensions(ext: ExtensionSet) -> List[bytes]:
 # -- certificate assembly ---------------------------------------------------------------
 
 
+# Keyed by the Certificate record itself (frozen dataclass, hashable),
+# NOT the fingerprint: the fingerprint canonical excludes extensions, so
+# an original and a log-reconstructed certificate can share a fingerprint
+# while differing in ExtensionSet — and therefore in DER.
+_DER_MEMO: BoundedLRU = BoundedLRU(
+    65536, hits=DER_CACHE_HIT, misses=DER_CACHE_MISS)
+
+
 def encode_certificate_der(certificate: Certificate) -> bytes:
-    """Render the structured record as parseable X.509 v3 DER.
+    """Render the structured record as parseable X.509 v3 DER, memoized.
 
     The signature BIT STRING is deterministic filler (it will not verify);
     every name, date, serial, key parameter, and extension is real.
+    Certificates are immutable, so each distinct record is encoded once
+    per process — the §6.1 overhead pass and PEM export walk the same
+    handful of certificates once per chain appearance.
     """
+    der = _DER_MEMO.get(certificate)
+    if der is None:
+        der = _encode_certificate_der_uncached(certificate)
+        _DER_MEMO.put(certificate, der)
+    return der
+
+
+def _encode_certificate_der_uncached(certificate: Certificate) -> bytes:
     tbs_members: List[bytes] = []
     tbs_members.append(_context(0, der_integer(certificate.version - 1)))
     tbs_members.append(der_integer(int(certificate.serial, 16)

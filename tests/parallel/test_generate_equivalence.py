@@ -1,0 +1,204 @@
+"""Parallel generation == serial generation, byte for byte.
+
+The generation engine's central guarantee: the ``ssl-NN.log`` shard
+files and the broadcast ``x509.log`` are identical at any ``--jobs``,
+and their in-order concatenation (data rows; headers are pinned via
+``open_time``) reproduces the serial ``build_campus_dataset`` write-out
+exactly.  These tests pin that guarantee at every layer: raw bytes,
+behaviour under an active fault plan (generation draws from its own
+derived streams, so a plan must not perturb it), the closed
+generate → ingest → analyze loop against the in-memory pipeline, and
+exported counter values.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campus.dataset import build_campus_dataset, resolve_scale
+from repro.campus.workload import GENERATION_SHARDS, STUDY_START
+from repro.core.categorization import ChainCategory
+from repro.core.chain import aggregate_chains
+from repro.faults import FaultPlan, clear_plan, install_plan
+from repro.obs.metrics import get_registry
+from repro.parallel import discover_shards, generate_dataset, ingest_shards
+
+JOBS_MATRIX = [1, 2, 4]
+SEED = "gen-eq"
+
+
+def read_all(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def data_rows(text):
+    return [line for line in text.splitlines(keepends=True)
+            if not line.startswith("#")]
+
+
+@pytest.fixture(scope="module")
+def serial_logs(tmp_path_factory):
+    """The reference: the serial builder's single ssl/x509 pair."""
+    out = tmp_path_factory.mktemp("serial")
+    dataset = build_campus_dataset(seed=SEED, scale=resolve_scale("small"))
+    ssl_path, x509_path = dataset.write_zeek_logs(str(out),
+                                                  open_time=STUDY_START)
+    return {"dataset": dataset, "ssl": read_all(ssl_path),
+            "x509": read_all(x509_path)}
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory, serial_logs):
+    """One generation run per jobs value, pool path forced via cpu_count."""
+    outputs = {}
+    patcher = pytest.MonkeyPatch()
+    patcher.setattr(os, "cpu_count", lambda: 4)
+    try:
+        for jobs in JOBS_MATRIX:
+            out = str(tmp_path_factory.mktemp(f"gen-j{jobs}"))
+            get_registry().reset()
+            result = generate_dataset(out, seed=SEED,
+                                      scale=resolve_scale("small"),
+                                      jobs=jobs)
+            outputs[jobs] = {"out": out, "result": result}
+    finally:
+        patcher.undo()
+    return outputs
+
+
+class TestGoldenByteIdentity:
+    def test_layout_is_ssl_shards_plus_broadcast_x509(self, generated):
+        for jobs, run in generated.items():
+            names = sorted(os.listdir(run["out"]))
+            expected = [f"ssl-{s:02d}.log" for s in range(GENERATION_SHARDS)]
+            assert names == expected + ["x509.log"], (jobs, names)
+
+    def test_x509_log_byte_identical_to_serial(self, generated, serial_logs):
+        for jobs, run in generated.items():
+            merged = read_all(os.path.join(run["out"], "x509.log"))
+            assert merged == serial_logs["x509"], f"jobs={jobs}"
+
+    def test_ssl_shard_concatenation_matches_serial(self, generated,
+                                                    serial_logs):
+        reference = data_rows(serial_logs["ssl"])
+        assert reference  # non-trivial corpus
+        for jobs, run in generated.items():
+            concatenated = []
+            for shard in range(GENERATION_SHARDS):
+                text = read_all(os.path.join(run["out"],
+                                             f"ssl-{shard:02d}.log"))
+                concatenated.extend(data_rows(text))
+            assert concatenated == reference, f"jobs={jobs}"
+
+    def test_every_file_identical_across_jobs(self, generated):
+        names = sorted(os.listdir(generated[1]["out"]))
+        for name in names:
+            baseline = read_all(os.path.join(generated[1]["out"], name))
+            for jobs in JOBS_MATRIX[1:]:
+                other = read_all(os.path.join(generated[jobs]["out"], name))
+                assert other == baseline, (name, jobs)
+
+    def test_row_tallies_match_the_files(self, generated, serial_logs):
+        for run in generated.values():
+            result = run["result"]
+            assert result.ssl_rows == len(data_rows(serial_logs["ssl"]))
+            assert result.x509_rows == len(data_rows(serial_logs["x509"]))
+            assert result.shard_count == GENERATION_SHARDS
+            assert all(spec.x509_path.endswith("x509.log")
+                       for spec in result.shards)
+
+    def test_legacy_writer_produces_identical_bytes(self, tmp_path,
+                                                    generated):
+        """``compiled=False`` is a perf baseline, never a format fork."""
+        out = str(tmp_path / "legacy")
+        generate_dataset(out, seed=SEED, scale=resolve_scale("small"),
+                         jobs=1, compiled=False)
+        for name in sorted(os.listdir(generated[1]["out"])):
+            assert read_all(os.path.join(out, name)) == \
+                read_all(os.path.join(generated[1]["out"], name)), name
+
+
+class TestFaultPlanIsolation:
+    def test_generation_identical_under_active_fault_plan(self, tmp_path,
+                                                          generated):
+        """Generation draws from its own derived RNG streams: an ambient
+        fault plan (which perturbs scans and log reads) must not move a
+        single generated byte."""
+        out = str(tmp_path / "faulted")
+        install_plan(FaultPlan(seed=99, scan_timeout_rate=0.5,
+                               scan_truncated_chain_rate=0.5,
+                               zeek_corrupt_rate=0.2, ct_outage_rate=0.3))
+        try:
+            generate_dataset(out, seed=SEED, scale=resolve_scale("small"),
+                             jobs=1)
+        finally:
+            clear_plan()
+        for name in sorted(os.listdir(generated[1]["out"])):
+            assert read_all(os.path.join(out, name)) == \
+                read_all(os.path.join(generated[1]["out"], name)), name
+
+
+class TestClosedLoop:
+    def test_shard_dir_ingest_reproduces_tables_exactly(self, generated,
+                                                        serial_logs):
+        """The tentpole loop: parallel-generated shards, discovered and
+        ingested via the shard engine, must reproduce Tables 1/2/3 (and
+        the full category orderings) of the in-memory pipeline."""
+        dataset = serial_logs["dataset"]
+        serial = dataset.analyzer().analyze_chains(
+            aggregate_chains(dataset.joined()))
+        reference = _tables(serial)
+        assert reference["table2"]  # non-trivial corpus
+        for jobs, run in generated.items():
+            shards = discover_shards(run["out"])
+            assert len(shards) == GENERATION_SHARDS
+            ingest = ingest_shards(shards, jobs=1)
+            assert ingest.missing_certs == 0, f"jobs={jobs}"
+            result = dataset.analyzer().analyze_chains(ingest.chains)
+            assert _tables(result) == reference, f"jobs={jobs}"
+
+
+def _tables(result):
+    return {
+        "table1": result.interception.category_table(result.chains),
+        "table2": result.categorized.summary_rows(),
+        "table3": result.hybrid.table3_rows(),
+        "orders": {c.value: [chain.key
+                             for chain in result.categorized.chains(c)]
+                   for c in ChainCategory},
+    }
+
+
+class TestJobsAndMetrics:
+    def test_jobs_clamped_and_requested_recorded(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        result = generate_dataset(str(tmp_path / "clamp"), seed=SEED,
+                                  scale=resolve_scale("small"), jobs=64)
+        assert result.requested_jobs == 64
+        assert result.jobs == 2
+
+    def test_counter_metrics_identical_across_jobs(self, tmp_path_factory,
+                                                   monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        snapshots = []
+        for jobs in JOBS_MATRIX:
+            out = str(tmp_path_factory.mktemp(f"metrics-j{jobs}"))
+            get_registry().reset()
+            generate_dataset(out, seed=SEED, scale=resolve_scale("small"),
+                             jobs=jobs)
+            snapshot = get_registry().snapshot()
+            snapshots.append({
+                family: [(s["labels"], s["value"]) for s in data["samples"]]
+                for family, data in snapshot.items()
+                if data["kind"] == "counter"})
+        assert any(labels == {"direction": "written", "path": "ssl"}
+                   and value > 0
+                   for labels, value in snapshots[0]["repro_zeek_rows_total"])
+        assert snapshots[0]["repro_generate_shards_total"] == \
+            [({"outcome": "ok"}, float(GENERATION_SHARDS))]
+        for snapshot in snapshots[1:]:
+            assert snapshot == snapshots[0]

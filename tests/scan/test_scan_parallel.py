@@ -1,0 +1,116 @@
+"""``scan_many``: parallel revisit scans == serial scans, metrics included.
+
+The scanner's fan-out contract: results come back in target order,
+every per-target outcome (fault draws, retry schedules, emergent
+unreachability) is a pure function of ``(seed, server_id, attempt)``,
+and the driver-replayed ``repro_scan_*`` / retry / fault counters match
+a serial scan exactly — at any ``jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campus import cached_campus_dataset
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import instruments
+from repro.obs.metrics import get_registry
+from repro.scan import ActiveScanner, ScanTarget, evolve_fleet, run_revisit
+from repro.tls import TLSServer
+from repro.x509 import CertificateFactory
+
+JOBS_MATRIX = [1, 2, 4]
+
+#: A plan hot enough that timeouts, resets, degraded handshakes and
+#: emergent unreachability all occur across a 40-target fleet.
+HOT_PLAN = FaultPlan(seed=17, scan_timeout_rate=0.25, scan_reset_rate=0.15,
+                     scan_slow_handshake_rate=0.2,
+                     scan_truncated_chain_rate=0.2)
+
+
+@pytest.fixture(scope="module")
+def targets():
+    factory = CertificateFactory(seed=31)
+    built = []
+    for i in range(40):
+        if i % 7 == 3:  # known-dead servers interleaved with live ones
+            built.append(ScanTarget(server_id=f"srv-{i:02d}",
+                                    hostname=f"host{i}.example"))
+            continue
+        chain = tuple(factory.simple_chain(
+            root_cn=f"R{i}", intermediate_cns=[f"I{i}"],
+            leaf_cn=f"host{i}.example"))
+        built.append(ScanTarget(
+            server_id=f"srv-{i:02d}",
+            server=TLSServer("203.0.113.10", 443, chain,
+                             hostnames=(f"host{i}.example",)),
+            hostname=f"host{i}.example"))
+    return built
+
+
+def _counters():
+    out = {}
+    for family in (instruments.SCAN_ATTEMPTS, instruments.RETRY_ATTEMPTS,
+                   instruments.FAULTS_INJECTED):
+        for labels, child in family.samples():
+            if child.value:
+                out[(family.name,) + labels] = child.value
+    return out
+
+
+def _scan(targets, jobs, faults=None):
+    get_registry().reset()
+    scanner = ActiveScanner(seed="par-scan", faults=faults)
+    results = scanner.scan_many(targets, jobs=jobs)
+    return results, _counters()
+
+
+class TestScanManyEquivalence:
+    def test_results_and_counters_identical_across_jobs(self, targets,
+                                                        monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        serial_results, serial_counters = _scan(targets, 1)
+        assert [r.server_id for r in serial_results] == \
+            [t.server_id for t in targets]
+        assert any(not r.reachable for r in serial_results)
+        for jobs in JOBS_MATRIX[1:]:
+            results, counters = _scan(targets, jobs)
+            assert results == serial_results, f"jobs={jobs}"
+            assert counters == serial_counters, f"jobs={jobs}"
+
+    def test_faulted_scans_identical_across_jobs(self, targets, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        injector = FaultInjector(HOT_PLAN)
+        serial_results, serial_counters = _scan(targets, 1, faults=injector)
+        outcomes = {r.failure_reason for r in serial_results}
+        assert {"timeout", "reset", "no_answer"} <= outcomes  # plan is hot
+        assert any(("repro_faults_injected_total" in key)
+                   for key in serial_counters)
+        for jobs in JOBS_MATRIX[1:]:
+            results, counters = _scan(targets, jobs, faults=injector)
+            assert results == serial_results, f"jobs={jobs}"
+            assert counters == serial_counters, f"jobs={jobs}"
+
+    def test_jobs_clamped_to_target_count(self, targets, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        few = targets[:3]
+        results, _ = _scan(few, 16)  # pool of 3, never 16
+        serial, _ = _scan(few, 1)
+        assert results == serial
+
+    def test_scan_many_matches_individual_scans(self, targets):
+        scanner = ActiveScanner(seed="par-scan")
+        individually = [scanner.scan_target(t) for t in targets]
+        assert scanner.scan_many(targets, jobs=1) == individually
+
+
+class TestRevisitJobs:
+    def test_revisit_report_identical_at_any_jobs(self, monkeypatch):
+        dataset = cached_campus_dataset(seed=5, scale="small")
+        fleet = evolve_fleet(dataset, seed=5)
+        serial = run_revisit(dataset, seed=5, fleet=fleet, jobs=1)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        fanned = run_revisit(dataset, seed=5, fleet=fleet, jobs=4)
+        assert fanned == serial

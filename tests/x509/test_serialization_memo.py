@@ -1,0 +1,79 @@
+"""Memoized serialization: DER cache and fingerprint memo semantics.
+
+The generation fast path serializes the same certificate objects tens of
+thousands of times (once per presenting connection for fingerprints,
+once per PEM render for DER).  Both memos must be invisible: identical
+bytes, hit/miss accounting on the DER side, and — the subtle hazard —
+no aliasing between certificates that share a *fingerprint* (the
+canonical excludes extensions) while differing in DER.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs import instruments
+from repro.obs.metrics import get_registry
+from repro.x509 import CertificateFactory, name
+from repro.x509 import der as der_module
+from repro.x509.der import certificate_to_pem, encode_certificate_der
+from repro.x509.extensions import ExtensionSet
+
+
+@pytest.fixture()
+def leaf():
+    factory = CertificateFactory(seed=77)
+    root = factory.root(name("Memo Test Root", o="MemoOrg", c="US"))
+    return factory.leaf(root, name("memo-test.example"),
+                        dns_names=["memo-test.example"])
+
+
+class TestDERMemo:
+    def test_repeat_encode_hits_cache_with_identical_bytes(self, leaf):
+        der_module._DER_MEMO.clear()
+        get_registry().reset()
+        first = encode_certificate_der(leaf)
+        assert instruments.DER_ENCODE_CACHE.value(result="miss") == 1
+        second = encode_certificate_der(leaf)
+        assert second == first
+        assert instruments.DER_ENCODE_CACHE.value(result="hit") == 1
+
+    def test_pem_rides_the_der_memo(self, leaf):
+        der_module._DER_MEMO.clear()
+        get_registry().reset()
+        certificate_to_pem(leaf)
+        certificate_to_pem(leaf)
+        assert instruments.DER_ENCODE_CACHE.value(result="hit") == 1
+
+    def test_same_fingerprint_different_extensions_not_aliased(self, leaf):
+        """The memo key is the certificate object, never the fingerprint:
+        the fingerprint canonical excludes extensions, so two objects can
+        share a fingerprint while their DER must differ."""
+        stripped = dataclasses.replace(leaf, extensions=ExtensionSet())
+        assert stripped.fingerprint == leaf.fingerprint
+        der_module._DER_MEMO.clear()
+        assert encode_certificate_der(stripped) != \
+            encode_certificate_der(leaf)
+        # And again from a warm cache: still distinct entries.
+        assert encode_certificate_der(stripped) != \
+            encode_certificate_der(leaf)
+
+
+class TestFingerprintMemo:
+    def test_memo_matches_first_computation(self, leaf):
+        assert leaf.fingerprint == leaf.fingerprint
+        assert leaf._fingerprint_memo == leaf.fingerprint
+
+    def test_replace_recomputes_cleanly(self, leaf):
+        _ = leaf.fingerprint  # prime the memo
+        changed = dataclasses.replace(leaf, serial="deadbeef")
+        assert changed._fingerprint_memo is None
+        assert changed.fingerprint != leaf.fingerprint
+
+    def test_memo_excluded_from_equality(self, leaf):
+        primed = dataclasses.replace(leaf)
+        _ = leaf.fingerprint  # memo set on one side only
+        assert primed == leaf
+        assert hash(primed) == hash(leaf)
