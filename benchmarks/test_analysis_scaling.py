@@ -26,6 +26,7 @@ import pytest
 
 from repro.core import matching
 from repro.core.chain import aggregate_chains
+from repro.obs.benchreport import host_metadata
 from repro.parallel.analysis import DEFAULT_PARTITIONS, effective_analysis_jobs
 from repro.resilience import ArtifactStore
 
@@ -84,6 +85,9 @@ def analysis_bench(dataset, tmp_path_factory):
     numbers = {
         "dataset": {"chains": count},
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(
+            requested_jobs=max(JOBS_MATRIX),
+            effective_jobs=effective_analysis_jobs(max(JOBS_MATRIX))),
         "partitions": DEFAULT_PARTITIONS,
         "rounds": ROUNDS,
         "serial_legacy": {"seconds": serial_seconds,

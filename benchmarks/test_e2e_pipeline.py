@@ -21,6 +21,7 @@ import time
 import pytest
 
 from repro.campus.dataset import build_campus_dataset, resolve_scale
+from repro.obs.benchreport import host_metadata
 from repro.parallel import discover_shards, generate_dataset, ingest_shards
 
 ROUNDS = 2
@@ -82,6 +83,10 @@ def e2e_bench(tmp_path_factory):
                     "ssl_rows": runs["1"]["ssl_rows"],
                     "chains": runs["1"]["chains"]},
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(
+            requested_jobs=max(JOBS_MATRIX),
+            effective_jobs=runs[str(max(JOBS_MATRIX))][
+                "effective_generate_jobs"]),
         "rounds": ROUNDS,
         "pipeline": runs,
     }

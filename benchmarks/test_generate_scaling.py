@@ -25,6 +25,7 @@ import time
 import pytest
 
 from repro.campus.dataset import build_campus_dataset, resolve_scale
+from repro.obs.benchreport import host_metadata
 from repro.parallel.generate import generate_dataset
 from repro.zeek.format import ZeekLogWriter
 from repro.zeek.records import SSLRecord
@@ -92,6 +93,9 @@ def generate_bench(tmp_path_factory):
                     "x509_rows": engine_results[1].x509_rows,
                     "scale": scale.name},
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(
+            requested_jobs=engine_results[max(JOBS_MATRIX)].requested_jobs,
+            effective_jobs=engine_results[max(JOBS_MATRIX)].jobs),
         "shards": engine_results[1].shard_count,
         "rounds": ROUNDS,
         "write": {

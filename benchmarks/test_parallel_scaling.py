@@ -23,6 +23,7 @@ import time
 import pytest
 
 from repro.core.chain import aggregate_chains
+from repro.obs.benchreport import host_metadata
 from repro.parallel import discover_shards, ingest_shards, split_zeek_log
 from repro.zeek.format import read_zeek_log
 from repro.zeek.records import SSLRecord, X509Record
@@ -80,6 +81,9 @@ def ingest_bench(dataset, tmp_path_factory):
         "dataset": {"ssl_rows": rows,
                     "x509_rows": len(dataset.x509_records)},
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(
+            requested_jobs=engine_results[SHARDS].requested_jobs,
+            effective_jobs=engine_results[SHARDS].jobs),
         "shards": SHARDS,
         "rounds": ROUNDS,
         "serial_legacy": {"seconds": serial_seconds,

@@ -20,11 +20,19 @@ Three modes:
   study-window shards ready for ``--shard-dir`` ingestion, byte-identical
   at any ``--jobs``.
 
+A fourth mode, **bench-report** (``repro-experiments bench-report``),
+loads the ``BENCH_*.json`` benchmark history and prints a per-metric
+trajectory table with floor margins — see :mod:`repro.obs.benchreport`.
+
 Any mode can emit observability artefacts: ``--metrics-out`` writes a
 Prometheus text-exposition (or ``.json``) snapshot of every pipeline
 metric, ``--run-report`` writes the diffable per-run JSON summary (stage
-timings, throughput, cache hit rates), and ``--log-level debug`` turns on
-structured key=value logging.
+timings, throughput, cache hit rates), ``--trace-out`` writes the merged
+driver+worker span forest as Chrome-trace/Perfetto JSON,
+``--serve-metrics PORT`` exposes live ``/metrics``/``/healthz``/
+``/runreport`` HTTP endpoints for the duration of the run, and
+``--log-level debug`` turns on structured key=value logging (propagated
+into pool workers).
 """
 
 from __future__ import annotations
@@ -38,9 +46,13 @@ from ..core.categorization import ChainCategory
 from ..core.pipeline import ChainStructureAnalyzer
 from ..core.report import render_table
 from ..faults import FaultPlan, clear_plan, install_plan
+from ..obs import benchreport
 from ..obs.exporters import RunReport, write_metrics_file
 from ..obs.logging import configure_logging, get_logger, kv
 from ..obs.metrics import get_registry
+from ..obs.server import MetricsServer
+from ..obs.sink import get_sink
+from ..obs.traceexport import write_trace
 from ..obs.tracing import get_tracer
 from ..parallel import (ShardSpec, discover_shards, generate_dataset,
                         ingest_shards)
@@ -107,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--run-report", metavar="PATH",
                         help="write the per-run JSON report (stage timings, "
                              "throughput, cache hit rates)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the merged driver+worker span timeline "
+                             "as Chrome-trace/Perfetto JSON (open in "
+                             "ui.perfetto.dev)")
+    parser.add_argument("--serve-metrics", type=int, metavar="PORT",
+                        help="serve live /metrics, /healthz and /runreport "
+                             "on 127.0.0.1:PORT for the duration of the "
+                             "run (0 picks a free port)")
     parser.add_argument("--fault-plan", metavar="SPEC",
                         help="deterministic fault injection, e.g. "
                              "'zeek_corrupt_rate=0.05,scan_timeout_rate=0.1' "
@@ -158,6 +178,13 @@ def build_generate_parser() -> argparse.ArgumentParser:
                         help="write a metrics snapshot on exit")
     parser.add_argument("--run-report", metavar="PATH",
                         help="write the per-run JSON report")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the merged driver+worker span timeline "
+                             "as Chrome-trace/Perfetto JSON")
+    parser.add_argument("--serve-metrics", type=int, metavar="PORT",
+                        help="serve live /metrics, /healthz and /runreport "
+                             "on 127.0.0.1:PORT for the duration of the "
+                             "run (0 picks a free port)")
     parser.add_argument("--fault-plan", metavar="SPEC",
                         help="install a deterministic fault plan for the "
                              "run; generation draws from its own derived "
@@ -166,12 +193,28 @@ def build_generate_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _start_server(args: argparse.Namespace) -> Optional[MetricsServer]:
+    """Start the live-metrics endpoint when ``--serve-metrics`` was given."""
+    if getattr(args, "serve_metrics", None) is None:
+        return None
+    server = MetricsServer(args.serve_metrics, version=package_version())
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"certchain-analyze: cannot serve metrics: {exc}",
+              file=sys.stderr)
+        return None
+    print(f"serving metrics at {server.url}/metrics", file=sys.stderr)
+    return server
+
+
 def _generate(argv: Sequence[str]) -> int:
     parser = build_generate_parser()
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level)
     get_registry().reset()
     get_tracer().reset()
+    get_sink().reset()
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
     try:
@@ -182,6 +225,7 @@ def _generate(argv: Sequence[str]) -> int:
         return 2
     if plan is not None and plan.any():
         install_plan(plan)
+    server = _start_server(args)
     try:
         result = generate_dataset(args.out, seed=args.seed,
                                   scale=resolve_scale(args.scale),
@@ -193,6 +237,8 @@ def _generate(argv: Sequence[str]) -> int:
         return 2
     finally:
         clear_plan()
+        if server is not None:
+            server.stop()
     print(f"generated {result.ssl_rows:,} connections and "
           f"{result.x509_rows:,} certificates into "
           f"{result.shard_count} ssl shards + broadcast x509.log under "
@@ -295,6 +341,17 @@ def _write_observability(args: argparse.Namespace,
             status = 2
         else:
             log.info("run report written", extra=kv(path=args.run_report))
+    if getattr(args, "trace_out", None):
+        try:
+            trace = write_trace(args.trace_out)
+        except OSError as exc:
+            print(f"certchain-analyze: cannot write trace: {exc}",
+                  file=sys.stderr)
+            status = 2
+        else:
+            log.info("trace written",
+                     extra=kv(path=args.trace_out,
+                              events=len(trace["traceEvents"])))
     return status
 
 
@@ -302,6 +359,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     raw_argv = list(argv) if argv is not None else sys.argv[1:]
     if raw_argv and raw_argv[0] == "generate":
         return _generate(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "bench-report":
+        return benchreport.main(raw_argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level)
@@ -310,6 +369,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # runs in this process recorded so exports describe exactly this run.
     get_registry().reset()
     get_tracer().reset()
+    get_sink().reset()
 
     effective_argv = list(argv) if argv is not None else sys.argv[1:]
 
@@ -344,6 +404,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         log.info("fault plan installed", extra=kv(
             **{k: v for k, v in plan.rates().items() if v}))
 
+    server = _start_server(args)
     try:
         if args.ssl_log or args.x509_log or args.shard_dir:
             if args.shard_dir and (args.ssl_log or args.x509_log):
@@ -379,6 +440,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return status or _write_observability(args, effective_argv)
     finally:
         clear_plan()
+        if server is not None:
+            server.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover

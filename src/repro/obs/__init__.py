@@ -16,6 +16,17 @@ with Prometheus/JSON export.  Six modules:
 ``exporters``
     Prometheus text exposition, JSON snapshots, and the diffable
     :class:`RunReport`.
+``sink``
+    Cross-process telemetry: :func:`capture_telemetry` in workers,
+    :class:`TelemetrySink` merging in the driver.
+``traceexport``
+    The merged span forest rendered as Chrome-trace / Perfetto JSON.
+``server``
+    Stdlib-only live ``/metrics`` + ``/healthz`` + ``/runreport`` HTTP
+    endpoint for long runs.
+``benchreport``
+    ``BENCH_*.json`` trajectory tables and regression gating for the
+    ``repro-experiments bench-report`` subcommand.
 """
 
 from __future__ import annotations
@@ -27,7 +38,14 @@ from .exporters import (
     registry_to_dict,
     write_metrics_file,
 )
-from .logging import configure_logging, get_logger, kv
+from .logging import configure_logging, current_log_level, get_logger, kv
+from .sink import (
+    TelemetrySink,
+    WorkerSpan,
+    WorkerTelemetry,
+    capture_telemetry,
+    get_sink,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -53,7 +71,13 @@ __all__ = [
     "trace_span",
     "get_logger",
     "configure_logging",
+    "current_log_level",
     "kv",
+    "TelemetrySink",
+    "WorkerSpan",
+    "WorkerTelemetry",
+    "capture_telemetry",
+    "get_sink",
     "RunReport",
     "render_prometheus",
     "render_json",

@@ -191,6 +191,26 @@ CHECKPOINT_STAGES = _R.counter(
     "Pipeline-stage checkpoint events (saved/loaded/stale/corrupt).",
     labelnames=("stage", "result"))
 
+# -- cross-process telemetry --------------------------------------------------
+
+WORKER_TELEMETRY_RECORDS = _R.counter(
+    "repro_worker_telemetry_records_total",
+    "WorkerTelemetry captures attached to the driver sink, by engine kind.",
+    labelnames=("kind",))
+WORKER_SPANS = _R.counter(
+    "repro_worker_spans_total",
+    "Worker-side spans collected through the telemetry sink, by engine "
+    "kind.",
+    labelnames=("kind",))
+TRACE_EXPORT_EVENTS = _R.gauge(
+    "repro_trace_export_events",
+    "Events written by the most recent Chrome-trace export.")
+METRICS_SERVER_REQUESTS = _R.counter(
+    "repro_metrics_server_requests_total",
+    "HTTP requests served by the embedded metrics server, by endpoint.  "
+    "Operational (scrape-driven), so exempt from run determinism.",
+    labelnames=("endpoint",))
+
 # -- experiments --------------------------------------------------------------
 
 EXPERIMENT_RUNS = _R.counter(

@@ -21,7 +21,8 @@ import os
 import sys
 from typing import Dict, Optional, TextIO
 
-__all__ = ["get_logger", "configure_logging", "kv", "REPRO_LOG_LEVEL_VAR"]
+__all__ = ["get_logger", "configure_logging", "current_log_level", "kv",
+           "REPRO_LOG_LEVEL_VAR"]
 
 REPRO_LOG_LEVEL_VAR = "REPRO_LOG_LEVEL"
 _ROOT_NAME = "repro"
@@ -83,6 +84,20 @@ def configure_logging(level: Optional[str] = None,
     root.propagate = False
     _configured = True
     return root
+
+
+def current_log_level() -> str:
+    """The ``repro`` root's effective level name, e.g. ``"WARNING"``.
+
+    This is what pool initializers forward to worker processes: under
+    the spawn start method a worker re-reads the environment but never
+    sees a ``--log-level`` flag, so the driver ships its *resolved*
+    level instead.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    if not _configured:
+        configure_logging()
+    return logging.getLevelName(root.getEffectiveLevel())
 
 
 def get_logger(name: str) -> logging.Logger:

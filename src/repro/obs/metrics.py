@@ -280,6 +280,16 @@ class MetricsRegistry:
         with self._lock:
             return [self._families[name] for name in sorted(self._families)]
 
+    def get_family(self, name: str) -> Optional[_MetricFamily]:
+        """The family registered under ``name``, or None.
+
+        Lookup only — never creates.  The telemetry sink uses this to
+        replay worker deltas into whatever families the driver already
+        declared, without guessing kinds or label sets.
+        """
+        with self._lock:
+            return self._families.get(name)
+
     def reset(self) -> None:
         """Zero every time series (families and label children stay).
 

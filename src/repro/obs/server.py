@@ -1,0 +1,142 @@
+"""Live observability endpoint: ``/metrics``, ``/healthz``, ``/runreport``.
+
+The ROADMAP's ``repro serve`` streaming daemon needs the registry
+visible *during* a run, not just snapshotted after it.
+:class:`MetricsServer` is the stdlib-only building block: a
+``ThreadingHTTPServer`` on a daemon thread serving
+
+``/metrics``
+    Prometheus text exposition (format 0.0.4) of the default registry
+    — point a real Prometheus scrape config at it.
+``/healthz``
+    ``{"status": "ok"}`` liveness JSON.
+``/runreport``
+    The :class:`~repro.obs.exporters.RunReport` of the run so far
+    (without the full metrics dump), so an operator can watch stage
+    timings accumulate mid-run.
+
+``port=0`` binds an ephemeral port (the ``port`` attribute reports the
+real one — tests rely on this).  Request counts land in
+``repro_metrics_server_requests_total``; that family is scrape-driven
+and therefore exempt from the determinism rule (documented in
+docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .exporters import RunReport, render_prometheus
+from .logging import get_logger, kv
+
+__all__ = ["MetricsServer"]
+
+log = get_logger(__name__)
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics"
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        from . import instruments
+
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            instruments.METRICS_SERVER_REQUESTS.inc(endpoint="metrics")
+            self._reply(200, _PROM_CONTENT_TYPE, render_prometheus())
+        elif path == "/healthz":
+            instruments.METRICS_SERVER_REQUESTS.inc(endpoint="healthz")
+            self._reply(200, "application/json",
+                        json.dumps({"status": "ok"}) + "\n")
+        elif path == "/runreport":
+            instruments.METRICS_SERVER_REQUESTS.inc(endpoint="runreport")
+            report = RunReport.collect(include_metrics=False,
+                                       version=self.server.repro_version)  # type: ignore[attr-defined]
+            self._reply(200, "application/json", report.to_json() + "\n")
+        else:
+            instruments.METRICS_SERVER_REQUESTS.inc(endpoint="other")
+            self._reply(404, "application/json",
+                        json.dumps({"error": "not found",
+                                    "endpoints": ["/metrics", "/healthz",
+                                                  "/runreport"]}) + "\n")
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route access logs through structured logging at debug level
+        # instead of stderr spam.
+        log.debug("metrics server request",
+                  extra=kv(detail=format % args))
+
+
+class MetricsServer:
+    """Serve the live registry over HTTP from a daemon thread.
+
+    Usable either as a context manager around a run or via explicit
+    :meth:`start` / :meth:`stop`.  The server thread only *reads* the
+    registry (snapshots are taken under the family locks), so scrapes
+    never perturb pipeline counters beyond its own request counter.
+    """
+
+    def __init__(self, port: int = 0, *, host: str = "127.0.0.1",
+                 version: str = ""):
+        self._requested_port = port
+        self._host = host
+        self._version = version
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        if self._httpd is not None:
+            return self.port
+        httpd = ThreadingHTTPServer((self._host, self._requested_port),
+                                    _Handler)
+        httpd.daemon_threads = True
+        httpd.repro_version = self._version  # type: ignore[attr-defined]
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  name="repro-metrics-server", daemon=True)
+        thread.start()
+        self._httpd = httpd
+        self._thread = thread
+        log.info("metrics server started", extra=kv(url=self.url))
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        log.info("metrics server stopped", extra=kv(url=self.url))
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,154 @@
+"""Chrome-trace / Perfetto JSON export of the merged span forest.
+
+One ``--trace-out trace.json`` run produces a file that
+``chrome://tracing`` or https://ui.perfetto.dev opens directly: the
+driver's spans on one track, and every worker's captured spans
+(:mod:`repro.obs.sink`) on a track per (engine kind, unit), grouped
+under the worker's real pid.  A ``--jobs 4`` ingest therefore renders
+as four worker processes whose ``ingest_shard`` / ``zeek_read`` phases
+visibly overlap — the profiling view the ROADMAP's columnar-hot-core
+work needs.
+
+Format notes (Trace Event Format, JSON object flavour):
+
+* ``"X"`` *complete* events carry ``ts`` (µs since the trace origin)
+  and ``dur`` (µs); nesting is recovered by the viewer from stacking
+  on the same ``pid``/``tid``.
+* ``"M"`` *metadata* events name processes and threads.
+* The trace origin is the driver tracer's reset anchor; worker spans
+  are re-based onto it via the capture's wall-clock ``started_epoch``
+  (cross-process alignment is wall-clock-accurate, which is enough for
+  a human timeline; within one process offsets are perf-counter exact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from .sink import TelemetrySink, get_sink
+from .tracing import Tracer, get_tracer
+
+__all__ = ["build_trace", "validate_trace", "write_trace", "distinct_pids"]
+
+_MICRO = 1e6
+
+
+def build_trace(*, tracer: Optional[Tracer] = None,
+                sink: Optional[TelemetrySink] = None) -> dict:
+    """The merged driver + worker span forest as a Chrome-trace dict."""
+    tracer = tracer or get_tracer()
+    sink = sink or get_sink()
+    driver_pid = os.getpid()
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": driver_pid, "tid": 0,
+        "args": {"name": f"driver (pid {driver_pid})"},
+    }, {
+        "name": "thread_name", "ph": "M", "pid": driver_pid, "tid": 0,
+        "args": {"name": "driver"},
+    }]
+
+    with tracer._lock:
+        driver_records = list(tracer.finished)
+    for record in driver_records:
+        events.append({
+            "name": record.name, "cat": "driver", "ph": "X",
+            "ts": (record.start_s - tracer.anchor_perf) * _MICRO,
+            "dur": record.duration_s * _MICRO,
+            "pid": driver_pid, "tid": 0,
+            "args": {"path": record.path, **record.attrs},
+        })
+
+    named_pids: Set[int] = {driver_pid}
+    tids: Dict[Tuple[int, str, int], int] = {}
+    next_tid: Dict[int, int] = {}
+    for telemetry, span in sink.spans():
+        if telemetry.pid not in named_pids:
+            named_pids.add(telemetry.pid)
+            events.append({
+                "name": "process_name", "ph": "M", "pid": telemetry.pid,
+                "tid": 0, "args": {"name": f"worker (pid {telemetry.pid})"},
+            })
+        track = (telemetry.pid, telemetry.kind, telemetry.unit)
+        tid = tids.get(track)
+        if tid is None:
+            # Driver tid 0 is reserved; worker tracks count up from 1
+            # per pid, in attach order — deterministic because attaches
+            # happen in unit order inside each engine's reduce.
+            tid = tids[track] = next_tid.get(telemetry.pid, 1)
+            next_tid[telemetry.pid] = tid + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": telemetry.pid,
+                "tid": tid,
+                "args": {"name": f"{telemetry.kind}-{telemetry.unit:02d}"},
+            })
+        base_s = max(0.0, telemetry.started_epoch - tracer.anchor_epoch)
+        events.append({
+            "name": span.name, "cat": telemetry.kind, "ph": "X",
+            "ts": (base_s + max(0.0, span.offset_s)) * _MICRO,
+            "dur": span.duration_s * _MICRO,
+            "pid": telemetry.pid, "tid": tid,
+            "args": {"path": span.path, "unit": telemetry.unit,
+                     **span.attrs},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_trace(trace: object) -> None:
+    """Raise :class:`ValueError` unless ``trace`` is viewer-loadable.
+
+    Checks the structural contract the Perfetto / ``chrome://tracing``
+    importers rely on; the CI schema smoke test runs this so a
+    malformed export fails the build instead of failing silently in
+    the viewer.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(trace)}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            raise ValueError(f"{where}: unsupported phase {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"{where}: {key} must be a number")
+            if event["dur"] < 0:
+                raise ValueError(f"{where}: negative duration")
+        else:
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                raise ValueError(f"{where}: metadata event without "
+                                 f"args.name")
+
+
+def distinct_pids(trace: dict, *, category: Optional[str] = None) -> Set[int]:
+    """Pids owning at least one span ("X") event, optionally per category."""
+    return {event["pid"] for event in trace.get("traceEvents", [])
+            if event.get("ph") == "X"
+            and (category is None or event.get("cat") == category)}
+
+
+def write_trace(path: str, *, tracer: Optional[Tracer] = None,
+                sink: Optional[TelemetrySink] = None) -> dict:
+    """Build, validate, and write the trace; returns the written dict."""
+    trace = build_trace(tracer=tracer, sink=sink)
+    validate_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    from . import instruments
+    instruments.TRACE_EXPORT_EVENTS.set(len(trace["traceEvents"]))
+    return trace

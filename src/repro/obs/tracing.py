@@ -36,6 +36,11 @@ class SpanRecord:
     depth: int
     #: Deterministic caller-supplied attributes (counts, sizes — no times).
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: ``time.perf_counter()`` when the span opened.  Subtract the owning
+    #: tracer's :attr:`Tracer.anchor_perf` for a timeline offset — this is
+    #: what the Chrome-trace exporter plots.  Like ``duration_s`` it is
+    #: timing data, free to vary run to run.
+    start_s: float = 0.0
 
 
 class Tracer:
@@ -47,6 +52,12 @@ class Tracer:
         self.finished: List[SpanRecord] = []
         #: When False, span() is a near-no-op (still yields).
         self.enabled = True
+        #: Timeline anchors, refreshed by :meth:`reset`: ``anchor_perf``
+        #: pairs with :attr:`SpanRecord.start_s` offsets, ``anchor_epoch``
+        #: (``time.time()``) aligns this process's timeline with worker
+        #: telemetry captured in other processes.
+        self.anchor_perf = time.perf_counter()
+        self.anchor_epoch = time.time()
 
     def _stack(self) -> List[str]:
         stack = getattr(self._local, "stack", None)
@@ -69,7 +80,8 @@ class Tracer:
             duration = time.perf_counter() - started
             stack.pop()
             record = SpanRecord(name=name, path=path, duration_s=duration,
-                                depth=len(stack), attrs=dict(attrs))
+                                depth=len(stack), attrs=dict(attrs),
+                                start_s=started)
             with self._lock:
                 self.finished.append(record)
             _SPAN_SECONDS().observe(duration, span=name)
@@ -77,6 +89,27 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self.finished.clear()
+        self.anchor_perf = time.perf_counter()
+        self.anchor_epoch = time.time()
+
+    def mark(self) -> int:
+        """Current finished-span count — pair with :meth:`drain`."""
+        with self._lock:
+            return len(self.finished)
+
+    def drain(self, start_index: int) -> List[SpanRecord]:
+        """Remove and return every finished span from ``start_index`` on.
+
+        The worker-telemetry capture uses this to divert the spans a
+        captured body recorded into its :class:`WorkerTelemetry` instead
+        of leaving them in this tracer — inline (jobs=1) engine runs
+        would otherwise report each worker span twice, once directly and
+        once via the sink.
+        """
+        with self._lock:
+            drained = self.finished[start_index:]
+            del self.finished[start_index:]
+        return drained
 
     def stage_timings(self) -> Dict[str, Dict[str, float]]:
         """Per span name: total seconds and invocation count (sorted)."""

@@ -20,18 +20,18 @@ pass at any ``jobs`` value:
   reassembles category lists / the hybrid report by walking the original
   chain map in its insertion order — worker completion order never leaks
   into any output ordering;
-* workers run with metrics disabled (a forked registry would
-  double-count); the driver derives the canonical ``repro_analysis_*``
-  counters from the merged totals, so counter exports are identical at
-  any ``jobs`` (only the worker gauge and timing histograms vary).
+* workers leave no direct metrics behind (their observations are
+  captured into telemetry and restored away, then attached to the
+  driver sink in partition order — see :mod:`repro.obs.sink`); the
+  driver derives the canonical ``repro_analysis_*`` counters from the
+  merged totals, so counter exports are identical at any ``jobs`` (only
+  the worker gauge and timing histograms vary).
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -43,9 +43,10 @@ from ..core.hybrid import HybridAnalyzer, HybridChainAnalysis
 from ..core.matching import ChainStructure, analyze_structure_pair
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
-from ..obs.metrics import disabled as metrics_disabled
+from ..obs.sink import WorkerTelemetry, capture_telemetry, get_sink
 from ..obs.tracing import trace_span
 from ..truststores.registry import PublicDBRegistry
+from .pool import clamp_jobs, make_pool
 
 __all__ = [
     "AnalysisTask",
@@ -107,6 +108,8 @@ class AnalysisPartial:
     classes: Dict[str, IssuerClass] = field(default_factory=dict)
     structures_built: int = 0
     seconds: float = 0.0
+    #: What this worker observed, attached to the driver sink on merge.
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 @dataclass
@@ -140,7 +143,9 @@ def process_partition(task: AnalysisTask) -> AnalysisPartial:
     """
     start = time.perf_counter()
     partial = AnalysisPartial(index=task.index)
-    with metrics_disabled():
+    with capture_telemetry("analysis", task.index) as telemetry, \
+            trace_span("enrich_partition", partition=task.index,
+                       chains=len(task.chains)):
         classifier = CertificateClassifier(task.registry)
         categorizer = ChainCategorizer(classifier,
                                        set(task.interception_keys))
@@ -159,6 +164,7 @@ def process_partition(task: AnalysisTask) -> AnalysisPartial:
                     chain,
                     structure=structure_pair[0] if structure_pair else None))
         partial.classes = classifier.cached_classes()
+    partial.telemetry = telemetry
     partial.seconds = time.perf_counter() - start
     return partial
 
@@ -172,7 +178,7 @@ def effective_analysis_jobs(jobs: int,
     from "physically ran 4 workers" on small machines, where asserting a
     multi-job speedup would be asserting against the hardware.
     """
-    return max(1, min(jobs, os.cpu_count() or 1, max(1, partitions)))
+    return clamp_jobs(jobs, partitions)[1]
 
 
 def analyze_partitions(chains: Dict[Tuple[str, ...], ObservedChain], *,
@@ -205,7 +211,7 @@ def analyze_partitions(chains: Dict[Tuple[str, ...], ObservedChain], *,
         if effective == 1:
             partials = [process_partition(task) for task in tasks]
         else:
-            with ProcessPoolExecutor(max_workers=effective) as pool:
+            with make_pool(effective) as pool:
                 partials = list(pool.map(process_partition, tasks))
     enriched = _reduce(partials, partitions=partitions,
                        effective_jobs=effective)
@@ -222,7 +228,9 @@ def _reduce(partials: List[AnalysisPartial], *, partitions: int,
     enriched = EnrichedChains(partitions=partitions,
                               effective_jobs=effective_jobs)
     structures_built = 0
+    sink = get_sink()
     for partial in sorted(partials, key=lambda p: p.index):
+        sink.attach(partial.telemetry)
         for key, category in partial.categories:
             enriched.categories[key] = category
         for analysis in partial.hybrid:

@@ -13,17 +13,18 @@ over the same shards regardless of worker count or completion order:
   insertion order — and every ``Counter``'s key order inside the usage
   accumulators — reproduces the order a single process would have
   produced scanning shard 0, then 1, …;
-* workers record no metrics; the driver derives the canonical
-  ``repro_zeek_*`` / ``repro_chain_*`` values from the merged totals, so
-  metric exports do not depend on ``--jobs`` either;
+* workers leave no direct metrics behind (their observations are
+  captured into telemetry and restored away — see
+  :mod:`repro.obs.sink`); the driver derives the canonical
+  ``repro_zeek_*`` / ``repro_chain_*`` values from the merged totals
+  and attaches each shard's telemetry in shard order, so metric exports
+  do not depend on ``--jobs`` either;
 * fault-injection draws are keyed by (plan seed, line number) inside
   each shard file, independent of which worker reads it.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -31,8 +32,10 @@ from ..core.chain import ObservedChain
 from ..faults.plan import FaultPlan
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
+from ..obs.sink import get_sink
 from ..obs.tracing import trace_span
 from ..resilience.quarantine import Quarantine
+from .pool import clamp_jobs, make_pool
 from .shards import ShardSpec
 from .worker import ShardAggregate, ShardTask, process_shard
 
@@ -83,10 +86,7 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
     :class:`~repro.zeek.format.ZeekFormatError` in the caller.
     """
     shard_list = sorted(shards, key=lambda spec: spec.index)
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    requested = max(1, jobs)
-    jobs = max(1, min(requested, os.cpu_count() or 1, len(shard_list) or 1))
+    requested, jobs = clamp_jobs(jobs, len(shard_list))
     tasks = [ShardTask(index=spec.index, ssl_path=spec.ssl_path,
                        x509_path=spec.x509_path, plan=plan,
                        tolerant=quarantine is not None, compiled=compiled)
@@ -95,7 +95,7 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
         if jobs == 1:
             aggregates = [process_shard(task) for task in tasks]
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with make_pool(jobs) as pool:
                 aggregates = list(pool.map(process_shard, tasks))
     result = _reduce(aggregates, jobs=jobs, quarantine=quarantine)
     result.requested_jobs = requested
@@ -121,9 +121,14 @@ def _reduce(aggregates: List[ShardAggregate], *, jobs: int,
     """Merge partials in shard-index order; emit the canonical metrics."""
     result = IngestResult(jobs=jobs, shard_count=len(aggregates),
                           quarantine=quarantine)
+    sink = get_sink()
     merged = result.chains
     seen_fps = set()
     for aggregate in sorted(aggregates, key=lambda a: a.index):
+        # The fault-kind split is the one canonical value only the
+        # worker saw; everything else captured rides along create-only.
+        sink.attach(aggregate.telemetry,
+                    replay=("repro_faults_injected_total",))
         for key, chain in aggregate.chains.items():
             existing = merged.get(key)
             if existing is None:
@@ -139,8 +144,6 @@ def _reduce(aggregates: List[ShardAggregate], *, jobs: int,
                 quarantine.add(source=record.source, line=record.line,
                                reason=record.reason, detail=record.detail,
                                raw=record.raw)
-        for kind, count in aggregate.faults_injected.items():
-            instruments.FAULTS_INJECTED.inc(count, kind=kind)
         result.ssl_rows += aggregate.ssl_rows
         result.x509_rows += aggregate.x509_rows
         result.joined += aggregate.joined

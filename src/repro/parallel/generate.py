@@ -30,16 +30,18 @@ and their in-order concatenation (data rows; every header is pinned via
   the serial monitoring tap would have recorded them — and because every
   header is pinned, stitching piece 0's header block onto the in-order
   data rows reproduces the serial ``x509.log`` byte for byte;
-* workers record no metrics (a forked child inherits parent counter
-  values); the driver replays canonical ``repro_zeek_rows_total`` /
-  ``repro_generate_*`` values from the returned tallies.
+* workers leave no direct metrics behind (their observations are
+  captured into telemetry and restored away — see
+  :mod:`repro.obs.sink`); the driver replays canonical
+  ``repro_zeek_rows_total`` / ``repro_generate_*`` values from the
+  returned tallies and attaches each shard's telemetry in interval
+  order.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Dict, List, Optional, Tuple
@@ -48,9 +50,10 @@ from ..campus.profiles import ScaleConfig
 from ..campus.workload import GENERATION_SHARDS, STUDY_START
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
-from ..obs.metrics import disabled as metrics_disabled
+from ..obs.sink import WorkerTelemetry, capture_telemetry, get_sink
 from ..obs.tracing import trace_span
 from ..zeek.format import ZeekLogWriter
+from .pool import clamp_jobs, make_pool
 from ..zeek.records import (SSLRecord, X509Record, ssl_record_from_connection,
                             x509_record_from_certificate)
 from .shards import ShardSpec
@@ -84,6 +87,8 @@ class GenerateShardResult:
     ssl_rows: int = 0
     x509_rows: int = 0
     seconds: float = 0.0
+    #: What this worker observed, attached to the driver sink on merge.
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 @dataclass
@@ -154,7 +159,8 @@ def process_generate_shard(task: GenerateTask) -> GenerateShardResult:
     start = time.perf_counter()
     result = GenerateShardResult(shard=task.shard, ssl_path=task.ssl_path,
                                  x509_path=task.x509_path)
-    with metrics_disabled():
+    with capture_telemetry("generate", task.shard) as telemetry, \
+            trace_span("generate_shard", shard=task.shard):
         context, plans = _context_for(task.seed, task.scale)
         specs = context.specs
         generator = context.generator
@@ -179,6 +185,7 @@ def process_generate_shard(task: GenerateTask) -> GenerateShardResult:
                             x509_writer.write_row(x509_record_from_certificate(
                                 certificate, record.timestamp).to_row())
                             result.x509_rows += 1
+    result.telemetry = telemetry
     result.seconds = time.perf_counter() - start
     return result
 
@@ -200,10 +207,7 @@ def generate_dataset(out_dir: str, *,
     """
     os.makedirs(out_dir, exist_ok=True)
     shard_count = GENERATION_SHARDS
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    requested = max(1, jobs)
-    jobs = max(1, min(requested, os.cpu_count() or 1, shard_count))
+    requested, jobs = clamp_jobs(jobs, shard_count)
     tasks = [GenerateTask(shard=shard, seed=seed, scale=scale,
                           ssl_path=os.path.join(out_dir,
                                                 f"ssl-{shard:02d}.log"),
@@ -215,7 +219,7 @@ def generate_dataset(out_dir: str, *,
         if jobs == 1:
             partials = [process_generate_shard(task) for task in tasks]
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
+            with make_pool(jobs) as pool:
                 partials = list(pool.map(process_generate_shard, tasks))
         x509_path = _merge_x509(out_dir, partials)
     result = _reduce(out_dir, partials, jobs=jobs, x509_path=x509_path)
@@ -259,7 +263,9 @@ def _reduce(out_dir: str, partials: List[GenerateShardResult], *,
     """Fold partials in interval order; emit the canonical metrics."""
     result = GenerateResult(out_dir=out_dir, jobs=jobs,
                             shard_count=len(partials), x509_path=x509_path)
+    sink = get_sink()
     for partial in sorted(partials, key=lambda p: p.shard):
+        sink.attach(partial.telemetry)
         result.shards.append(ShardSpec(index=partial.shard,
                                        ssl_path=partial.ssl_path,
                                        x509_path=x509_path))

@@ -1,0 +1,68 @@
+"""Shared worker-pool plumbing for every parallel engine.
+
+Each engine used to repeat the same two fragments: the jobs clamp
+(request, capped to CPU count and unit count) and a bare
+``ProcessPoolExecutor``.  Centralising them here buys two things:
+
+* **One clamp, one escape hatch.**  :func:`clamp_jobs` applies the
+  request → ``min(cpus, units)`` rule everywhere, and honours
+  ``REPRO_PARALLEL_NO_CPU_CLAMP=1`` to skip the CPU cap (the unit cap
+  always holds).  The override exists for telemetry and equivalence
+  tests that must demonstrate genuinely distinct worker processes — a
+  ``--jobs 4`` trace with four pids — even on a 1-CPU CI box, where the
+  perf-motivated CPU cap would silently collapse the pool to one.
+* **Workers that log like the driver.**  ``ProcessPoolExecutor`` under
+  the spawn start method gives workers a pristine interpreter: the
+  driver's ``--log-level``/``REPRO_LOG_LEVEL`` configuration is lost
+  and worker records fall back to WARNING.  :func:`make_pool` installs
+  an initializer that re-applies the driver's effective level in every
+  worker, so ``log.debug`` lines from shard readers actually surface.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from ..obs.logging import configure_logging, current_log_level
+
+__all__ = ["NO_CPU_CLAMP_VAR", "clamp_jobs", "make_pool"]
+
+#: Set to ``1``/``true`` to lift the CPU-count cap on worker pools.
+NO_CPU_CLAMP_VAR = "REPRO_PARALLEL_NO_CPU_CLAMP"
+
+
+def _cpu_clamp_lifted() -> bool:
+    return os.environ.get(NO_CPU_CLAMP_VAR, "").lower() in ("1", "true", "yes")
+
+
+def clamp_jobs(requested: Optional[int], units: int) -> tuple[int, int]:
+    """``(requested, effective)`` worker counts for ``units`` work items.
+
+    ``requested=None`` asks for one worker per CPU.  The effective count
+    is capped at the CPU count (extra workers past the cores only add
+    pool and pickling overhead) and at the unit count (no idle
+    workers); see :data:`NO_CPU_CLAMP_VAR` for the test-only override
+    of the first cap.
+    """
+    if requested is None:
+        requested = os.cpu_count() or 1
+    requested = max(1, requested)
+    effective = min(requested, max(1, units))
+    if not _cpu_clamp_lifted():
+        effective = min(effective, os.cpu_count() or 1)
+    return requested, max(1, effective)
+
+
+def _bootstrap_worker(level_name: str) -> None:
+    """Runs once in each fresh worker: mirror the driver's logging."""
+    configure_logging(level=level_name, force=True)
+
+
+def make_pool(workers: int) -> ProcessPoolExecutor:
+    """A process pool whose workers inherit the driver's log level."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_bootstrap_worker,
+        initargs=(current_log_level(),))

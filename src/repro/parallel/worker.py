@@ -7,25 +7,30 @@ full-shard row list ever exists — and returns a picklable
 :class:`ShardAggregate`: the shard's chain-key → usage partials plus
 every tally the driver needs to reconstruct the canonical metrics.
 
-Workers record **no metrics themselves** (the registry is disabled for
-the duration): a forked child inherits the parent's counter values, so
+Workers leave **no direct metrics behind**: the whole body runs under
+:func:`~repro.obs.sink.capture_telemetry`, which runs it observed
+(metrics and spans enabled) and then diffs the changes away into a
+picklable :class:`~repro.obs.sink.WorkerTelemetry` riding home on the
+aggregate.  A forked child inherits the parent's counter values, so raw
 per-worker increments would be double-counted garbage, and per-shard
 ``CHAIN_DISTINCT`` increments would overcount chains that appear in
-several shards.  The driver derives every metric from the merged result
-instead, which also makes metric values independent of ``--jobs``.
+several shards.  The driver derives every canonical metric from the
+merged result instead — which also makes metric values independent of
+``--jobs`` — and replays only the fault-kind split (the one value that
+genuinely lives worker-side) from the captured telemetry.
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.chain import ObservedChain, aggregate_chains
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
-from ..obs.metrics import disabled as metrics_disabled
+from ..obs.sink import WorkerTelemetry, capture_telemetry
+from ..obs.tracing import trace_span
 from ..resilience.quarantine import Quarantine, QuarantinedRecord
 from ..zeek.format import ZeekLogReader, iter_zeek_log
 from ..zeek.records import SSLRecord, X509Record
@@ -63,25 +68,10 @@ class ShardAggregate:
     missing_certs: int = 0
     aggregated: int = 0
     skipped_empty: int = 0
-    #: Injected-fault tallies by kind, re-emitted as metrics by the driver.
-    faults_injected: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
-
-
-class _TallyingInjector(FaultInjector):
-    """A fault injector that tallies instead of touching the registry.
-
-    Workers run with metrics disabled, so the base class's counter inc
-    would be lost; this override captures the per-kind counts in plain
-    Python for the driver to replay.
-    """
-
-    def __init__(self, plan: FaultPlan):
-        super().__init__(plan)
-        self.injected: Counter = Counter()
-
-    def _record(self, kind: str) -> None:
-        self.injected[kind] += 1
+    #: Everything this worker observed (spans, metric deltas), attached
+    #: to the driver's sink during the reduce.
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 def process_shard(task: ShardTask) -> ShardAggregate:
@@ -95,10 +85,11 @@ def process_shard(task: ShardTask) -> ShardAggregate:
     """
     start = time.perf_counter()
     quarantine = Quarantine() if task.tolerant else None
-    injector = (_TallyingInjector(task.plan)
+    injector = (FaultInjector(task.plan)
                 if task.plan is not None and task.plan.any() else None)
     aggregate = ShardAggregate(index=task.index)
-    with metrics_disabled():
+    with capture_telemetry("ingest", task.index) as telemetry, \
+            trace_span("ingest_shard", shard=task.index):
         x509_refs: List[ZeekLogReader] = []
         x509_records: List[X509Record] = []
         seen_fps = set()
@@ -127,6 +118,7 @@ def process_shard(task: ShardTask) -> ShardAggregate:
 
         aggregate.chains = aggregate_chains(
             iter_joined(ssl_stream(), certificates, stats=stats))
+    aggregate.telemetry = telemetry
 
     aggregate.ssl_log_label = (ssl_refs[0].path if ssl_refs else None) or "unknown"
     aggregate.x509_log_label = (x509_refs[0].path if x509_refs else None) or "unknown"
@@ -137,7 +129,5 @@ def process_shard(task: ShardTask) -> ShardAggregate:
     aggregate.skipped_empty = stats.joined - aggregate.aggregated
     if quarantine is not None:
         aggregate.quarantined = quarantine.records
-    if injector is not None:
-        aggregate.faults_injected = dict(injector.injected)
     aggregate.seconds = time.perf_counter() - start
     return aggregate

@@ -18,8 +18,6 @@ outcome of exhausted retries, not only a caller-supplied label.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -27,6 +25,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..faults.injector import FaultInjector
 from ..faults.plan import active_plan
 from ..obs import instruments
+from ..obs.sink import WorkerTelemetry, capture_telemetry, get_sink
+from ..obs.tracing import trace_span
+from ..parallel.pool import clamp_jobs, make_pool
 from ..resilience.errors import ScanReset, ScanTimeout, TransientError
 from ..resilience.retry import RetryPolicy
 from ..tls.connection import ConnectionRecord
@@ -181,16 +182,17 @@ class ActiveScanner:
         Every per-target decision — fault draws, retry schedules, the
         emergent unreachable outcomes — is a pure function of
         ``(seed, server_id, attempt)``, never of shared RNG state, so the
-        results are identical at any ``jobs``.  Workers run with metrics
-        *enabled* against their forked (then zeroed) registry and return
-        their ``repro_scan_attempts_total`` / ``repro_retry_attempts_total``
-        / ``repro_faults_injected_total`` tallies; the driver replays them
-        in batch order, so counter exports match a serial scan exactly.
+        results are identical at any ``jobs``.  Each batch worker runs
+        under :func:`~repro.obs.sink.capture_telemetry` and ships its
+        observations home; the driver attaches them in batch order,
+        replaying the scan-path counter families
+        (:data:`_SCAN_REPLAY_FAMILIES`) value-for-value — so counter
+        exports match a serial scan exactly.  Batch count follows
+        ``jobs``, so the attach skips the per-record ``repro_worker_*``
+        bookkeeping counters (they would vary with ``--jobs``).
         """
         targets = list(targets)
-        requested = max(1, jobs)
-        jobs = max(1, min(requested, os.cpu_count() or 1,
-                          len(targets) or 1))
+        requested, jobs = clamp_jobs(max(1, jobs), len(targets))
         if jobs == 1:
             return [self.scan_target(target) for target in targets]
         base, extra = divmod(len(targets), jobs)
@@ -203,25 +205,26 @@ class ActiveScanner:
                 scanner_ip=self._scanner_ip, when=self.when,
                 seed=self._seed, faults=self._faults, retry=self.retry))
             start += size
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            partials = list(pool.map(_scan_batch, tasks))
+        with trace_span("parallel_scan", targets=len(targets), jobs=jobs):
+            with make_pool(jobs) as pool:
+                partials = list(pool.map(_scan_batch, tasks))
+        sink = get_sink()
         results: List[ScanResult] = []
         for partial in sorted(partials, key=lambda p: p.index):
-            for name, labels, value in partial.tallies:
-                family = _TALLIED[name]
-                family.labels(**dict(zip(family.labelnames,
-                                         labels))).inc(value)
+            sink.attach(partial.telemetry, replay=_SCAN_REPLAY_FAMILIES,
+                        record_metrics=False)
             results.extend(partial.results)
         return results
 
 
-#: Counter families the scan path touches — what batch workers tally and
-#: the driver replays.  Nothing else on the scan path records metrics.
-_TALLIED = {family.name: family for family in (
-    instruments.SCAN_ATTEMPTS,
-    instruments.RETRY_ATTEMPTS,
-    instruments.FAULTS_INJECTED,
-)}
+#: Counter families whose canonical values accrue on the scan path
+#: itself (attempt outcomes, retry schedules, fault kinds) — the driver
+#: replays these from worker telemetry value-for-value.
+_SCAN_REPLAY_FAMILIES = (
+    instruments.SCAN_ATTEMPTS.name,
+    instruments.RETRY_ATTEMPTS.name,
+    instruments.FAULTS_INJECTED.name,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -244,35 +247,29 @@ class _ScanBatchTask:
 class _ScanBatchResult:
     index: int
     results: List[ScanResult]
-    #: (family name, label values, count) for every nonzero scan counter.
-    tallies: List[Tuple[str, Tuple[str, ...], float]]
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 def _scan_batch(task: _ScanBatchTask) -> _ScanBatchResult:
     """Scan one batch inside a worker process.
 
-    Unlike the generation/ingestion/analysis workers (which run metrics-
-    disabled), scan workers *count normally* into their own process-local
-    registry — zeroed first, since a forked child inherits the parent's
-    values — and ship the resulting tallies back for the driver to
-    replay.  That keeps the per-attempt outcome labels (``scanned`` vs
-    ``slow`` vs ``timeout``…) exact without threading a tally object
-    through the retry and fault layers.
+    The whole batch runs under
+    :func:`~repro.obs.sink.capture_telemetry`: the per-attempt outcome
+    labels (``scanned`` vs ``slow`` vs ``timeout``…) count into the
+    process-local registry exactly as a serial scan's would, then
+    travel home as deltas — no tally object threaded through the retry
+    and fault layers, and a forked registry's inherited values cancel
+    out in the diff.
     """
-    from ..obs.metrics import get_registry
-
-    get_registry().reset()
-    scanner = ActiveScanner(scanner_ip=task.scanner_ip, when=task.when,
-                            seed=task.seed, faults=task.faults,
-                            retry=task.retry)
-    results = [scanner.scan_target(target) for target in task.targets]
-    tallies: List[Tuple[str, Tuple[str, ...], float]] = []
-    for family in _TALLIED.values():
-        for labels, child in family.samples():
-            if child.value:
-                tallies.append((family.name, labels, child.value))
+    with capture_telemetry("scan", task.index) as telemetry, \
+            trace_span("scan_batch", batch=task.index,
+                       targets=len(task.targets)):
+        scanner = ActiveScanner(scanner_ip=task.scanner_ip, when=task.when,
+                                seed=task.seed, faults=task.faults,
+                                retry=task.retry)
+        results = [scanner.scan_target(target) for target in task.targets]
     return _ScanBatchResult(index=task.index, results=results,
-                            tallies=tallies)
+                            telemetry=telemetry)
 
 
 def render_showcerts(chain: Sequence[Certificate], *, sni: str = "",

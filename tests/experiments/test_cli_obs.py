@@ -91,6 +91,64 @@ class TestObservabilityOutputs:
         data = json.loads(metrics.read_text())
         assert data["repro_pipeline_chains_total"]["kind"] == "counter"
 
+    def test_trace_out_written_and_valid(self, tmp_path, capsys):
+        from repro.obs.traceexport import validate_trace
+        trace_path = tmp_path / "trace.json"
+        # Unique seed: a cached dataset would skip the analysis spans.
+        status = main(["--scale", "small", "--seed", "obs-cli-trace",
+                       "-e", "table2", "--trace-out", str(trace_path)])
+        assert status == 0
+        capsys.readouterr()
+        trace = json.loads(trace_path.read_text())
+        validate_trace(trace)
+        span_names = {e["name"] for e in trace["traceEvents"]
+                      if e["ph"] == "X"}
+        assert "analyze_chains" in span_names
+
+    def test_unwritable_trace_path_exits_2_cleanly(self, tmp_path, capsys):
+        trace_path = tmp_path / "no" / "such" / "dir" / "t.json"
+        status = main(["--scale", "small", "-e", "table2",
+                       "--trace-out", str(trace_path)])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "cannot write trace" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serve_metrics_responds_during_run(self, tmp_path, capsys):
+        # Port 0 binds an ephemeral port; the CLI announces the URL on
+        # stderr before the run starts, which is enough to prove the
+        # server came up — liveness during a run is covered by the
+        # MetricsServer unit tests.
+        status = main(["--scale", "small", "-e", "table2",
+                       "--serve-metrics", "0"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "serving metrics at" in captured.err
+        assert "/metrics" in captured.err
+
+
+class TestBenchReportDispatch:
+    def test_bench_report_subcommand_routes_and_reports(self, tmp_path,
+                                                        capsys):
+        bench = tmp_path / "BENCH_ingest.json"
+        bench.write_text(json.dumps({
+            "read": {"compiled_rows_per_second": 120000.0,
+                     "compiled_over_legacy": 2.0},
+            "engine": {"1": {"speedup_vs_serial": 1.5}}}))
+        status = main(["bench-report", "--dir", str(tmp_path), "--check"])
+        assert status == 0
+        assert "Benchmark trajectory" in capsys.readouterr().out
+
+    def test_bench_report_check_failure_propagates_exit_code(self,
+                                                             tmp_path,
+                                                             capsys):
+        bench = tmp_path / "BENCH_ingest.json"
+        bench.write_text(json.dumps({
+            "read": {"compiled_rows_per_second": 1.0}}))
+        status = main(["bench-report", "--dir", str(tmp_path), "--check"])
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().out
+
     def test_two_runs_identical_counters(self, tmp_path):
         """The acceptance criterion: same seed, two fresh processes, and
         every metric name/label/counter value matches — only durations

@@ -51,6 +51,23 @@ class TestPrometheus:
         text = render_prometheus(reg)
         assert 'p="a\\"b\\\\c"' in text
 
+    def test_label_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("p",)).inc(p="line1\nline2")
+        text = render_prometheus(reg)
+        assert 'p="line1\\nline2"' in text
+        # Exactly one sample line for the family: the raw newline must
+        # not have split the exposition line in two.
+        sample_lines = [line for line in text.splitlines()
+                        if line.startswith("x_total{")]
+        assert len(sample_lines) == 1
+
+    def test_label_escaping_all_specials_combined(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("p",)).inc(p='a\\b"c\nd')
+        text = render_prometheus(reg)
+        assert 'p="a\\\\b\\"c\\nd"' in text
+
     def test_deterministic_ordering(self):
         assert (render_prometheus(_populated_registry())
                 == render_prometheus(_populated_registry()))

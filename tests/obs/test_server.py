@@ -1,0 +1,95 @@
+"""MetricsServer: live /metrics, /healthz, /runreport over HTTP."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import instruments
+from repro.obs.server import MetricsServer
+
+
+@pytest.fixture()
+def server():
+    with MetricsServer(port=0, version="test-1.0") as srv:
+        yield srv
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, server):
+        instruments.PIPELINE_CHAINS.inc(0)  # ensure at least one family
+        status, content_type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        # Parseable exposition: every non-comment line is "name{...} value".
+        for line in body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part
+            float(value)
+        assert "repro_metrics_server_requests_total" in body
+
+    def test_healthz(self, server):
+        status, content_type, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_runreport_is_live_run_report(self, server):
+        status, _, body = _get(server.url + "/runreport")
+        assert status == 200
+        report = json.loads(body)
+        assert report["version"] == "test-1.0"
+        assert "stages" in report
+        assert "throughput" in report
+
+    def test_unknown_path_404_lists_endpoints(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "/metrics" in payload["endpoints"]
+
+    def test_requests_counted_per_endpoint(self, server):
+        before = instruments.METRICS_SERVER_REQUESTS.labels(
+            endpoint="healthz").value
+        _get(server.url + "/healthz")
+        _get(server.url + "/healthz")
+        assert instruments.METRICS_SERVER_REQUESTS.labels(
+            endpoint="healthz").value == before + 2
+
+
+class TestLifecycle:
+    def test_ephemeral_port_reported(self, server):
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+    def test_stop_is_idempotent_and_frees_port(self):
+        server = MetricsServer(port=0)
+        server.start()
+        port = server.port
+        server.stop()
+        server.stop()  # second stop is a no-op
+        # Port is free again: a new server can bind it immediately.
+        rebind = MetricsServer(port=port)
+        try:
+            assert rebind.start() == port
+        finally:
+            rebind.stop()
+
+    def test_start_is_idempotent(self):
+        server = MetricsServer(port=0)
+        try:
+            assert server.start() == server.start()
+        finally:
+            server.stop()

@@ -1,0 +1,226 @@
+"""Cross-process telemetry: capture/restore invariants and sink merging."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import TelemetrySink, capture_telemetry, get_sink
+from repro.obs.tracing import Tracer
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("pre_total", "pre-existing", labelnames=("k",)).inc(5, k="a")
+    reg.histogram("lat_seconds", "latency", labelnames=("op",),
+                  buckets=(0.1, 1.0)).observe(0.05, op="x")
+    reg.gauge("level", "a gauge").set(3)
+    return reg
+
+
+class TestCaptureTelemetry:
+    def test_counter_deltas_shipped_and_restored(self):
+        reg = _registry()
+        tracer = Tracer()
+        with capture_telemetry("ingest", 2, registry=reg,
+                               tracer=tracer) as telemetry:
+            reg.counter("pre_total", labelnames=("k",)).inc(7, k="a")
+        assert ("pre_total", ("a",), 7.0) in telemetry.counters
+        # Restored: the driver-visible value is back at baseline.
+        assert reg.counter("pre_total",
+                           labelnames=("k",)).labels(k="a").value == 5
+        assert telemetry.kind == "ingest"
+        assert telemetry.unit == 2
+        assert telemetry.pid == os.getpid()
+        assert telemetry.duration_s >= 0.0
+
+    def test_body_born_child_ships_zero_delta_and_stays_zeroed(self):
+        reg = _registry()
+        with capture_telemetry("ingest", 0, registry=reg,
+                               tracer=Tracer()) as telemetry:
+            family = reg.counter("pre_total", labelnames=("k",))
+            family.labels(k="new")  # created, never incremented
+            family.inc(3, k="other")
+        deltas = dict(((n, l), d) for n, l, d in telemetry.counters)
+        assert deltas[("pre_total", ("new",))] == 0.0
+        assert deltas[("pre_total", ("other",))] == 3.0
+        # Both children remain registered at zero: the driver child set
+        # after an inline run matches a pooled run.
+        samples = dict(reg.counter("pre_total",
+                                   labelnames=("k",)).samples())
+        assert samples[("new",)].value == 0
+        assert samples[("other",)].value == 0
+        assert samples[("a",)].value == 5
+
+    def test_histogram_deltas_shipped_and_restored(self):
+        reg = _registry()
+        hist = reg.histogram("lat_seconds", labelnames=("op",),
+                             buckets=(0.1, 1.0))
+        with capture_telemetry("analysis", 1, registry=reg,
+                               tracer=Tracer()) as telemetry:
+            hist.observe(0.5, op="x")
+            hist.observe(2.0, op="x")
+        [(name, labels, counts, total, count)] = telemetry.histograms
+        assert (name, labels) == ("lat_seconds", ("x",))
+        assert count == 2
+        assert total == 2.5
+        assert sum(counts) >= 1  # 0.5 lands in a finite bucket
+        child = hist.labels(op="x")
+        assert child.count == 1  # back to the single baseline observation
+        assert child.sum == 0.05
+
+    def test_gauges_restored_never_shipped(self):
+        reg = _registry()
+        gauge = reg.gauge("level")
+        with capture_telemetry("generate", 0, registry=reg,
+                               tracer=Tracer()) as telemetry:
+            gauge.set(99)
+        assert gauge.value() == 3
+        assert all(name != "level" for name, _, _ in telemetry.counters)
+
+    def test_spans_drained_into_telemetry_not_tracer(self):
+        tracer = Tracer()
+        with tracer.span("driver_stage"):
+            pass
+        with capture_telemetry("ingest", 4, registry=MetricsRegistry(),
+                               tracer=tracer) as telemetry:
+            with tracer.span("worker_stage", shard=4):
+                pass
+        assert [r.name for r in tracer.finished] == ["driver_stage"]
+        [span] = telemetry.spans
+        assert span.name == "worker_stage"
+        assert span.attrs == {"shard": 4}
+        assert span.offset_s >= 0.0
+        assert telemetry.span_count == 1
+
+    def test_enabled_flags_restored_after_capture(self):
+        reg = MetricsRegistry()
+        tracer = Tracer()
+        reg.enabled = False
+        tracer.enabled = False
+        with capture_telemetry("scan", 0, registry=reg, tracer=tracer):
+            assert reg.enabled and tracer.enabled
+        assert not reg.enabled
+        assert not tracer.enabled
+
+    def test_restore_happens_on_body_exception(self):
+        reg = _registry()
+        try:
+            with capture_telemetry("ingest", 0, registry=reg,
+                                   tracer=Tracer()):
+                reg.counter("pre_total", labelnames=("k",)).inc(10, k="a")
+                raise RuntimeError("worker died")
+        except RuntimeError:
+            pass
+        assert reg.counter("pre_total",
+                           labelnames=("k",)).labels(k="a").value == 5
+
+
+class TestTelemetrySink:
+    def _capture(self, reg, *, kind="ingest", unit=0, body=None):
+        with capture_telemetry(kind, unit, registry=reg,
+                               tracer=Tracer()) as telemetry:
+            if body:
+                body()
+        return telemetry
+
+    def test_replay_families_increment_value_for_value(self):
+        worker_reg = _registry()
+        telemetry = self._capture(
+            worker_reg,
+            body=lambda: worker_reg.counter(
+                "pre_total", labelnames=("k",)).inc(7, k="a"))
+        driver_reg = _registry()
+        sink = TelemetrySink()
+        sink.attach(telemetry, replay=("pre_total",),
+                    record_metrics=False, registry=driver_reg)
+        assert driver_reg.counter("pre_total",
+                                  labelnames=("k",)).labels(k="a").value == 12
+
+    def test_non_replay_families_created_but_not_incremented(self):
+        worker_reg = _registry()
+        telemetry = self._capture(
+            worker_reg,
+            body=lambda: worker_reg.counter(
+                "pre_total", labelnames=("k",)).inc(7, k="fresh"))
+        driver_reg = _registry()
+        sink = TelemetrySink()
+        sink.attach(telemetry, record_metrics=False, registry=driver_reg)
+        samples = dict(driver_reg.counter("pre_total",
+                                          labelnames=("k",)).samples())
+        assert ("fresh",) in samples  # child exists for export parity...
+        assert samples[("fresh",)].value == 0  # ...but value is canonical
+
+    def test_histogram_deltas_merge_into_driver(self):
+        worker_reg = _registry()
+        telemetry = self._capture(
+            worker_reg,
+            body=lambda: worker_reg.histogram(
+                "lat_seconds", labelnames=("op",),
+                buckets=(0.1, 1.0)).observe(0.5, op="x"))
+        driver_reg = _registry()
+        sink = TelemetrySink()
+        sink.attach(telemetry, record_metrics=False, registry=driver_reg)
+        child = driver_reg.histogram("lat_seconds", labelnames=("op",),
+                                     buckets=(0.1, 1.0)).labels(op="x")
+        assert child.count == 2  # baseline 0.05 + merged 0.5
+        assert abs(child.sum - 0.55) < 1e-9
+
+    def test_histogram_merge_skipped_when_registry_disabled(self):
+        worker_reg = _registry()
+        telemetry = self._capture(
+            worker_reg,
+            body=lambda: worker_reg.histogram(
+                "lat_seconds", labelnames=("op",),
+                buckets=(0.1, 1.0)).observe(0.5, op="x"))
+        driver_reg = _registry()
+        driver_reg.enabled = False
+        TelemetrySink().attach(telemetry, record_metrics=False,
+                               registry=driver_reg)
+        child = driver_reg.histogram("lat_seconds", labelnames=("op",),
+                                     buckets=(0.1, 1.0)).labels(op="x")
+        assert child.count == 1
+
+    def test_none_telemetry_is_ignored(self):
+        sink = TelemetrySink()
+        sink.attach(None)
+        assert sink.records == []
+
+    def test_spans_summary_and_reset(self):
+        reg = MetricsRegistry()
+        tracer = Tracer()
+        sink = TelemetrySink()
+        for unit in (0, 1):
+            with capture_telemetry("ingest", unit, registry=reg,
+                                   tracer=tracer) as telemetry:
+                with tracer.span("work", shard=unit):
+                    pass
+            sink.attach(telemetry, record_metrics=False, registry=reg)
+        pairs = sink.spans()
+        assert [(t.unit, s.name) for t, s in pairs] == [(0, "work"),
+                                                        (1, "work")]
+        assert sink.summary() == {"ingest": {"records": 2, "spans": 2}}
+        sink.reset()
+        assert sink.spans() == []
+        assert sink.summary() == {}
+
+    def test_record_metrics_increments_bookkeeping_counters(self):
+        reg = MetricsRegistry()
+        tracer = Tracer()
+        with capture_telemetry("ingest", 0, registry=reg,
+                               tracer=tracer) as telemetry:
+            with tracer.span("work"):
+                pass
+        from repro.obs import instruments
+        records_before = instruments.WORKER_TELEMETRY_RECORDS.labels(
+            kind="ingest").value
+        spans_before = instruments.WORKER_SPANS.labels(kind="ingest").value
+        TelemetrySink().attach(telemetry, registry=reg)
+        assert instruments.WORKER_TELEMETRY_RECORDS.labels(
+            kind="ingest").value == records_before + 1
+        assert instruments.WORKER_SPANS.labels(
+            kind="ingest").value == spans_before + 1
+
+
+def test_get_sink_is_process_singleton():
+    assert get_sink() is get_sink()

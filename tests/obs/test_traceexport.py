@@ -1,0 +1,124 @@
+"""Chrome-trace export: structure, validation, pid/tid assignment."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import TelemetrySink, capture_telemetry
+from repro.obs.traceexport import (
+    build_trace,
+    distinct_pids,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.tracing import Tracer
+
+
+def _sink_with_worker_spans(tracer: Tracer, units=(0, 1)) -> TelemetrySink:
+    sink = TelemetrySink()
+    reg = MetricsRegistry()
+    for unit in units:
+        with capture_telemetry("ingest", unit, registry=reg,
+                               tracer=tracer) as telemetry:
+            with tracer.span("ingest_shard", shard=unit):
+                with tracer.span("zeek_read"):
+                    pass
+        sink.attach(telemetry, record_metrics=False, registry=reg)
+    return sink
+
+
+class TestBuildTrace:
+    def test_driver_spans_become_complete_events(self):
+        tracer = Tracer()
+        with tracer.span("parallel_ingest", shards=2):
+            pass
+        trace = build_trace(tracer=tracer, sink=TelemetrySink())
+        validate_trace(trace)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        [event] = spans
+        assert event["name"] == "parallel_ingest"
+        assert event["cat"] == "driver"
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == 0
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert event["args"]["shards"] == 2
+
+    def test_worker_spans_get_named_tracks(self):
+        tracer = Tracer()
+        sink = _sink_with_worker_spans(tracer)
+        trace = build_trace(tracer=tracer, sink=sink)
+        validate_trace(trace)
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        thread_names = {e["args"]["name"] for e in metas
+                        if e["name"] == "thread_name"}
+        assert {"ingest-00", "ingest-01"} <= thread_names
+        worker_events = [e for e in trace["traceEvents"]
+                        if e["ph"] == "X" and e["cat"] == "ingest"]
+        # Two units x two spans each; inline capture means same pid but
+        # each (pid, kind, unit) still gets its own tid >= 1.
+        assert len(worker_events) == 4
+        assert {e["tid"] for e in worker_events} == {1, 2}
+        assert all(e["args"]["unit"] in (0, 1) for e in worker_events)
+
+    def test_distinct_pids_filters_by_category(self):
+        tracer = Tracer()
+        with tracer.span("driver_only"):
+            pass
+        sink = _sink_with_worker_spans(tracer)
+        trace = build_trace(tracer=tracer, sink=sink)
+        assert distinct_pids(trace) == {os.getpid()}
+        assert distinct_pids(trace, category="ingest") == {os.getpid()}
+        assert distinct_pids(trace, category="nope") == set()
+
+
+class TestValidateTrace:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_trace([])
+
+    def test_rejects_missing_event_list(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace({"traceEvents": "nope"})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_trace({"traceEvents": [
+                {"name": "x", "ph": "B", "pid": 1, "tid": 0}]})
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="negative duration"):
+            validate_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": 0,
+                 "ts": 0, "dur": -1}]})
+
+    def test_rejects_non_integer_pid(self):
+        with pytest.raises(ValueError, match="pid"):
+            validate_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": "1", "tid": 0,
+                 "ts": 0, "dur": 1}]})
+
+    def test_rejects_metadata_without_name_arg(self):
+        with pytest.raises(ValueError, match="args.name"):
+            validate_trace({"traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {}}]})
+
+
+class TestWriteTrace:
+    def test_writes_loadable_json_and_sets_gauge(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        path = tmp_path / "trace.json"
+        trace = write_trace(str(path), tracer=tracer, sink=TelemetrySink())
+        on_disk = json.loads(path.read_text())
+        assert on_disk == trace
+        assert on_disk["displayTimeUnit"] == "ms"
+        from repro.obs import instruments
+        assert (instruments.TRACE_EXPORT_EVENTS.value()
+                == len(trace["traceEvents"]))

@@ -68,6 +68,69 @@ class TestTracer:
         tracer.reset()
         assert tracer.finished == []
 
+    def test_reset_refreshes_timeline_anchors(self):
+        tracer = Tracer()
+        perf_before, epoch_before = tracer.anchor_perf, tracer.anchor_epoch
+        tracer.reset()
+        assert tracer.anchor_perf >= perf_before
+        assert tracer.anchor_epoch >= epoch_before
+
+    def test_mark_and_drain_divert_spans(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("captured"):
+            with tracer.span("nested"):
+                pass
+        drained = tracer.drain(mark)
+        assert [r.name for r in drained] == ["nested", "captured"]
+        # The pre-mark span stays; the drained ones are gone for good.
+        assert [r.name for r in tracer.finished] == ["before"]
+        assert tracer.drain(tracer.mark()) == []
+
+
+class TestSpanTree:
+    def test_exception_in_nested_span_still_closes_parent(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        tree = tracer.span_tree()
+        assert [(n["path"], n["depth"]) for n in tree] == [
+            ("outer.inner", 1), ("outer", 0)]
+        # The stack fully unwound: the next root span is depth 0 with a
+        # single-segment path, not parented under the failed spans.
+        with tracer.span("recovered"):
+            pass
+        assert tracer.span_tree()[-1] == {
+            "name": "recovered", "path": "recovered", "depth": 0,
+            "duration_s": tracer.finished[-1].duration_s, "attrs": {}}
+
+    def test_attrs_survive_span_tree_export(self):
+        tracer = Tracer()
+        attrs = {"chains": 7, "label": "ssl", "nested_ok": True}
+        with tracer.span("categorize", **attrs):
+            pass
+        [node] = tracer.span_tree()
+        assert node["attrs"] == attrs
+        # The export is a copy: mutating it cannot corrupt the record.
+        node["attrs"]["chains"] = -1
+        assert tracer.finished[0].attrs["chains"] == 7
+
+    def test_start_offsets_are_monotonic_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished
+        assert first.start_s >= tracer.anchor_perf
+        assert second.start_s >= first.start_s
+
 
 class TestDefaultTracer:
     def test_trace_span_feeds_registry_histogram(self):
