@@ -1,0 +1,107 @@
+"""Micro-benchmark: supervision must be free when nothing is failing.
+
+Times a fixed CPU-bound task list dispatched through
+:func:`~repro.parallel.supervisor.run_supervised` at ``jobs=1`` (the
+engines' no-pool inline path, plus all the supervisor bookkeeping: task
+ids, fingerprints, journal checks, metrics) against the same tasks in a
+bare driver loop, and asserts the supervised dispatch stays within 5%
+(plus a small absolute slack so sub-100ms timings don't flap).  The
+numbers are persisted to ``BENCH_resilience.json`` (repo root; override
+with ``REPRO_BENCH_RESILIENCE_OUT``) where ``bench-report --check``
+enforces the same floor as ``supervisor.throughput_ratio >= 0.95``.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/test_supervisor_overhead.py -q``
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.benchreport import host_metadata
+from repro.parallel.supervisor import run_supervised
+
+#: The ISSUE's budget, plus absolute slack for small-timing noise.
+MAX_RELATIVE_OVERHEAD = 0.05
+ABSOLUTE_SLACK_S = 0.010
+TASKS = 400
+REPS = 3
+BENCH_OUT = os.environ.get(
+    "REPRO_BENCH_RESILIENCE_OUT",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "BENCH_resilience.json"))
+
+_PAYLOAD = b"\x5a" * 8192
+
+
+def work(task: int) -> str:
+    """~0.5ms of real CPU per task — enough to time, too little to hide
+    a per-task dispatch cost behind."""
+    digest = hashlib.sha256(_PAYLOAD + str(task).encode())
+    for _ in range(100):
+        digest = hashlib.sha256(digest.digest() + _PAYLOAD)
+    return digest.hexdigest()
+
+
+def _best_of(reps: int, run) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def overhead_bench():
+    tasks = list(range(TASKS))
+
+    def bare():
+        return [work(task) for task in tasks]
+
+    def supervised():
+        return run_supervised("bench", tasks, work, jobs=1).results
+
+    # Same results either way; warm caches and imports before timing.
+    assert supervised() == bare()
+
+    baseline = _best_of(REPS, bare)
+    dispatched = _best_of(REPS, supervised)
+
+    numbers = {
+        "supervisor": {
+            "tasks": TASKS,
+            "baseline_seconds": baseline,
+            "supervised_seconds": dispatched,
+            "throughput_ratio": baseline / dispatched,
+        },
+        "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
+        "reps": REPS,
+    }
+    with open(BENCH_OUT, "w", encoding="utf-8") as handle:
+        json.dump(numbers, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return numbers
+
+
+def test_no_fault_dispatch_overhead_within_budget(overhead_bench):
+    numbers = overhead_bench["supervisor"]
+    budget = (numbers["baseline_seconds"] * (1.0 + MAX_RELATIVE_OVERHEAD)
+              + ABSOLUTE_SLACK_S)
+    assert numbers["supervised_seconds"] <= budget, (
+        f"supervised={numbers['supervised_seconds']:.4f}s "
+        f"baseline={numbers['baseline_seconds']:.4f}s "
+        f"(budget {budget:.4f}s) — no-fault supervision overhead regressed")
+
+
+def test_bench_file_feeds_the_report_gate(overhead_bench):
+    recorded = json.load(open(BENCH_OUT))
+    ratio = recorded["supervisor"]["throughput_ratio"]
+    assert ratio > 0  # the gated metric exists at its documented path
+    assert recorded["supervisor"]["baseline_seconds"] > 0
+    assert recorded["host"]["cpu_count"] == os.cpu_count()

@@ -38,6 +38,7 @@ from .matching import (ChainStructure, analyze_structure, pack_structure,
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..parallel.engine import IngestResult
+    from ..parallel.supervisor import SupervisorConfig
 
 __all__ = ["ChainStructureAnalyzer", "AnalysisResult",
            "SingleCertStats", "MultiCertPathStats"]
@@ -206,16 +207,19 @@ class ChainStructureAnalyzer:
                             resume: bool = False,
                             jobs: Optional[int] = None,
                             artifacts: Optional[ArtifactStore] = None,
+                            supervise: Optional["SupervisorConfig"] = None,
                             ) -> AnalysisResult:
         return self.analyze_chains(aggregate_chains(connections),
                                    checkpoint=checkpoint, resume=resume,
-                                   jobs=jobs, artifacts=artifacts)
+                                   jobs=jobs, artifacts=artifacts,
+                                   supervise=supervise)
 
     def analyze_ingest(self, ingest: "IngestResult",
                        *, checkpoint: Optional[CheckpointStore] = None,
                        resume: bool = False,
                        jobs: Optional[int] = None,
                        artifacts: Optional[ArtifactStore] = None,
+                       supervise: Optional["SupervisorConfig"] = None,
                        ) -> AnalysisResult:
         """Analyze the merged chain map of a (parallel) sharded ingest.
 
@@ -227,7 +231,8 @@ class ChainStructureAnalyzer:
         """
         return self.analyze_chains(ingest.chains,
                                    checkpoint=checkpoint, resume=resume,
-                                   jobs=jobs, artifacts=artifacts)
+                                   jobs=jobs, artifacts=artifacts,
+                                   supervise=supervise)
 
     def _fingerprint(self, chains: Dict[tuple[str, ...], ObservedChain]
                      ) -> str:
@@ -348,6 +353,7 @@ class ChainStructureAnalyzer:
                        resume: bool = False,
                        jobs: Optional[int] = None,
                        artifacts: Optional[ArtifactStore] = None,
+                       supervise: Optional["SupervisorConfig"] = None,
                        ) -> AnalysisResult:
         """Run the Figure-2 pipeline over a merged chain map.
 
@@ -440,14 +446,26 @@ class ChainStructureAnalyzer:
                             disclosures=self.disclosures,
                             interception_keys=frozenset(
                                 interception.issuer_name_keys),
-                            jobs=jobs)
+                            jobs=jobs, supervise=supervise)
                     enriched = staged("enrichment", run_enrichment)
 
                 # Reassemble in the chain map's insertion order so list
                 # and Counter orderings match the serial pass exactly.
+                # A chain whose partition was dropped by the supervisor
+                # (quarantined with in-driver fallback disabled) has no
+                # category — skip it loudly rather than KeyError the run.
                 categorized = CategorizedChains()
+                dropped = 0
                 for key, chain in chains.items():
-                    categorized.add(enriched.categories[key], chain)
+                    category = enriched.categories.get(key)
+                    if category is None:
+                        dropped += 1
+                        continue
+                    categorized.add(category, chain)
+                if dropped:
+                    log.warning(
+                        "chains lost to dropped enrichment partitions",
+                        extra=kv(dropped=dropped, total=len(chains)))
                 for category in ChainCategory:
                     instruments.PIPELINE_CATEGORY_CHAINS.inc(
                         categorized.chain_count(category),

@@ -38,6 +38,7 @@ into pool workers).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -54,9 +55,10 @@ from ..obs.server import MetricsServer
 from ..obs.sink import get_sink
 from ..obs.traceexport import write_trace
 from ..obs.tracing import get_tracer
-from ..parallel import (ShardSpec, discover_shards, generate_dataset,
-                        ingest_shards)
-from ..resilience import ArtifactStore, CheckpointStore, Quarantine
+from ..parallel import (ShardSpec, SupervisorConfig, discover_shards,
+                        generate_dataset, ingest_shards)
+from ..resilience import (ArtifactStore, CheckpointStore, Quarantine,
+                          RunJournal)
 from ..truststores import build_public_pki
 from ..zeek.format import ZeekFormatError
 from .base import registry, run_experiment
@@ -146,7 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed AnalysisResult cache: a "
                              "repeat run over unchanged inputs serves the "
                              "whole analysis from DIR (logs mode)")
+    _add_supervisor_flags(parser)
     return parser
+
+
+def _add_supervisor_flags(parser: argparse.ArgumentParser) -> None:
+    """The supervised-execution knobs, shared by both parsers."""
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline for pool workers: a worker "
+                             "whose heartbeat is older than SECONDS is "
+                             "treated as hung, the pool is rebuilt, and "
+                             "the task is retried")
+    parser.add_argument("--max-task-retries", type=int, default=None,
+                        metavar="N",
+                        help="crash/hang retries per task before it is "
+                             "quarantined and recovered in-driver "
+                             "(default 2)")
+    parser.add_argument("--run-journal", metavar="DIR",
+                        help="append every completed task (and its partial "
+                             "artifact) to a crash-safe journal under DIR; "
+                             "with --resume, tasks already journaled are "
+                             "served from it instead of recomputed")
 
 
 def build_generate_parser() -> argparse.ArgumentParser:
@@ -190,7 +213,44 @@ def build_generate_parser() -> argparse.ArgumentParser:
                              "run; generation draws from its own derived "
                              "RNG streams, so output is identical with or "
                              "without one (asserted by the golden tests)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --run-journal, serve shards already "
+                             "completed by a previous (killed) run from "
+                             "the journal instead of regenerating them")
+    _add_supervisor_flags(parser)
     return parser
+
+
+def _supervisor_config(args: argparse.Namespace,
+                       namespace: str) -> Optional[SupervisorConfig]:
+    """Build one engine's :class:`SupervisorConfig` from the CLI flags.
+
+    Returns ``None`` when no supervisor flag was given — the engines then
+    resolve their built-in defaults.  Each engine journals into its own
+    subdirectory of ``--run-journal`` (``ingest``/``analysis``/
+    ``generate``) so task ids cannot collide across engines.
+    """
+    timeout = getattr(args, "task_timeout", None)
+    retries = getattr(args, "max_task_retries", None)
+    journal_dir = getattr(args, "run_journal", None)
+    if timeout is None and retries is None and not journal_dir:
+        return None
+    config = SupervisorConfig()
+    if timeout is not None:
+        config.task_timeout = timeout
+    if retries is not None:
+        config.max_task_retries = retries
+    if journal_dir:
+        config.journal = RunJournal(os.path.join(journal_dir, namespace))
+        config.resume = bool(getattr(args, "resume", False))
+    return config
+
+
+def _print_supervisor_summary(run) -> None:
+    """Degradation is never silent: echo the supervisor's incident lines."""
+    if run is not None and (run.degraded or run.journal_replayed):
+        for line in run.summary_lines():
+            print(line)
 
 
 def _start_server(args: argparse.Namespace) -> Optional[MetricsServer]:
@@ -217,6 +277,8 @@ def _generate(argv: Sequence[str]) -> int:
     get_sink().reset()
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.resume and not args.run_journal:
+        parser.error("--resume requires --run-journal")
     try:
         plan = (FaultPlan.parse(args.fault_plan, seed=args.seed)
                 if args.fault_plan else FaultPlan.from_env(seed=args.seed))
@@ -225,20 +287,25 @@ def _generate(argv: Sequence[str]) -> int:
         return 2
     if plan is not None and plan.any():
         install_plan(plan)
+    supervise = _supervisor_config(args, "generate")
     server = _start_server(args)
     try:
         result = generate_dataset(args.out, seed=args.seed,
                                   scale=resolve_scale(args.scale),
                                   jobs=args.jobs,
-                                  compiled=not args.legacy_writer)
+                                  compiled=not args.legacy_writer,
+                                  supervise=supervise)
     except OSError as exc:
         print(f"repro-experiments: cannot write dataset: {exc}",
               file=sys.stderr)
         return 2
     finally:
+        if supervise is not None and supervise.journal is not None:
+            supervise.journal.close()
         clear_plan()
         if server is not None:
             server.stop()
+    _print_supervisor_summary(result.supervisor)
     print(f"generated {result.ssl_rows:,} connections and "
           f"{result.x509_rows:,} certificates into "
           f"{result.shard_count} ssl shards + broadcast x509.log under "
@@ -255,6 +322,8 @@ def _analyze_logs(args: argparse.Namespace,
     # readers from strict (one bad row aborts) to degraded-but-complete.
     tolerant = plan is not None or bool(args.quarantine_out)
     quarantine = Quarantine() if tolerant else None
+    ingest_supervise = _supervisor_config(args, "ingest")
+    analysis_supervise = _supervisor_config(args, "analysis")
     try:
         if args.shard_dir:
             corpus_label = args.shard_dir
@@ -264,7 +333,8 @@ def _analyze_logs(args: argparse.Namespace,
             shards = [ShardSpec(index=0, ssl_path=args.ssl_log,
                                 x509_path=args.x509_log)]
         ingest = ingest_shards(shards, jobs=args.jobs, plan=plan,
-                               quarantine=quarantine)
+                               quarantine=quarantine,
+                               supervise=ingest_supervise)
     except OSError as exc:
         print(f"certchain-analyze: cannot read log: {exc}", file=sys.stderr)
         return 2
@@ -285,9 +355,15 @@ def _analyze_logs(args: argparse.Namespace,
     # Without a trust-store snapshot every issuer is non-public; callers
     # embedding the library can supply their own registry.
     analyzer = ChainStructureAnalyzer(build_public_pki().registry)
-    result = analyzer.analyze_ingest(ingest, checkpoint=checkpoint,
-                                     resume=args.resume, jobs=args.jobs,
-                                     artifacts=artifacts)
+    try:
+        result = analyzer.analyze_ingest(ingest, checkpoint=checkpoint,
+                                         resume=args.resume, jobs=args.jobs,
+                                         artifacts=artifacts,
+                                         supervise=analysis_supervise)
+    finally:
+        for config in (ingest_supervise, analysis_supervise):
+            if config is not None and config.journal is not None:
+                config.journal.close()
     rows = [[row["category"], row["chains"], row["connections"],
              row["client_ips"]]
             for row in result.categorized.summary_rows()]
@@ -297,6 +373,7 @@ def _analyze_logs(args: argparse.Namespace,
     print(f"distinct certificates: {len(ingest.cert_fingerprints):,}")
     print(f"hybrid chains: "
           f"{result.categorized.chain_count(ChainCategory.HYBRID):,}")
+    _print_supervisor_summary(ingest.supervisor)
     if quarantine is not None:
         print()
         for line in quarantine.summary_lines():
@@ -373,10 +450,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     effective_argv = list(argv) if argv is not None else sys.argv[1:]
 
-    if args.resume and not args.checkpoint_dir:
-        parser.error("--resume requires --checkpoint-dir")
+    if args.resume and not (args.checkpoint_dir or args.run_journal):
+        parser.error("--resume requires --checkpoint-dir or --run-journal")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    if args.max_task_retries is not None and args.max_task_retries < 0:
+        parser.error("--max-task-retries cannot be negative")
     if args.jobs is not None and not (args.ssl_log or args.x509_log
                                       or args.shard_dir):
         parser.error("--jobs only applies to log analysis "

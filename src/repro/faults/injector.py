@@ -66,6 +66,31 @@ class FaultInjector:
             draw -= rate
         return None
 
+    # -- pool workers -----------------------------------------------------------
+
+    def worker_fault(self, task_id: str, attempt: int = 1) -> Optional[str]:
+        """The infrastructure fault (if any) this task attempt hits.
+
+        Returns ``"crash"`` (the worker process dies), ``"hang"`` (the
+        worker stalls until a deadline recovers it), or ``None``.  Keyed
+        by (task id, attempt): a retried task draws afresh, so a bounded
+        retry deterministically clears a sub-1.0 rate, while rate 1.0
+        exercises the quarantine + serial-fallback path.  A single draw
+        is partitioned across both rates so the kinds are mutually
+        exclusive per attempt.
+        """
+        plan = self.plan
+        if not (plan.worker_crash_rate or plan.worker_hang_rate):
+            return None
+        draw = self._draw("worker", task_id, attempt)
+        for kind, rate in (("crash", plan.worker_crash_rate),
+                           ("hang", plan.worker_hang_rate)):
+            if rate and draw < rate:
+                self._record(f"worker_{kind}")
+                return kind
+            draw -= rate
+        return None
+
     # -- CT ---------------------------------------------------------------------
 
     def ct_unavailable(self, key: str) -> bool:

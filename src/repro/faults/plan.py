@@ -48,6 +48,12 @@ class FaultPlan:
     zeek_corrupt_rate: float = 0.0
     #: Zeek reader: a data row arrives truncated mid-line.
     zeek_truncate_rate: float = 0.0
+    #: Pool workers: the worker process dies (``os._exit``) at task start,
+    #: as a segfault or OOM kill would — the driver sees BrokenProcessPool.
+    worker_crash_rate: float = 0.0
+    #: Pool workers: the worker stalls at task start without progressing,
+    #: so only a per-task deadline (``--task-timeout``) can recover it.
+    worker_hang_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name, value in self.rates().items():

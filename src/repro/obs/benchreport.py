@@ -36,7 +36,8 @@ __all__ = ["Gate", "BenchRun", "DEFAULT_GATES", "host_metadata",
            "flatten_numbers", "load_history", "build_rows", "main"]
 
 #: Bench file stems the reporter knows about, in pipeline order.
-BENCH_KINDS = ("BENCH_ingest", "BENCH_analyze", "BENCH_generate", "BENCH_e2e")
+BENCH_KINDS = ("BENCH_ingest", "BENCH_analyze", "BENCH_generate", "BENCH_e2e",
+               "BENCH_resilience")
 
 
 def host_metadata(*, requested_jobs: Optional[int] = None,
@@ -83,6 +84,9 @@ DEFAULT_GATES: Tuple[Gate, ...] = (
     Gate("BENCH_analyze", "artifact.warm_speedup", 5),
     Gate("BENCH_generate", "write.compiled_over_legacy", 1.5),
     Gate("BENCH_generate", "engine.1.rows_written_per_second", 5_000),
+    # Supervised dispatch may cost at most 5% over a bare inline loop
+    # (the ratio is baseline/supervised, so the floor is 0.95).
+    Gate("BENCH_resilience", "supervisor.throughput_ratio", 0.95),
 )
 
 #: Ungated metrics still worth a trajectory row per bench kind.
@@ -93,6 +97,8 @@ TRACKED_METRICS: Dict[str, Tuple[str, ...]] = {
     "BENCH_generate": ("write.compiled_rows_per_second",),
     "BENCH_e2e": ("pipeline.1.total_seconds", "pipeline.1.generate_seconds",
                   "pipeline.1.ingest_seconds", "pipeline.1.analyze_seconds"),
+    "BENCH_resilience": ("supervisor.baseline_seconds",
+                         "supervisor.supervised_seconds"),
 }
 
 

@@ -186,6 +186,23 @@ class RunReport:
                 snapshot, "repro_checkpoint_stages_total", result="loaded"),
             "checkpoint_stages_saved": _counter_total(
                 snapshot, "repro_checkpoint_stages_total", result="saved"),
+            "supervisor_worker_crashes": _counter_total(
+                snapshot, "repro_supervisor_incidents_total",
+                incident="worker_crash"),
+            "supervisor_worker_hangs": _counter_total(
+                snapshot, "repro_supervisor_incidents_total",
+                incident="worker_hang"),
+            "supervisor_serial_fallbacks": _counter_total(
+                snapshot, "repro_supervisor_incidents_total",
+                incident="serial_fallback"),
+            "supervisor_pool_rebuilds": _counter_total(
+                snapshot, "repro_supervisor_pool_rebuilds_total"),
+            "supervisor_tasks_quarantined": _counter_total(
+                snapshot, "repro_supervisor_tasks_total",
+                outcome="quarantined"),
+            "supervisor_journal_replays": _counter_total(
+                snapshot, "repro_supervisor_journal_total",
+                result="replayed"),
         }
 
         report = cls(
@@ -243,7 +260,9 @@ class RunReport:
         hit_rate = self.cache.get("structure_cache_hit_rate", 0.0)
         lines.append(f"structure cache hit rate: {100.0 * hit_rate:.1f}%")
         for key in ("faults_injected", "retries", "quarantined_records",
-                    "breaker_rejections"):
+                    "breaker_rejections", "supervisor_worker_crashes",
+                    "supervisor_worker_hangs", "supervisor_serial_fallbacks",
+                    "supervisor_journal_replays"):
             value = self.resilience.get(key, 0.0)
             if value:
                 lines.append(f"{key.replace('_', ' ')}: {int(value)}")

@@ -191,6 +191,34 @@ CHECKPOINT_STAGES = _R.counter(
     "Pipeline-stage checkpoint events (saved/loaded/stale/corrupt).",
     labelnames=("stage", "result"))
 
+# -- supervised execution -----------------------------------------------------
+#
+# Operational families: they describe what the supervisor had to *do*
+# (retries, rebuilds, journal replays), so — like the worker bookkeeping
+# counters — they legitimately vary with ``--jobs`` and with where a run
+# was killed.  The determinism guarantee covers the merged outputs, not
+# these.
+
+SUPERVISOR_TASKS = _R.counter(
+    "repro_supervisor_tasks_total",
+    "Tasks dispatched through the supervised executor, by engine kind "
+    "and final outcome (completed/replayed/fallback/quarantined/dropped).",
+    labelnames=("kind", "outcome"))
+SUPERVISOR_INCIDENTS = _R.counter(
+    "repro_supervisor_incidents_total",
+    "Failures the supervisor absorbed, by engine kind and incident "
+    "(worker_crash/worker_hang/serial_fallback).",
+    labelnames=("kind", "incident"))
+SUPERVISOR_POOL_REBUILDS = _R.counter(
+    "repro_supervisor_pool_rebuilds_total",
+    "Worker pools torn down and rebuilt after a crash or hang, by "
+    "engine kind.",
+    labelnames=("kind",))
+SUPERVISOR_JOURNAL = _R.counter(
+    "repro_supervisor_journal_total",
+    "Run-journal events (appended/replayed/stale/torn).",
+    labelnames=("result",))
+
 # -- cross-process telemetry --------------------------------------------------
 
 WORKER_TELEMETRY_RECORDS = _R.counter(

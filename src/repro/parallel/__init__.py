@@ -18,6 +18,14 @@ emitting canonical values — so outputs are byte-identical at any
   (classify, categorise, eager ``ChainStructure``), merge in partition
   order.
 
+All three (plus the scanner's ``scan_many``) dispatch through the
+**supervised executor** (:mod:`repro.parallel.supervisor`): worker
+crashes and hangs are absorbed by bounded retry on a rebuilt pool,
+poison tasks are quarantined and recovered in-driver, and an attached
+:class:`~repro.resilience.journal.RunJournal` makes a killed run
+resumable at task granularity — all without touching the byte-identical
+merge guarantee.  See ``docs/RESILIENCE.md`` ("Supervised execution").
+
 See ``docs/PERFORMANCE.md`` for the three models and the determinism
 guarantees, and ``benchmarks/test_generate_scaling.py`` /
 ``benchmarks/test_parallel_scaling.py`` /
@@ -42,6 +50,12 @@ from .generate import (
     process_generate_shard,
 )
 from .shards import ShardSpec, discover_shards, split_zeek_log
+from .supervisor import (
+    SupervisedRun,
+    SupervisorConfig,
+    SupervisorIncident,
+    run_supervised,
+)
 from .worker import ShardAggregate, ShardTask, process_shard
 
 __all__ = [
@@ -55,6 +69,10 @@ __all__ = [
     "ShardAggregate",
     "ShardSpec",
     "ShardTask",
+    "SupervisedRun",
+    "SupervisorConfig",
+    "SupervisorIncident",
+    "run_supervised",
     "analyze_partitions",
     "discover_shards",
     "effective_analysis_jobs",

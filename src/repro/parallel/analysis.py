@@ -45,8 +45,11 @@ from ..obs import instruments
 from ..obs.logging import get_logger, kv
 from ..obs.sink import WorkerTelemetry, capture_telemetry, get_sink
 from ..obs.tracing import trace_span
+from ..resilience.checkpoint import input_fingerprint
 from ..truststores.registry import PublicDBRegistry
-from .pool import clamp_jobs, make_pool
+from .pool import clamp_jobs
+from .supervisor import (SupervisedRun, SupervisorConfig, resolve_config,
+                         run_supervised)
 
 __all__ = [
     "AnalysisTask",
@@ -131,6 +134,8 @@ class EnrichedChains:
     classes: Dict[str, IssuerClass] = field(default_factory=dict)
     partitions: int = 0
     effective_jobs: int = 1
+    #: How the supervised dispatch went (incidents, retries, replays).
+    supervisor: Optional[SupervisedRun] = None
 
 
 def process_partition(task: AnalysisTask) -> AnalysisPartial:
@@ -181,19 +186,39 @@ def effective_analysis_jobs(jobs: int,
     return clamp_jobs(jobs, partitions)[1]
 
 
+def _partition_fingerprint(task: AnalysisTask) -> str:
+    """Journal identity of one partition: its chain keys + name keys.
+
+    The registry and disclosures are deliberately *not* fingerprinted
+    (they do not pickle stably); a journal directory therefore belongs
+    to one analyzer configuration — the CLI namespaces per-engine
+    subdirectories under ``--run-journal`` for exactly that reason.
+    """
+    return input_fingerprint([
+        "analysis-partition", task.index,
+        tuple(chain.key for chain in task.chains),
+        tuple(sorted(task.interception_keys)),
+    ])
+
+
 def analyze_partitions(chains: Dict[Tuple[str, ...], ObservedChain], *,
                        registry: PublicDBRegistry,
                        disclosures: Optional[CrossSignDisclosures] = None,
                        interception_keys: Optional[frozenset] = None,
                        jobs: int = 1,
-                       partitions: Optional[int] = None) -> EnrichedChains:
+                       partitions: Optional[int] = None,
+                       supervise: Optional[SupervisorConfig] = None
+                       ) -> EnrichedChains:
     """Fan the chain map out over a process pool and merge the partials.
 
     ``jobs`` bounds the pool size only; it is further clamped to the CPU
     count and the partition count (``jobs=1`` runs inline — no pool, no
     pickling).  ``partitions`` defaults to :data:`DEFAULT_PARTITIONS` and
     must be held constant for outputs to be comparable byte-for-byte —
-    it never follows ``jobs``.
+    it never follows ``jobs``.  Dispatch runs through the supervised
+    executor (``supervise`` tunes deadlines/retries/journaling); the
+    merge folds partials in partition-index order regardless of which
+    attempt produced them.
     """
     if partitions is None:
         partitions = DEFAULT_PARTITIONS
@@ -206,15 +231,19 @@ def analyze_partitions(chains: Dict[Tuple[str, ...], ObservedChain], *,
                           disclosures=disclosures, interception_keys=keys)
              for i, bucket in enumerate(buckets)]
     effective = effective_analysis_jobs(jobs, partitions)
+    from ..faults.plan import active_plan
+    config = resolve_config(supervise, plan=active_plan())
     with trace_span("parallel_analysis", chains=len(chains),
                     partitions=partitions, jobs=effective):
-        if effective == 1:
-            partials = [process_partition(task) for task in tasks]
-        else:
-            with make_pool(effective) as pool:
-                partials = list(pool.map(process_partition, tasks))
+        outcome = run_supervised(
+            "analysis", tasks, process_partition, jobs=effective,
+            config=config,
+            task_ids=lambda task, i: f"analysis:{task.index:04d}",
+            fingerprint_fn=_partition_fingerprint)
+    partials = [p for p in outcome.results if p is not None]
     enriched = _reduce(partials, partitions=partitions,
                        effective_jobs=effective)
+    enriched.supervisor = outcome
     log.debug("parallel analysis complete", extra=kv(
         chains=len(chains), partitions=partitions, jobs=effective,
         hybrid=len(enriched.hybrid_by_key),

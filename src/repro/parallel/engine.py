@@ -25,6 +25,7 @@ over the same shards regardless of worker count or completion order:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -34,9 +35,12 @@ from ..obs import instruments
 from ..obs.logging import get_logger, kv
 from ..obs.sink import get_sink
 from ..obs.tracing import trace_span
+from ..resilience.checkpoint import input_fingerprint
 from ..resilience.quarantine import Quarantine
-from .pool import clamp_jobs, make_pool
+from .pool import clamp_jobs
 from .shards import ShardSpec
+from .supervisor import (SupervisedRun, SupervisorConfig, resolve_config,
+                         run_supervised)
 from .worker import ShardAggregate, ShardTask, process_shard
 
 __all__ = ["IngestResult", "ingest_shards", "ingest_logs"]
@@ -64,13 +68,31 @@ class IngestResult:
     requested_jobs: int = 1
     shard_count: int = 0
     quarantine: Optional[Quarantine] = None
+    #: How the supervised dispatch went (incidents, retries, replays).
+    supervisor: Optional[SupervisedRun] = None
+
+
+def _shard_fingerprint(task: ShardTask) -> str:
+    """Journal identity of one shard task: paths, sizes, configuration."""
+    def size(path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return -1
+    return input_fingerprint([
+        "ingest-shard", task.index, task.ssl_path, size(task.ssl_path),
+        task.x509_path, size(task.x509_path), task.plan, task.tolerant,
+        task.compiled,
+    ])
 
 
 def ingest_shards(shards: Iterable[ShardSpec], *,
                   jobs: Optional[int] = None,
                   plan: Optional[FaultPlan] = None,
                   quarantine: Optional[Quarantine] = None,
-                  compiled: bool = True) -> IngestResult:
+                  compiled: bool = True,
+                  supervise: Optional[SupervisorConfig] = None
+                  ) -> IngestResult:
     """Map shards over a process pool and reduce to one chain map.
 
     ``jobs=None`` uses ``os.cpu_count()``; the effective count is capped
@@ -84,6 +106,13 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
     sink (and its metrics) end up exactly as a serial tolerant run's
     would.  Strict mode re-raises the first worker's
     :class:`~repro.zeek.format.ZeekFormatError` in the caller.
+
+    Dispatch runs through :func:`~repro.parallel.supervisor.run_supervised`
+    (``supervise`` tunes deadlines/retries/journaling): a worker crash or
+    hang is retried on a rebuilt pool and, past the retry budget, the
+    shard is quarantined and recovered in-driver — the merge still folds
+    partials in shard-index order, so the output is byte-identical to an
+    undisturbed run.
     """
     shard_list = sorted(shards, key=lambda spec: spec.index)
     requested, jobs = clamp_jobs(jobs, len(shard_list))
@@ -91,13 +120,15 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
                        x509_path=spec.x509_path, plan=plan,
                        tolerant=quarantine is not None, compiled=compiled)
              for spec in shard_list]
+    config = resolve_config(supervise, plan=plan, quarantine=quarantine)
     with trace_span("parallel_ingest", shards=len(tasks), jobs=jobs):
-        if jobs == 1:
-            aggregates = [process_shard(task) for task in tasks]
-        else:
-            with make_pool(jobs) as pool:
-                aggregates = list(pool.map(process_shard, tasks))
+        outcome = run_supervised(
+            "ingest", tasks, process_shard, jobs=jobs, config=config,
+            task_ids=lambda task, i: f"ingest:{task.index:04d}",
+            fingerprint_fn=_shard_fingerprint)
+    aggregates = [a for a in outcome.results if a is not None]
     result = _reduce(aggregates, jobs=jobs, quarantine=quarantine)
+    result.supervisor = outcome
     result.requested_jobs = requested
     log.debug("parallel ingest complete", extra=kv(
         shards=len(tasks), jobs=jobs, requested_jobs=requested,

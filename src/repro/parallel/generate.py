@@ -52,11 +52,15 @@ from ..obs import instruments
 from ..obs.logging import get_logger, kv
 from ..obs.sink import WorkerTelemetry, capture_telemetry, get_sink
 from ..obs.tracing import trace_span
+from ..faults.plan import active_plan
+from ..resilience.checkpoint import input_fingerprint
 from ..zeek.format import ZeekLogWriter
-from .pool import clamp_jobs, make_pool
+from .pool import clamp_jobs
 from ..zeek.records import (SSLRecord, X509Record, ssl_record_from_connection,
                             x509_record_from_certificate)
 from .shards import ShardSpec
+from .supervisor import (SupervisedRun, SupervisorConfig, resolve_config,
+                         run_supervised)
 
 __all__ = ["GenerateTask", "GenerateShardResult", "GenerateResult",
            "generate_dataset", "process_generate_shard"]
@@ -107,6 +111,8 @@ class GenerateResult:
     jobs: int = 1
     requested_jobs: int = 1
     shard_count: int = 0
+    #: How the supervised dispatch went (incidents, retries, replays).
+    supervisor: Optional[SupervisedRun] = None
 
 
 #: Per-process context memo: (seed, scale) -> (context, plans).  Pool
@@ -190,12 +196,34 @@ def process_generate_shard(task: GenerateTask) -> GenerateShardResult:
     return result
 
 
+def _generate_fingerprint(task: GenerateTask) -> str:
+    """Journal identity of one generation interval."""
+    return input_fingerprint([
+        "generate-shard", task.shard, task.seed, task.scale,
+        task.open_time, task.compiled, task.ssl_path, task.x509_path,
+    ])
+
+
+def _generate_partial_valid(task: GenerateTask,
+                            partial: GenerateShardResult) -> bool:
+    """A journaled generation partial is only as good as its files.
+
+    The payload is just tallies — the real output is the shard pair on
+    disk, so a replay is vetoed (and the interval regenerated) when
+    either file has vanished since the journaled run was killed.
+    """
+    return (os.path.exists(partial.ssl_path)
+            and os.path.exists(partial.x509_path))
+
+
 def generate_dataset(out_dir: str, *,
                      seed: int | str = 0,
                      scale: ScaleConfig,
                      jobs: Optional[int] = None,
                      open_time: datetime = STUDY_START,
-                     compiled: bool = True) -> GenerateResult:
+                     compiled: bool = True,
+                     supervise: Optional[SupervisorConfig] = None
+                     ) -> GenerateResult:
     """Generate the (seed, scale) dataset as paired shard logs.
 
     ``jobs=None`` uses ``os.cpu_count()``; the effective count is capped
@@ -204,6 +232,11 @@ def generate_dataset(out_dir: str, *,
     ``ssl-NN.log`` shards plus one broadcast ``x509.log`` under
     ``out_dir`` — the layout
     :func:`~repro.parallel.shards.discover_shards` pairs directly.
+    Dispatch runs through the supervised executor (``supervise`` tunes
+    deadlines/retries/journaling); every shard's bytes are a pure
+    function of (seed, scale, interval), so a retried or journal-
+    replayed interval writes/keeps exactly the bytes an undisturbed
+    worker would have.
     """
     os.makedirs(out_dir, exist_ok=True)
     shard_count = GENERATION_SHARDS
@@ -215,14 +248,19 @@ def generate_dataset(out_dir: str, *,
                                                  f".x509-{shard:02d}.part"),
                           open_time=open_time, compiled=compiled)
              for shard in range(shard_count)]
+    config = resolve_config(supervise, plan=active_plan())
     with trace_span("parallel_generate", shards=shard_count, jobs=jobs):
-        if jobs == 1:
-            partials = [process_generate_shard(task) for task in tasks]
-        else:
-            with make_pool(jobs) as pool:
-                partials = list(pool.map(process_generate_shard, tasks))
-        x509_path = _merge_x509(out_dir, partials)
+        outcome = run_supervised(
+            "generate", tasks, process_generate_shard, jobs=jobs,
+            config=config,
+            task_ids=lambda task, i: f"generate:{task.shard:04d}",
+            fingerprint_fn=_generate_fingerprint,
+            validate_fn=_generate_partial_valid)
+        partials = [p for p in outcome.results if p is not None]
+        x509_path = _merge_x509(out_dir, partials,
+                                keep_pieces=config.journal is not None)
     result = _reduce(out_dir, partials, jobs=jobs, x509_path=x509_path)
+    result.supervisor = outcome
     result.requested_jobs = requested
     log.debug("parallel generate complete", extra=kv(
         shards=shard_count, jobs=jobs, requested_jobs=requested,
@@ -230,14 +268,18 @@ def generate_dataset(out_dir: str, *,
     return result
 
 
-def _merge_x509(out_dir: str, partials: List[GenerateShardResult]) -> str:
+def _merge_x509(out_dir: str, partials: List[GenerateShardResult], *,
+                keep_pieces: bool = False) -> str:
     """Stitch the per-interval x509 pieces into one broadcast log.
 
     Piece headers are identical (pinned ``open_time``), so the merged
     log is piece 0's header block, every piece's data rows in interval
     order, and the shared ``#close`` footer — byte-identical to the
     serial ``x509.log``.  The intermediates (hidden ``.x509-NN.part``
-    names that shard discovery never pairs) are removed afterwards.
+    names that shard discovery never pairs) are removed afterwards —
+    unless the run is journaled (``keep_pieces``): a ``--resume`` replay
+    validates each interval against its piece file, so deleting them
+    would force every interval to regenerate.
     """
     merged_path = os.path.join(out_dir, "x509.log")
     footer = ""
@@ -253,8 +295,9 @@ def _merge_x509(out_dir: str, partials: List[GenerateShardResult]) -> str:
                     elif position == 0:
                         merged.write(line)
         merged.write(footer)
-    for partial in partials:
-        os.remove(partial.x509_path)
+    if not keep_pieces:
+        for partial in partials:
+            os.remove(partial.x509_path)
     return merged_path
 
 

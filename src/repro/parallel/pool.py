@@ -17,6 +17,14 @@ Each engine used to repeat the same two fragments: the jobs clamp
   and worker records fall back to WARNING.  :func:`make_pool` installs
   an initializer that re-applies the driver's effective level in every
   worker, so ``log.debug`` lines from shard readers actually surface.
+
+The initializer also stamps two process-globals the supervised executor
+(:mod:`repro.parallel.supervisor`) reads from inside workers: the
+"I am a pool worker" flag (:func:`in_pool_worker`) that gates injected
+worker-crash/worker-hang faults to pool attempts only (the in-driver
+serial fallback must never re-draw them), and the heartbeat directory
+(:func:`heartbeat_dir`) workers touch beat files under so the driver
+can tell a *hung* task from a merely *queued* one.
 """
 
 from __future__ import annotations
@@ -27,10 +35,15 @@ from typing import Optional
 
 from ..obs.logging import configure_logging, current_log_level
 
-__all__ = ["NO_CPU_CLAMP_VAR", "clamp_jobs", "make_pool"]
+__all__ = ["NO_CPU_CLAMP_VAR", "clamp_jobs", "make_pool", "kill_pool",
+           "in_pool_worker", "heartbeat_dir"]
 
 #: Set to ``1``/``true`` to lift the CPU-count cap on worker pools.
 NO_CPU_CLAMP_VAR = "REPRO_PARALLEL_NO_CPU_CLAMP"
+
+#: Worker-process globals, set by the pool initializer (never the driver).
+_IN_POOL_WORKER = False
+_HEARTBEAT_DIR: Optional[str] = None
 
 
 def _cpu_clamp_lifted() -> bool:
@@ -55,14 +68,56 @@ def clamp_jobs(requested: Optional[int], units: int) -> tuple[int, int]:
     return requested, max(1, effective)
 
 
-def _bootstrap_worker(level_name: str) -> None:
-    """Runs once in each fresh worker: mirror the driver's logging."""
+def in_pool_worker() -> bool:
+    """True inside a :func:`make_pool` worker process."""
+    return _IN_POOL_WORKER
+
+
+def heartbeat_dir() -> Optional[str]:
+    """The supervisor's heartbeat directory, inside a worker (else None)."""
+    return _HEARTBEAT_DIR
+
+
+def _bootstrap_worker(level_name: str,
+                      heartbeat: Optional[str] = None) -> None:
+    """Runs once in each fresh worker: mirror the driver's logging and
+    record the pool-worker globals the supervisor consults."""
+    global _IN_POOL_WORKER, _HEARTBEAT_DIR
+    _IN_POOL_WORKER = True
+    _HEARTBEAT_DIR = heartbeat
     configure_logging(level=level_name, force=True)
 
 
-def make_pool(workers: int) -> ProcessPoolExecutor:
+def make_pool(workers: int, *,
+              heartbeat: Optional[str] = None) -> ProcessPoolExecutor:
     """A process pool whose workers inherit the driver's log level."""
     return ProcessPoolExecutor(
         max_workers=workers,
         initializer=_bootstrap_worker,
-        initargs=(current_log_level(),))
+        initargs=(current_log_level(), heartbeat))
+
+
+def kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: no draining, no orphans.
+
+    ``shutdown(wait=True)`` would block behind a hung worker forever,
+    and ``shutdown(wait=False)`` alone leaves live children behind — a
+    supervisor recovering from a hang needs both halves: cancel what is
+    queued, terminate every worker process, and reap it (escalating to
+    SIGKILL for workers that ignore SIGTERM, e.g. one wedged in
+    uninterruptible I/O).  Safe to call on an already-broken or
+    already-shut-down pool.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive: pool already broken
+        pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM almost always lands
+            process.kill()
+            process.join(timeout=5.0)

@@ -19,12 +19,17 @@ half).  Five modules:
     checkpoints enabling ``--resume``; :class:`ArtifactStore`:
     content-addressed whole-``AnalysisResult`` cache enabling warm
     ``--analysis-cache`` runs.
+``journal``
+    :class:`RunJournal`: crash-safe append-only completion log +
+    partial-artifact store, enabling task-granular ``--resume
+    --run-journal`` through the supervised executor.
 """
 
 from __future__ import annotations
 
 from .breaker import BreakerState, CircuitBreaker
 from .checkpoint import ArtifactStore, CheckpointStore, input_fingerprint
+from .journal import RunJournal
 from .errors import (
     CircuitOpenError,
     CTUnavailableError,
@@ -49,5 +54,6 @@ __all__ = [
     "QuarantinedRecord",
     "CheckpointStore",
     "ArtifactStore",
+    "RunJournal",
     "input_fingerprint",
 ]

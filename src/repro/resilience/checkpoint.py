@@ -51,9 +51,30 @@ def input_fingerprint(parts: Iterable[object]) -> str:
     return digest.hexdigest()
 
 
+def _fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_envelope(path: str, *, stage: str, fingerprint: str,
                     payload: Any) -> None:
-    """Atomic (tmp + rename) pickle of one versioned envelope."""
+    """Crash-atomic (tmp + fsync + rename) pickle of one envelope.
+
+    The data is flushed to disk *before* the rename, so a crash at any
+    point leaves either the old file or the complete new one — never a
+    truncated pickle under the final name.  The directory fsync makes
+    the rename itself durable; it is best-effort because some
+    filesystems refuse directory fds.
+    """
     tmp = path + ".tmp"
     with open(tmp, "wb") as handle:
         pickle.dump({"version": _FORMAT_VERSION,
@@ -61,7 +82,10 @@ def _write_envelope(path: str, *, stage: str, fingerprint: str,
                      "fingerprint": fingerprint,
                      "payload": payload}, handle,
                     protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_directory(os.path.dirname(path) or ".")
 
 
 def _read_envelope(path: str) -> Tuple[str, Optional[dict]]:

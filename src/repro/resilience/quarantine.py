@@ -6,18 +6,28 @@ kind (low-cardinality, suitable as a metric label), the detailed parse
 message, the raw bytes, and where it came from — and round-trips the lot
 through a JSONL file so an operator can inspect, re-parse, or replay
 exactly what was skipped.
+
+Persistence is crash-safe in both shapes: :meth:`Quarantine.write` is
+atomic (tmp + fsync + rename), an open :meth:`Quarantine.open_spill`
+appends one fsynced line per record as it arrives (so a killed run
+keeps everything quarantined up to the kill), and
+:meth:`Quarantine.load` skips a torn trailing line instead of raising.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from dataclasses import asdict, dataclass
-from typing import Iterator, List
+from typing import IO, Iterator, List, Optional
 
 from ..obs import instruments
+from ..obs.logging import get_logger, kv
 
 __all__ = ["Quarantine", "QuarantinedRecord"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,6 +46,7 @@ class Quarantine:
 
     def __init__(self) -> None:
         self.records: List[QuarantinedRecord] = []
+        self._spill: Optional[IO[str]] = None
 
     def add(self, *, source: str, line: int, reason: str, detail: str = "",
             raw: str = "") -> QuarantinedRecord:
@@ -43,6 +54,11 @@ class Quarantine:
                                    detail=detail or reason, raw=raw)
         self.records.append(record)
         instruments.QUARANTINE_RECORDS.inc(source=source, reason=reason)
+        if self._spill is not None:
+            self._spill.write(json.dumps(asdict(record), sort_keys=True)
+                              + "\n")
+            self._spill.flush()
+            os.fsync(self._spill.fileno())
         return record
 
     def __len__(self) -> int:
@@ -71,20 +87,62 @@ class Quarantine:
     # -- persistence (JSONL) ----------------------------------------------------
 
     def write(self, path: str) -> int:
-        """Write one JSON object per quarantined record; returns the count."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write one JSON object per record; returns the count.
+
+        Crash-atomic: the JSONL is staged to ``path + ".tmp"``, fsynced,
+        then renamed over the target — a crash mid-write leaves the old
+        file (or nothing), never a half-written one.
+        """
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
             for record in self.records:
                 handle.write(json.dumps(asdict(record), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         return len(self.records)
+
+    def open_spill(self, path: str) -> None:
+        """Start appending every future :meth:`add` to ``path``, fsynced.
+
+        The incremental twin of :meth:`write`: each record becomes one
+        complete, flushed JSONL line the moment it is quarantined, so a
+        driver killed mid-run loses nothing already captured.  Records
+        quarantined *before* the spill opened are written out first.
+        """
+        self.close_spill()
+        self._spill = open(path, "a", encoding="utf-8")
+        for record in self.records:
+            self._spill.write(json.dumps(asdict(record), sort_keys=True)
+                              + "\n")
+        self._spill.flush()
+        os.fsync(self._spill.fileno())
+
+    def close_spill(self) -> None:
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
 
     @classmethod
     def load(cls, path: str) -> "Quarantine":
-        """Rebuild a quarantine from its JSONL file (metrics not re-counted)."""
+        """Rebuild a quarantine from its JSONL file (metrics not re-counted).
+
+        Tolerant of a torn tail: a line that does not decode as a full
+        record object — the signature of a crash mid-append — is skipped
+        with a warning rather than aborting the load.
+        """
         quarantine = cls()
         with open(path, "r", encoding="utf-8") as handle:
-            for text in handle:
+            for number, text in enumerate(handle, start=1):
                 text = text.strip()
                 if not text:
                     continue
-                quarantine.records.append(QuarantinedRecord(**json.loads(text)))
+                try:
+                    payload = json.loads(text)
+                    record = QuarantinedRecord(**payload)
+                except (json.JSONDecodeError, TypeError):
+                    log.warning("skipping torn quarantine line",
+                                extra=kv(path=path, line=number))
+                    continue
+                quarantine.records.append(record)
         return quarantine

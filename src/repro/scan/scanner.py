@@ -27,7 +27,9 @@ from ..faults.plan import active_plan
 from ..obs import instruments
 from ..obs.sink import WorkerTelemetry, capture_telemetry, get_sink
 from ..obs.tracing import trace_span
-from ..parallel.pool import clamp_jobs, make_pool
+from ..parallel.pool import clamp_jobs
+from ..parallel.supervisor import (SupervisorConfig, resolve_config,
+                                   run_supervised)
 from ..resilience.errors import ScanReset, ScanTimeout, TransientError
 from ..resilience.retry import RetryPolicy
 from ..tls.connection import ConnectionRecord
@@ -170,8 +172,9 @@ class ActiveScanner:
         return self.scan(target.server, server_id=target.server_id,
                          hostname=target.hostname)
 
-    def scan_many(self, targets: Sequence[ScanTarget], *,
-                  jobs: int = 1) -> List[ScanResult]:
+    def scan_many(self, targets: Sequence[ScanTarget], *, jobs: int = 1,
+                  supervise: Optional[SupervisorConfig] = None
+                  ) -> List[ScanResult]:
         """Scan a target list, optionally across a bounded worker pool.
 
         ``jobs`` bounds the pool (clamped to the CPU count and the target
@@ -190,6 +193,12 @@ class ActiveScanner:
         exports match a serial scan exactly.  Batch count follows
         ``jobs``, so the attach skips the per-record ``repro_worker_*``
         bookkeeping counters (they would vary with ``--jobs``).
+
+        Dispatch runs through the supervised executor (``supervise``
+        tunes deadlines/retries) — a crashed or hung batch worker is
+        retried on a rebuilt pool, and a poison batch is recovered
+        in-driver; merged results stay in target order regardless.
+        Batch boundaries follow ``jobs``, so scans are never journaled.
         """
         targets = list(targets)
         requested, jobs = clamp_jobs(max(1, jobs), len(targets))
@@ -205,12 +214,17 @@ class ActiveScanner:
                 scanner_ip=self._scanner_ip, when=self.when,
                 seed=self._seed, faults=self._faults, retry=self.retry))
             start += size
+        plan = self._faults.plan if self._faults is not None else None
+        config = resolve_config(supervise, plan=plan)
+        config.journal = None  # batch layout follows jobs; never resumable
         with trace_span("parallel_scan", targets=len(targets), jobs=jobs):
-            with make_pool(jobs) as pool:
-                partials = list(pool.map(_scan_batch, tasks))
+            outcome = run_supervised(
+                "scan", tasks, _scan_batch, jobs=jobs, config=config,
+                task_ids=lambda task, i: f"scan:{task.index:04d}")
         sink = get_sink()
         results: List[ScanResult] = []
-        for partial in sorted(partials, key=lambda p: p.index):
+        for partial in sorted((p for p in outcome.results if p is not None),
+                              key=lambda p: p.index):
             sink.attach(partial.telemetry, replay=_SCAN_REPLAY_FAMILIES,
                         record_metrics=False)
             results.extend(partial.results)

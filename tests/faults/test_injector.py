@@ -77,6 +77,47 @@ class TestScanFaultPartition:
                 == before + 1)
 
 
+class TestWorkerFaultPartition:
+    def test_rate_one_always_faults(self):
+        injector = FaultInjector(FaultPlan(seed=0, worker_crash_rate=1.0))
+        assert all(injector.worker_fault(f"t:{i:04d}") == "crash"
+                   for i in range(20))
+
+    def test_kinds_are_partitioned_not_stacked(self):
+        plan = FaultPlan(seed="wpart", worker_crash_rate=0.5,
+                         worker_hang_rate=0.5)
+        injector = FaultInjector(plan)
+        outcomes = {injector.worker_fault(f"t:{i:04d}") for i in range(100)}
+        # Rates sum to 1.0: every attempt faults, one kind per draw.
+        assert outcomes == {"crash", "hang"}
+
+    def test_zero_rates_never_fault(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        assert injector.worker_fault("t:0000") is None
+
+    def test_retry_attempt_draws_afresh(self):
+        injector = FaultInjector(FaultPlan(seed="wretry",
+                                           worker_crash_rate=0.5))
+        decisions = {injector.worker_fault("t:0007", attempt)
+                     for attempt in range(1, 20)}
+        assert decisions == {"crash", None}
+
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed="wdet", worker_crash_rate=0.3,
+                         worker_hang_rate=0.2)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        ids = [f"t:{i:04d}" for i in range(200)]
+        assert ([a.worker_fault(i) for i in ids]
+                == [b.worker_fault(i) for i in ids])
+
+    def test_faults_counted_on_metric(self):
+        before = instruments.FAULTS_INJECTED.value(kind="worker_crash")
+        FaultInjector(FaultPlan(seed=0, worker_crash_rate=1.0)) \
+            .worker_fault("t:0000")
+        assert (instruments.FAULTS_INJECTED.value(kind="worker_crash")
+                == before + 1)
+
+
 class TestCorruptLine:
     LINE = "1453939200.000000\tC1\t10.0.0.1\t443\texample.com"
 

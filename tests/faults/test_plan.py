@@ -53,6 +53,13 @@ class TestParse:
         assert plan.scan_timeout_rate == pytest.approx(0.1)
         assert plan.scan_reset_rate == 0.0
 
+    def test_parse_worker_fault_keys(self):
+        plan = FaultPlan.parse(
+            "worker_crash_rate=0.25,worker_hang_rate=0.1")
+        assert plan.worker_crash_rate == pytest.approx(0.25)
+        assert plan.worker_hang_rate == pytest.approx(0.1)
+        assert plan.any()
+
     def test_parse_carries_caller_seed(self):
         assert FaultPlan.parse("ct_outage_rate=0.2", seed="run-7").seed == "run-7"
 

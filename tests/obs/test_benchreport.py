@@ -124,7 +124,8 @@ class TestGateVerdicts:
 
     def test_every_default_gate_metric_exists_in_some_kind(self):
         kinds = {gate.bench for gate in DEFAULT_GATES}
-        assert kinds <= {"BENCH_ingest", "BENCH_analyze", "BENCH_generate"}
+        assert kinds <= {"BENCH_ingest", "BENCH_analyze", "BENCH_generate",
+                         "BENCH_resilience"}
         assert all(isinstance(gate, Gate) for gate in DEFAULT_GATES)
 
 

@@ -1,0 +1,83 @@
+"""Pool teardown: no orphan workers after crashes, hangs, or interrupts.
+
+``kill_pool`` must reap every child it terminates — a supervisor that
+recovers from a hang by abandoning the pool would otherwise leak one
+sleeping worker per incident.  ``multiprocessing.active_children()``
+both lists and reaps our direct children, so an empty list after each
+scenario proves the teardown was complete.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.parallel.pool import kill_pool, make_pool
+from repro.parallel.supervisor import (HANG_SECONDS_VAR, SupervisorConfig,
+                                       run_supervised)
+
+
+def square(task):
+    return task * task
+
+
+def sleep_forever(task):
+    time.sleep(60)
+    return task
+
+
+def interrupt(task):
+    raise KeyboardInterrupt(f"interrupted at {task}")
+
+
+def assert_no_orphans(deadline: float = 5.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+class TestKillPool:
+    def test_kills_workers_mid_task(self):
+        pool = make_pool(2)
+        for task in range(2):
+            pool.submit(sleep_forever, task)
+        time.sleep(0.2)  # let the workers pick the tasks up
+        kill_pool(pool)
+        assert_no_orphans()
+
+    def test_safe_on_already_shut_down_pool(self):
+        pool = make_pool(1)
+        pool.submit(square, 2).result()
+        pool.shutdown()
+        kill_pool(pool)
+        assert_no_orphans()
+
+
+class TestSupervisorTeardown:
+    def test_crash_recovery_leaves_no_orphans(self):
+        plan = FaultPlan(seed="teardown", worker_crash_rate=1.0)
+        config = SupervisorConfig(plan=plan, max_task_retries=0)
+        run = run_supervised("t", [2, 3], square, jobs=2, config=config)
+        assert run.results == [4, 9]  # clean degradation, not silence
+        assert run.summary_lines()
+        assert_no_orphans()
+
+    def test_hang_recovery_leaves_no_orphans(self, monkeypatch):
+        monkeypatch.setenv(HANG_SECONDS_VAR, "60")
+        plan = FaultPlan(seed="teardown", worker_hang_rate=1.0)
+        config = SupervisorConfig(plan=plan, max_task_retries=0,
+                                  task_timeout=0.3, poll_interval=0.05)
+        run = run_supervised("t", [2], square, jobs=2, config=config)
+        assert run.results == [4]
+        assert_no_orphans()
+
+    def test_keyboard_interrupt_propagates_and_leaves_no_orphans(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_supervised("t", [1, 2, 3, 4], interrupt, jobs=2)
+        assert_no_orphans()

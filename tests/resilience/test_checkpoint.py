@@ -91,3 +91,16 @@ class TestStore:
         store.save("interception", "fp", {"x": 1})
         assert not [entry for entry in os.listdir(str(tmp_path))
                     if entry.endswith(".tmp")]
+
+    def test_torn_tmp_from_crashed_writer_does_not_break_load(self,
+                                                              tmp_path):
+        # A driver killed mid-save leaves a half-written .tmp next to the
+        # intact checkpoint; the rename never happened, so the intact
+        # file must still load (and a re-save must overwrite the tmp).
+        store = CheckpointStore(str(tmp_path))
+        store.save("join", "fp", {"a": 1})
+        with open(store.stage_path("join") + ".tmp", "wb") as handle:
+            handle.write(b"\x80\x05half a pick")
+        assert store.load("join", "fp") == (True, {"a": 1})
+        store.save("join", "fp", {"a": 2})
+        assert store.load("join", "fp") == (True, {"a": 2})

@@ -1,0 +1,89 @@
+"""RunJournal: crash-safe completion log + partial-artifact store."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.resilience import RunJournal
+from repro.resilience.journal import JOURNAL_NAME
+
+
+class TestRoundTrip:
+    def test_record_then_completed(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("ingest", "ingest:0000", "fp-a", {"rows": 10})
+            journal.record("ingest", "ingest:0001", "fp-b", {"rows": 20})
+        with RunJournal(str(tmp_path)) as journal:
+            assert journal.completed() == {"ingest:0000": "fp-a",
+                                           "ingest:0001": "fp-b"}
+
+    def test_load_partial_returns_saved_payload(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("ingest", "ingest:0000", "fp-a", {"rows": 10})
+            hit, payload = journal.load_partial("ingest", "fp-a")
+        assert hit
+        assert payload == {"rows": 10}
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert RunJournal(str(tmp_path)).completed() == {}
+
+    def test_later_lines_win_on_repeated_task(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("ingest", "ingest:0000", "fp-old", 1)
+            journal.record("ingest", "ingest:0000", "fp-new", 2)
+            assert journal.completed() == {"ingest:0000": "fp-new"}
+
+
+class TestCrashSafety:
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("ingest", "ingest:0000", "fp-a", 1)
+        # A driver killed mid-append tears the last line.
+        path = os.path.join(str(tmp_path), JOURNAL_NAME)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"task": "ingest:0001", "finger')
+        completed = RunJournal(str(tmp_path)).completed()
+        assert completed == {"ingest:0000": "fp-a"}
+
+    def test_garbage_line_between_entries_is_dropped(self, tmp_path):
+        path = os.path.join(str(tmp_path), JOURNAL_NAME)
+        lines = [
+            json.dumps({"task": "t:0000", "fingerprint": "a"}),
+            "not json at all",
+            json.dumps(["a", "list", "not", "a", "record"]),
+            json.dumps({"task": "t:0001", "fingerprint": "b"}),
+        ]
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        assert RunJournal(str(tmp_path)).completed() == {"t:0000": "a",
+                                                         "t:0001": "b"}
+
+    def test_append_after_torn_tail_starts_on_a_fresh_line(self, tmp_path):
+        # Resuming after a mid-append kill must not concatenate the new
+        # record onto the torn fragment (losing both).
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("ingest", "ingest:0000", "fp-a", 1)
+        path = os.path.join(str(tmp_path), JOURNAL_NAME)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"task": "ingest:0001", "finger')
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("ingest", "ingest:0002", "fp-c", 3)
+        assert RunJournal(str(tmp_path)).completed() == {
+            "ingest:0000": "fp-a", "ingest:0002": "fp-c"}
+
+    def test_journal_line_lands_only_after_artifact(self, tmp_path):
+        # Every intact line points at a partial that is really on disk.
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("gen", "gen:0000", "fp-x", {"shard": 0})
+            for entry in journal.completed().items():
+                hit, _ = journal.load_partial("gen", entry[1])
+                assert hit
+
+    def test_artifact_write_is_atomic_no_tmp_left(self, tmp_path):
+        with RunJournal(str(tmp_path)) as journal:
+            journal.record("gen", "gen:0000", "fp-x", {"shard": 0})
+        partials = os.path.join(str(tmp_path), "partials")
+        assert not [name for name in os.listdir(partials)
+                    if name.endswith(".tmp")]

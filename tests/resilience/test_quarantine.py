@@ -93,3 +93,47 @@ class TestRoundTrip:
                            "detail": "d", "raw": ""})
         path.write_text(body + "\n\n")
         assert len(Quarantine.load(str(path))) == 1
+
+
+class TestCrashSafety:
+    def test_write_is_atomic_no_tmp_left(self, tmp_path):
+        quarantine = Quarantine()
+        quarantine.add(source="s", line=1, reason="r")
+        quarantine.write(str(tmp_path / "q.jsonl"))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["q.jsonl"]
+
+    def test_load_skips_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        intact = json.dumps({"source": "s", "line": 1, "reason": "r",
+                             "detail": "d", "raw": ""})
+        # A writer killed mid-append tears the final line.
+        path.write_text(intact + "\n" + intact[: len(intact) // 2])
+        loaded = Quarantine.load(str(path))
+        assert len(loaded) == 1
+        assert loaded.records[0].line == 1
+
+    def test_load_skips_wrong_shaped_json(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        intact = json.dumps({"source": "s", "line": 1, "reason": "r",
+                             "detail": "d", "raw": ""})
+        path.write_text(json.dumps(["a", "list"]) + "\n" + intact + "\n")
+        assert len(Quarantine.load(str(path))) == 1
+
+    def test_spill_appends_each_record_as_it_arrives(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        quarantine = Quarantine()
+        quarantine.open_spill(str(path))
+        quarantine.add(source="s", line=1, reason="r")
+        # The record is on disk *before* close — a kill loses nothing.
+        assert len(Quarantine.load(str(path))) == 1
+        quarantine.add(source="s", line=2, reason="r")
+        assert len(Quarantine.load(str(path))) == 2
+        quarantine.close_spill()
+
+    def test_spill_flushes_records_captured_before_opening(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        quarantine = Quarantine()
+        quarantine.add(source="s", line=1, reason="r")
+        quarantine.open_spill(str(path))
+        quarantine.close_spill()
+        assert len(Quarantine.load(str(path))) == 1
