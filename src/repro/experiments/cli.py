@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "analysis (default: CPU count for ingestion, "
                              "serial analysis; capped at the CPU and shard "
                              "counts)")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="ingest through the row-object readers instead "
+                             "of the columnar struct-of-arrays hot path "
+                             "(outputs are byte-identical; this is the "
+                             "escape hatch)")
     parser.add_argument("--log-level", metavar="LEVEL", default=None,
                         choices=("debug", "info", "warning", "error"),
                         help="structured-logging level "
@@ -334,6 +339,7 @@ def _analyze_logs(args: argparse.Namespace,
                                 x509_path=args.x509_log)]
         ingest = ingest_shards(shards, jobs=args.jobs, plan=plan,
                                quarantine=quarantine,
+                               columnar=not args.no_columnar,
                                supervise=ingest_supervise)
     except OSError as exc:
         print(f"certchain-analyze: cannot read log: {exc}", file=sys.stderr)

@@ -63,27 +63,45 @@ def host_metadata(*, requested_jobs: Optional[int] = None,
 
 @dataclass(frozen=True, slots=True)
 class Gate:
-    """One floor: ``metric`` (dotted path) in ``bench`` must be >= ``floor``.
+    """One bound on ``metric`` (dotted path) in ``bench``.
 
-    These mirror the enforcement already spread across the benchmark
-    asserts and the CI inline gates — bench-report must reproduce those
-    verdicts, not invent new ones.
+    A ``floor`` gate fails when the value drops below it (throughputs,
+    speedups); a ``ceiling`` gate fails when the value rises above it
+    (wall-clock budgets).  Exactly one of the two is set.  These mirror
+    the enforcement already spread across the benchmark asserts and the
+    CI inline gates — bench-report must reproduce those verdicts, not
+    invent new ones.
     """
 
     bench: str
     metric: str
-    floor: float
+    floor: Optional[float] = None
+    ceiling: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.floor is None) == (self.ceiling is None):
+            raise ValueError("a Gate needs exactly one of floor/ceiling")
 
 
-#: The floors the repo already enforces, one place.
+#: The floors (and wall-clock ceilings) the repo already enforces, one place.
 DEFAULT_GATES: Tuple[Gate, ...] = (
     Gate("BENCH_ingest", "read.compiled_rows_per_second", 60_000),
     Gate("BENCH_ingest", "read.compiled_over_legacy", 1.2),
+    # Columnar design target: >=500k rows/s single core, ~4x the
+    # compiled codec (PERFORMANCE.md records the quiet-box numbers).
+    # Like the compiled floors above, the gates sit at roughly half of
+    # typical so load swings on shared 1-CPU runners cannot flake CI.
+    Gate("BENCH_ingest", "read.columnar_rows_per_second", 250_000),
+    Gate("BENCH_ingest", "read.columnar_over_compiled", 2.0),
     Gate("BENCH_ingest", "engine.1.speedup_vs_serial", 1.1),
     Gate("BENCH_analyze", "engine.1.chains_per_second", 5_000),
     Gate("BENCH_analyze", "artifact.warm_speedup", 5),
     Gate("BENCH_generate", "write.compiled_over_legacy", 1.5),
     Gate("BENCH_generate", "engine.1.rows_written_per_second", 5_000),
+    Gate("BENCH_generate", "der.part_memo_speedup", 1.25),
+    # The whole pipeline (generate + ingest + analyze, jobs=1) must fit
+    # a wall-clock budget at the bench scale: a ceiling, not a floor.
+    Gate("BENCH_e2e", "pipeline.1.total_seconds", ceiling=10.0),
     # Supervised dispatch may cost at most 5% over a bare inline loop
     # (the ratio is baseline/supervised, so the floor is 0.95).
     Gate("BENCH_resilience", "supervisor.throughput_ratio", 0.95),
@@ -175,6 +193,7 @@ class ReportRow:
     previous: Optional[float]
     floor: Optional[float]
     tolerance: float
+    ceiling: Optional[float] = None
 
     @property
     def delta_pct(self) -> Optional[float]:
@@ -184,18 +203,31 @@ class ReportRow:
 
     @property
     def margin_pct(self) -> Optional[float]:
-        if self.floor is None or self.floor == 0:
-            return None
-        return 100.0 * (self.current - self.floor) / self.floor
+        """Distance from the bound, positive = healthy, either direction."""
+        if self.floor is not None and self.floor != 0:
+            return 100.0 * (self.current - self.floor) / self.floor
+        if self.ceiling is not None and self.ceiling != 0:
+            return 100.0 * (self.ceiling - self.current) / self.ceiling
+        return None
+
+    @property
+    def bound(self) -> Optional[float]:
+        return self.floor if self.floor is not None else self.ceiling
 
     @property
     def status(self) -> str:
         if self.floor is not None and self.current < self.floor:
             return "FLOOR"
+        if self.ceiling is not None and self.current > self.ceiling:
+            return "CEILING"
         delta = self.delta_pct
-        if (self.floor is not None and delta is not None
-                and delta < -self.tolerance):
-            return "REGRESSED"
+        if delta is not None:
+            # Regression direction flips for ceiling (lower-is-better)
+            # metrics: growth past tolerance is the regression.
+            if self.floor is not None and delta < -self.tolerance:
+                return "REGRESSED"
+            if self.ceiling is not None and delta > self.tolerance:
+                return "REGRESSED"
         return "ok"
 
     @property
@@ -209,6 +241,7 @@ def build_rows(runs: Dict[str, List[BenchRun]],
                include_all: bool = False) -> List[ReportRow]:
     """Trajectory rows for every gated (and tracked) metric present."""
     floors = {(gate.bench, gate.metric): gate.floor for gate in gates}
+    ceilings = {(gate.bench, gate.metric): gate.ceiling for gate in gates}
     rows: List[ReportRow] = []
     for kind in BENCH_KINDS:
         history = runs.get(kind, [])
@@ -231,6 +264,7 @@ def build_rows(runs: Dict[str, List[BenchRun]],
                 previous=(previous.numbers.get(metric)
                           if previous is not None else None),
                 floor=floors.get((kind, metric)),
+                ceiling=ceilings.get((kind, metric)),
                 tolerance=tolerance))
     return rows
 
@@ -247,10 +281,12 @@ def render_report(rows: Sequence[ReportRow],
                   runs: Dict[str, List[BenchRun]]) -> str:
     """The human trajectory table plus a per-bench provenance footer."""
     table = render_table(
-        ["bench", "metric", "current", "vs prev", "floor", "margin",
+        ["bench", "metric", "current", "vs prev", "bound", "margin",
          "status"],
         [[row.kind.removeprefix("BENCH_"), row.metric, _fmt(row.current),
-          _fmt(row.delta_pct, "%"), _fmt(row.floor),
+          _fmt(row.delta_pct, "%"),
+          (_fmt(row.ceiling) + " max" if row.ceiling is not None
+           else _fmt(row.floor)),
           _fmt(row.margin_pct, "%"), row.status]
          for row in rows],
         title="Benchmark trajectory")
@@ -304,6 +340,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         payload = [{"bench": row.kind, "metric": row.metric,
                     "current": row.current, "previous": row.previous,
                     "delta_pct": row.delta_pct, "floor": row.floor,
+                    "ceiling": row.ceiling,
                     "margin_pct": row.margin_pct, "status": row.status}
                    for row in rows]
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -313,8 +350,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if failures:
         print()
         for row in failures:
+            bound_kind = "ceiling" if row.ceiling is not None else "floor"
             print(f"FAIL {row.kind} {row.metric}: "
-                  f"{_fmt(row.current)} (floor {_fmt(row.floor)}, "
+                  f"{_fmt(row.current)} ({bound_kind} {_fmt(row.bound)}, "
                   f"vs prev {_fmt(row.delta_pct, '%')}) [{row.status}]")
         if args.check:
             return 1

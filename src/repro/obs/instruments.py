@@ -71,6 +71,33 @@ DER_ENCODE_CACHE = _R.counter(
     "repro_der_encode_cache_lookups_total",
     "Certificate DER serialization memo lookups, by result.",
     labelnames=("result",))
+DER_PART_CACHE = _R.counter(
+    "repro_der_part_cache_lookups_total",
+    "Shared DER component memo lookups (encoded names and extension "
+    "blocks reused across certificates), by part and result.",
+    labelnames=("part", "result"))
+
+# -- columnar ingest ----------------------------------------------------------
+
+COLUMNAR_ROWS = _R.counter(
+    "repro_columnar_rows_total",
+    "Rows decoded by the columnar reader, by decode mode (vectorized "
+    "struct-of-arrays runs vs the per-line parity path).",
+    labelnames=("mode",))
+COLUMNAR_RUNS = _R.counter(
+    "repro_columnar_runs_total",
+    "Contiguous data-line runs the columnar reader processed, by outcome "
+    "(vectorized, or fallback to the per-line path for exact quarantine "
+    "locations).",
+    labelnames=("outcome",))
+COLUMNAR_INTERN_LOOKUPS = _R.counter(
+    "repro_columnar_intern_lookups_total",
+    "Interned-column id-table lookups, by column (table) and result.",
+    labelnames=("table", "result"))
+COLUMNAR_PAYLOAD_BYTES = _R.counter(
+    "repro_columnar_payload_bytes_total",
+    "Packed column-buffer payload bytes handed from columnar ingest "
+    "workers to the driver (the zero-pickle shard hand-off).")
 
 # -- parallel ingestion -------------------------------------------------------
 
@@ -259,6 +286,14 @@ CERT_CACHE_HIT = CERT_RECONSTRUCT_CACHE.labels(result="hit")
 CERT_CACHE_MISS = CERT_RECONSTRUCT_CACHE.labels(result="miss")
 DER_CACHE_HIT = DER_ENCODE_CACHE.labels(result="hit")
 DER_CACHE_MISS = DER_ENCODE_CACHE.labels(result="miss")
+DER_NAME_CACHE_HIT = DER_PART_CACHE.labels(part="name", result="hit")
+DER_NAME_CACHE_MISS = DER_PART_CACHE.labels(part="name", result="miss")
+DER_EXT_CACHE_HIT = DER_PART_CACHE.labels(part="extensions", result="hit")
+DER_EXT_CACHE_MISS = DER_PART_CACHE.labels(part="extensions", result="miss")
+COLUMNAR_ROWS_VECTORIZED = COLUMNAR_ROWS.labels(mode="vectorized")
+COLUMNAR_ROWS_LINE = COLUMNAR_ROWS.labels(mode="line")
+COLUMNAR_RUNS_VECTORIZED = COLUMNAR_RUNS.labels(outcome="vectorized")
+COLUMNAR_RUNS_FALLBACK = COLUMNAR_RUNS.labels(outcome="fallback")
 MATCH_MEMO_HIT = MATCH_MEMO.labels(result="hit")
 MATCH_MEMO_MISS = MATCH_MEMO.labels(result="miss")
 CT_VERDICT_MEMO_HIT = CT_VERDICT_MEMO.labels(result="hit")

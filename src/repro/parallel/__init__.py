@@ -56,11 +56,18 @@ from .supervisor import (
     SupervisorIncident,
     run_supervised,
 )
-from .worker import ShardAggregate, ShardTask, process_shard
+from .worker import (
+    ColumnarShardAggregate,
+    ShardAggregate,
+    ShardTask,
+    process_shard,
+    process_shard_columnar,
+)
 
 __all__ = [
     "AnalysisPartial",
     "AnalysisTask",
+    "ColumnarShardAggregate",
     "EnrichedChains",
     "GenerateResult",
     "GenerateShardResult",
@@ -82,5 +89,6 @@ __all__ = [
     "partition_index",
     "process_generate_shard",
     "process_shard",
+    "process_shard_columnar",
     "split_zeek_log",
 ]

@@ -30,18 +30,22 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.chain import ObservedChain
+from ..core.packed import materialize_chains, unpack_shard_payload
 from ..faults.plan import FaultPlan
 from ..obs import instruments
 from ..obs.logging import get_logger, kv
-from ..obs.sink import get_sink
+from ..obs.sink import capture_telemetry, get_sink
 from ..obs.tracing import trace_span
 from ..resilience.checkpoint import input_fingerprint
 from ..resilience.quarantine import Quarantine
+from ..zeek.records import X509Record
+from ..zeek.tap import reconstruct_certificate
 from .pool import clamp_jobs
 from .shards import ShardSpec
 from .supervisor import (SupervisedRun, SupervisorConfig, resolve_config,
                          run_supervised)
-from .worker import ShardAggregate, ShardTask, process_shard
+from .worker import (ColumnarShardAggregate, ShardAggregate, ShardTask,
+                     process_shard)
 
 __all__ = ["IngestResult", "ingest_shards", "ingest_logs"]
 
@@ -82,7 +86,7 @@ def _shard_fingerprint(task: ShardTask) -> str:
     return input_fingerprint([
         "ingest-shard", task.index, task.ssl_path, size(task.ssl_path),
         task.x509_path, size(task.x509_path), task.plan, task.tolerant,
-        task.compiled,
+        task.compiled, task.columnar,
     ])
 
 
@@ -91,6 +95,7 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
                   plan: Optional[FaultPlan] = None,
                   quarantine: Optional[Quarantine] = None,
                   compiled: bool = True,
+                  columnar: bool = True,
                   supervise: Optional[SupervisorConfig] = None
                   ) -> IngestResult:
     """Map shards over a process pool and reduce to one chain map.
@@ -113,12 +118,22 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
     shard is quarantined and recovered in-driver — the merge still folds
     partials in shard-index order, so the output is byte-identical to an
     undisturbed run.
+
+    ``columnar=True`` (the default) routes workers through the
+    struct-of-arrays hot path: logs decode into typed columns, chain
+    aggregation folds over arrays, and partials come home as packed
+    column buffers that the driver materialises back into the legacy
+    chain map before the same reduce (see :mod:`repro.core.packed`).
+    ``columnar=False`` is the escape hatch back to the row-object
+    workers (where ``compiled`` selects the row codec); outputs are
+    byte-identical either way.
     """
     shard_list = sorted(shards, key=lambda spec: spec.index)
     requested, jobs = clamp_jobs(jobs, len(shard_list))
     tasks = [ShardTask(index=spec.index, ssl_path=spec.ssl_path,
                        x509_path=spec.x509_path, plan=plan,
-                       tolerant=quarantine is not None, compiled=compiled)
+                       tolerant=quarantine is not None, compiled=compiled,
+                       columnar=columnar)
              for spec in shard_list]
     config = resolve_config(supervise, plan=plan, quarantine=quarantine)
     with trace_span("parallel_ingest", shards=len(tasks), jobs=jobs):
@@ -127,6 +142,9 @@ def ingest_shards(shards: Iterable[ShardSpec], *,
             task_ids=lambda task, i: f"ingest:{task.index:04d}",
             fingerprint_fn=_shard_fingerprint)
     aggregates = [a for a in outcome.results if a is not None]
+    if columnar:
+        aggregates = [_materialize_aggregate(a)
+                      for a in sorted(aggregates, key=lambda a: a.index)]
     result = _reduce(aggregates, jobs=jobs, quarantine=quarantine)
     result.supervisor = outcome
     result.requested_jobs = requested
@@ -140,11 +158,72 @@ def ingest_logs(ssl_path: str, x509_path: str, *,
                 jobs: Optional[int] = None,
                 plan: Optional[FaultPlan] = None,
                 quarantine: Optional[Quarantine] = None,
-                compiled: bool = True) -> IngestResult:
+                compiled: bool = True,
+                columnar: bool = True) -> IngestResult:
     """Ingest a single unsharded SSL/X509 pair through the same engine."""
     shard = ShardSpec(index=0, ssl_path=ssl_path, x509_path=x509_path)
     return ingest_shards([shard], jobs=jobs or 1, plan=plan,
-                         quarantine=quarantine, compiled=compiled)
+                         quarantine=quarantine, compiled=compiled,
+                         columnar=columnar)
+
+
+def _materialize_aggregate(aggregate: ColumnarShardAggregate
+                           ) -> ShardAggregate:
+    """Unpack one columnar partial into the legacy aggregate shape.
+
+    The rebuild (certificate reconstruction, DN parsing) churns the same
+    memo caches a worker would have touched, so it runs under a
+    *discarded* telemetry capture: the compiled path's workers capture
+    that churn away and never replay it, and metric exports must not
+    depend on which path — or which ``--jobs`` — produced the result.
+    The canonical ``repro_columnar_*`` metrics are then emitted from the
+    worker-reported stats, outside the shield.
+    """
+    with capture_telemetry("materialize", aggregate.index):
+        columns = unpack_shard_payload(aggregate.payload)
+        spec = columns.x509_columns
+        records = [
+            X509Record(
+                ts=ts, fingerprint=fingerprint, certificate_version=version,
+                certificate_serial=serial, certificate_subject=subject,
+                certificate_issuer=issuer,
+                certificate_not_valid_before=not_before,
+                certificate_not_valid_after=not_after,
+                certificate_key_alg=key_alg, certificate_sig_alg=sig_alg,
+                certificate_key_length=key_length,
+                san_dns=tuple(san or ()), basic_constraints_ca=bc_ca,
+                basic_constraints_path_len=bc_path_len)
+            for ts, fingerprint, version, serial, subject, issuer,
+            not_before, not_after, key_alg, sig_alg, key_length, san,
+            bc_ca, bc_path_len in zip(
+                spec["ts"], spec["fingerprint"],
+                spec["certificate.version"], spec["certificate.serial"],
+                spec["certificate.subject"], spec["certificate.issuer"],
+                spec["certificate.not_valid_before"],
+                spec["certificate.not_valid_after"],
+                spec["certificate.key_alg"], spec["certificate.sig_alg"],
+                spec["certificate.key_length"], spec["san.dns"],
+                spec["basic_constraints.ca"],
+                spec["basic_constraints.path_len"])]
+        certificates = {record.fingerprint: reconstruct_certificate(record)
+                        for record in records}
+        chains = materialize_chains(columns.chain_keys, columns.usages,
+                                    certificates)
+    instruments.COLUMNAR_PAYLOAD_BYTES.inc(len(aggregate.payload))
+    for stats in (aggregate.x509_stats, aggregate.ssl_stats):
+        if stats is not None:
+            stats.emit()
+    return ShardAggregate(
+        index=aggregate.index, chains=chains,
+        quarantined=aggregate.quarantined,
+        cert_fingerprints=columns.cert_fingerprints,
+        ssl_rows=aggregate.ssl_rows, x509_rows=aggregate.x509_rows,
+        ssl_log_label=aggregate.ssl_log_label,
+        x509_log_label=aggregate.x509_log_label,
+        joined=aggregate.joined, missing_certs=aggregate.missing_certs,
+        aggregated=aggregate.aggregated,
+        skipped_empty=aggregate.skipped_empty,
+        seconds=aggregate.seconds, telemetry=aggregate.telemetry)
 
 
 def _reduce(aggregates: List[ShardAggregate], *, jobs: int,

@@ -27,16 +27,29 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.chain import ObservedChain, aggregate_chains
+from ..core.packed import (ChainFold, X509_COLUMN_SPEC, fold_ssl_segment,
+                           pack_shard_payload)
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..obs.sink import WorkerTelemetry, capture_telemetry
 from ..obs.tracing import trace_span
 from ..resilience.quarantine import Quarantine, QuarantinedRecord
+from ..zeek.columnar import ColumnarStats, read_zeek_log_columnar
 from ..zeek.format import ZeekLogReader, iter_zeek_log
 from ..zeek.records import SSLRecord, X509Record
 from ..zeek.tap import JoinStats, certificate_map, iter_joined
 
-__all__ = ["ShardTask", "ShardAggregate", "process_shard"]
+__all__ = ["ShardTask", "ShardAggregate", "ColumnarShardAggregate",
+           "process_shard", "process_shard_columnar"]
+
+#: SSL columns the columnar fold consumes; every other column is either
+#: validated without being stored (numeric kinds whose parse can fail)
+#: or skipped outright (infallible strings/bools) — see
+#: :func:`repro.zeek.columnar.read_zeek_log_columnar`.
+_SSL_PROJECTION = frozenset({"ts", "id.orig_h", "id.resp_h", "id.resp_p",
+                             "established", "server_name", "cert_chain_fps"})
+_SSL_INTERN = ("cert_chain_fps", "server_name")
+_X509_PROJECTION = frozenset(name for name, _ in X509_COLUMN_SPEC)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +62,7 @@ class ShardTask:
     plan: Optional[FaultPlan] = None
     tolerant: bool = False
     compiled: bool = True
+    columnar: bool = False
 
 
 @dataclass(slots=True)
@@ -74,6 +88,37 @@ class ShardAggregate:
     telemetry: Optional[WorkerTelemetry] = None
 
 
+@dataclass(slots=True)
+class ColumnarShardAggregate:
+    """One shard's packed partial — the columnar hand-off unit.
+
+    The row data crosses the process boundary as one opaque ``bytes``
+    payload (see :mod:`repro.core.packed`); pickling it is a memcpy, so
+    the hand-off cost no longer scales with object-graph complexity.
+    The driver unpacks, rebuilds certificates, and reduces through the
+    same merge as the compiled path.
+    """
+
+    index: int
+    payload: bytes = b""
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    ssl_rows: int = 0
+    x509_rows: int = 0
+    ssl_log_label: str = "unknown"
+    x509_log_label: str = "unknown"
+    joined: int = 0
+    missing_certs: int = 0
+    aggregated: int = 0
+    skipped_empty: int = 0
+    seconds: float = 0.0
+    telemetry: Optional[WorkerTelemetry] = None
+    #: Decode-path tallies from the two columnar reads; the driver emits
+    #: the canonical ``repro_columnar_*`` metrics from these so exports
+    #: stay independent of ``--jobs``.
+    ssl_stats: Optional[ColumnarStats] = None
+    x509_stats: Optional[ColumnarStats] = None
+
+
 def process_shard(task: ShardTask) -> ShardAggregate:
     """Ingest one shard: stream, join, aggregate; return the partials.
 
@@ -82,7 +127,13 @@ def process_shard(task: ShardTask) -> ShardAggregate:
     message intact.  Fault injection uses the task's own plan so each
     shard file draws the same corruption pattern no matter which worker
     (or how many workers) processes it.
+
+    ``task.columnar`` dispatches to :func:`process_shard_columnar`; the
+    supervisor always submits this function, so journaled runs replay
+    whichever mode their fingerprint recorded.
     """
+    if task.columnar:
+        return process_shard_columnar(task)
     start = time.perf_counter()
     quarantine = Quarantine() if task.tolerant else None
     injector = (FaultInjector(task.plan)
@@ -127,6 +178,93 @@ def process_shard(task: ShardTask) -> ShardAggregate:
     aggregate.aggregated = sum(
         chain.usage.connections for chain in aggregate.chains.values())
     aggregate.skipped_empty = stats.joined - aggregate.aggregated
+    if quarantine is not None:
+        aggregate.quarantined = quarantine.records
+    aggregate.seconds = time.perf_counter() - start
+    return aggregate
+
+
+def process_shard_columnar(task: ShardTask) -> ColumnarShardAggregate:
+    """Ingest one shard through the struct-of-arrays hot path.
+
+    Both logs are read column-at-a-time (:func:`read_zeek_log_columnar`);
+    the X509 side is de-duplicated positionally (last row per
+    fingerprint, first-seen fingerprint order — exactly what the legacy
+    ``certificate_map`` dict comprehension converges to), the SSL side is
+    folded straight into chain partials without ever materialising a row
+    object, and everything ships home as one packed column payload.
+    Strict/tolerant and fault-injection semantics are identical to
+    :func:`process_shard` — fault plans force the reader onto the
+    per-line parity path, so quarantine ``file:line`` records match the
+    row readers byte for byte.
+    """
+    start = time.perf_counter()
+    quarantine = Quarantine() if task.tolerant else None
+    injector = (FaultInjector(task.plan)
+                if task.plan is not None and task.plan.any() else None)
+    aggregate = ColumnarShardAggregate(index=task.index)
+    with capture_telemetry("ingest", task.index) as telemetry, \
+            trace_span("ingest_shard", shard=task.index):
+        x509 = read_zeek_log_columnar(task.x509_path, quarantine=quarantine,
+                                      faults=injector,
+                                      project=_X509_PROJECTION)
+        # De-duplicate by fingerprint: keep the *last* row per
+        # fingerprint in *first-seen* fingerprint order (the legacy
+        # worker builds certificate_map over all records — last row
+        # wins — and tracks first-seen order separately).
+        seen: dict = {}
+        picks: list = []
+        for segment in x509.segments:
+            fingerprints = segment.columns["fingerprint"]
+            if isinstance(fingerprints, list):
+                values = fingerprints
+            else:  # pragma: no cover - fingerprint is never interned
+                values = fingerprints.materialize()
+            for i, fingerprint in enumerate(values):
+                position = seen.get(fingerprint)
+                if position is None:
+                    seen[fingerprint] = len(picks)
+                    picks.append((segment, i))
+                else:
+                    picks[position] = (segment, i)
+        x509_columns = {
+            name: [segment.columns[name][i] for segment, i in picks]
+            for name, _ in X509_COLUMN_SPEC}
+        known_fps = frozenset(seen)
+
+        ssl = read_zeek_log_columnar(task.ssl_path, quarantine=quarantine,
+                                     faults=injector, intern=_SSL_INTERN,
+                                     project=_SSL_PROJECTION)
+        fold = ChainFold()
+        for segment in ssl.segments:
+            columns = segment.columns
+            sni = columns["server_name"]
+            chain_fps = columns["cert_chain_fps"]
+            fold_ssl_segment(
+                fold, known_fps=known_fps, ts=columns["ts"],
+                client_ip=columns["id.orig_h"],
+                server_ip=columns["id.resp_h"], port=columns["id.resp_p"],
+                established=columns["established"], sni_ids=sni.ids,
+                sni_values=sni.table.values, chain_ids=chain_fps.ids,
+                chain_values=chain_fps.table.values)
+        aggregate.payload = pack_shard_payload(
+            chain_keys=list(fold.chains), usages=list(fold.chains.values()),
+            cert_fingerprints=list(seen), x509_columns=x509_columns)
+        with trace_span("shard_payload", shard=task.index,
+                        payload_bytes=len(aggregate.payload)):
+            pass  # zero-duration marker: payload size in the trace
+    aggregate.telemetry = telemetry
+
+    aggregate.ssl_rows = ssl.rows
+    aggregate.x509_rows = x509.rows
+    aggregate.ssl_log_label = ssl.path or "unknown"
+    aggregate.x509_log_label = x509.path or "unknown"
+    aggregate.joined = fold.joined
+    aggregate.missing_certs = fold.missing_certs
+    aggregate.aggregated = fold.aggregated
+    aggregate.skipped_empty = fold.joined - fold.aggregated
+    aggregate.ssl_stats = ssl.stats
+    aggregate.x509_stats = x509.stats
     if quarantine is not None:
         aggregate.quarantined = quarantine.records
     aggregate.seconds = time.perf_counter() - start

@@ -22,7 +22,14 @@ from datetime import datetime, timezone
 from typing import Iterable, List, Sequence
 
 from ..obs.cache import BoundedLRU
-from ..obs.instruments import DER_CACHE_HIT, DER_CACHE_MISS
+from ..obs.instruments import (
+    DER_CACHE_HIT,
+    DER_CACHE_MISS,
+    DER_EXT_CACHE_HIT,
+    DER_EXT_CACHE_MISS,
+    DER_NAME_CACHE_HIT,
+    DER_NAME_CACHE_MISS,
+)
 from .certificate import Certificate, KeyAlgorithm
 from .dn import DistinguishedName
 from .extensions import ExtensionSet
@@ -153,7 +160,23 @@ _ATTR_OIDS = {
 }
 
 
+# Issuer names repeat across every certificate a CA signs, and the whole-
+# certificate memo above this layer only dedupes *identical records* — two
+# certificates sharing an issuer still each encode that name.  Memoizing
+# the component keeps the win when the outer memo misses.
+_NAME_MEMO: BoundedLRU = BoundedLRU(
+    65536, hits=DER_NAME_CACHE_HIT, misses=DER_NAME_CACHE_MISS)
+
+
 def _encode_name(dn: DistinguishedName) -> bytes:
+    encoded = _NAME_MEMO.get(dn)
+    if encoded is None:
+        encoded = _encode_name_uncached(dn)
+        _NAME_MEMO.put(dn, encoded)
+    return encoded
+
+
+def _encode_name_uncached(dn: DistinguishedName) -> bytes:
     rdns = []
     for atv in dn:
         oid = _ATTR_OIDS.get(atv.attr_type, atv.attr_type)
@@ -250,7 +273,23 @@ def _extension(oid: str, critical: bool, inner: bytes) -> bytes:
     return der_sequence(*members)
 
 
-def _encode_extensions(ext: ExtensionSet) -> List[bytes]:
+# Extension profiles are templates: every leaf minted from the same CA
+# policy shares one ExtensionSet (frozen, hashable) even though the
+# certificates differ in serial/name/validity.  Encoded blocks are reused
+# via the memo; the tuple is never mutated by callers.
+_EXT_MEMO: BoundedLRU = BoundedLRU(
+    65536, hits=DER_EXT_CACHE_HIT, misses=DER_EXT_CACHE_MISS)
+
+
+def _encode_extensions(ext: ExtensionSet) -> Sequence[bytes]:
+    encoded = _EXT_MEMO.get(ext)
+    if encoded is None:
+        encoded = tuple(_encode_extensions_uncached(ext))
+        _EXT_MEMO.put(ext, encoded)
+    return encoded
+
+
+def _encode_extensions_uncached(ext: ExtensionSet) -> List[bytes]:
     encoded: List[bytes] = []
     if ext.basic_constraints is not None:
         bc = ext.basic_constraints

@@ -156,7 +156,8 @@ class DistinguishedName:
     by issuer/subject (the core operation of the paper's chain analyzer).
     """
 
-    __slots__ = ("_attrs", "_hash", "_normalized", "_sorted_normalized")
+    __slots__ = ("_attrs", "_hash", "_normalized", "_sorted_normalized",
+                 "_rfc4514")
 
     def __init__(self, attrs: Iterable[AttributeTypeAndValue]):
         self._attrs: tuple[AttributeTypeAndValue, ...] = tuple(attrs)
@@ -165,6 +166,7 @@ class DistinguishedName:
         # pipeline (hundreds of millions of calls over a year of logs).
         self._normalized: tuple[tuple[str, str], ...] | None = None
         self._sorted_normalized: tuple[tuple[str, str], ...] | None = None
+        self._rfc4514: str | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -257,8 +259,16 @@ class DistinguishedName:
     # -- rendering / comparison --------------------------------------------
 
     def rfc4514(self) -> str:
-        """Render in RFC 4514 order (as stored; Zeek stores most-specific first)."""
-        return ",".join(a.rfc4514() for a in self._attrs)
+        """Render in RFC 4514 order (as stored; Zeek stores most-specific first).
+
+        Memoized per instance: generation renders every certificate's
+        subject and issuer repeatedly (plan ids, fingerprints, x509 rows,
+        SPKI seeds), and instances are shared via the parse memo, so the
+        character-level escape walk runs once per distinct name object.
+        """
+        if self._rfc4514 is None:
+            self._rfc4514 = ",".join(a.rfc4514() for a in self._attrs)
+        return self._rfc4514
 
     def normalized(self) -> tuple[tuple[str, str], ...]:
         """Case-folded, order-preserving key used for issuer–subject matching.

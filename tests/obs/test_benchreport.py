@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.obs.benchreport import (
     DEFAULT_GATES,
     Gate,
@@ -19,10 +21,18 @@ from repro.obs.benchreport import (
 GOOD_INGEST = {
     "cpu_count": 4,
     "read": {"compiled_rows_per_second": 120_000.0,
-             "compiled_over_legacy": 2.0},
+             "compiled_over_legacy": 2.0,
+             "columnar_rows_per_second": 650_000.0,
+             "columnar_over_compiled": 5.0},
     "engine": {"1": {"speedup_vs_serial": 1.5,
                      "rows_per_second": 90_000.0}},
     "serial_legacy": {"rows_per_second": 60_000.0},
+}
+
+# A BENCH_e2e payload comfortably inside the wall-clock ceiling.
+GOOD_E2E = {
+    "pipeline": {"1": {"total_seconds": 2.0, "generate_seconds": 1.0,
+                       "ingest_seconds": 0.7, "analyze_seconds": 0.3}},
 }
 
 
@@ -77,7 +87,7 @@ class TestGateVerdicts:
         _write(tmp_path / "BENCH_ingest.json", GOOD_INGEST)
         rows = build_rows(load_history([str(tmp_path)]))
         gated = [row for row in rows if row.floor is not None]
-        assert len(gated) == 3  # the three ingest floors
+        assert len(gated) == 5  # the five ingest floors
         assert all(row.status == "ok" for row in gated)
         assert all(row.margin_pct > 0 for row in gated)
 
@@ -125,8 +135,55 @@ class TestGateVerdicts:
     def test_every_default_gate_metric_exists_in_some_kind(self):
         kinds = {gate.bench for gate in DEFAULT_GATES}
         assert kinds <= {"BENCH_ingest", "BENCH_analyze", "BENCH_generate",
-                         "BENCH_resilience"}
+                         "BENCH_resilience", "BENCH_e2e"}
         assert all(isinstance(gate, Gate) for gate in DEFAULT_GATES)
+
+    def test_gate_requires_exactly_one_bound(self):
+        with pytest.raises(ValueError):
+            Gate("BENCH_ingest", "read.x")
+        with pytest.raises(ValueError):
+            Gate("BENCH_ingest", "read.x", floor=1.0, ceiling=2.0)
+
+
+class TestCeilingGates:
+    def test_healthy_e2e_passes_under_ceiling(self, tmp_path):
+        _write(tmp_path / "BENCH_e2e.json", GOOD_E2E)
+        rows = build_rows(load_history([str(tmp_path)]))
+        gated = [row for row in rows if row.ceiling is not None]
+        assert len(gated) == 1
+        row = gated[0]
+        assert row.metric == "pipeline.1.total_seconds"
+        assert row.status == "ok"
+        assert row.margin_pct > 0
+        assert not row.failed
+
+    def test_ceiling_violation_fails(self, tmp_path):
+        slow = json.loads(json.dumps(GOOD_E2E))
+        slow["pipeline"]["1"]["total_seconds"] = 12.0  # ceiling is 10.0
+        _write(tmp_path / "BENCH_e2e.json", slow)
+        rows = build_rows(load_history([str(tmp_path)]))
+        row = {r.metric: r for r in rows}["pipeline.1.total_seconds"]
+        assert row.status == "CEILING"
+        assert row.failed
+
+    def test_ceiling_metric_growing_past_tolerance_regresses(self,
+                                                             tmp_path):
+        _write(tmp_path / "old" / "BENCH_e2e.json", GOOD_E2E, mtime=1000)
+        slower = json.loads(json.dumps(GOOD_E2E))
+        slower["pipeline"]["1"]["total_seconds"] = 3.0  # +50%, under cap
+        _write(tmp_path / "BENCH_e2e.json", slower, mtime=2000)
+        rows = build_rows(load_history([str(tmp_path)]), tolerance=10.0)
+        row = {r.metric: r for r in rows}["pipeline.1.total_seconds"]
+        assert row.status == "REGRESSED"  # latency grows toward the cap
+
+    def test_check_exits_1_on_ceiling_violation(self, tmp_path, capsys):
+        slow = json.loads(json.dumps(GOOD_E2E))
+        slow["pipeline"]["1"]["total_seconds"] = 12.0
+        _write(tmp_path / "BENCH_e2e.json", slow)
+        assert main(["--dir", str(tmp_path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL BENCH_e2e pipeline.1.total_seconds" in out
+        assert "ceiling" in out
 
 
 class TestMain:

@@ -23,7 +23,9 @@ from repro.faults import FaultPlan
 from repro.obs.metrics import get_registry
 from repro.parallel import discover_shards, ingest_logs, ingest_shards, \
     split_zeek_log
+from repro.parallel.supervisor import SupervisorConfig
 from repro.resilience import Quarantine
+from repro.resilience.journal import RunJournal
 from repro.zeek.format import read_zeek_log
 from repro.zeek.records import SSLRecord, X509Record
 from repro.zeek.tap import join_logs
@@ -179,3 +181,54 @@ class TestCorruptionEquivalence:
         degraded, _ = self._run(corpus, 2)
         assert degraded.ssl_rows + degraded.x509_rows < \
             clean.ssl_rows + clean.x509_rows
+
+
+class TestColumnarToggleEquivalence:
+    """The columnar hot path (default) against its own escape hatch:
+    flipping ``columnar=False`` must change nothing observable."""
+
+    def test_chain_maps_identical_with_and_without_columnar(self, corpus):
+        for jobs in JOBS_MATRIX:
+            columnar = ingest_shards(corpus["shards"], jobs=jobs)
+            rowwise = ingest_shards(corpus["shards"], jobs=jobs,
+                                    columnar=False)
+            assert canon(columnar.chains) == canon(rowwise.chains)
+            assert columnar.cert_fingerprints == rowwise.cert_fingerprints
+            assert (columnar.ssl_rows, columnar.joined,
+                    columnar.missing_certs, columnar.aggregated,
+                    columnar.skipped_empty) == \
+                (rowwise.ssl_rows, rowwise.joined, rowwise.missing_certs,
+                 rowwise.aggregated, rowwise.skipped_empty)
+
+    def test_quarantine_parity_under_corruption(self, corpus):
+        plan = FaultPlan(seed="col-chaos", zeek_corrupt_rate=0.05)
+        records = []
+        for columnar in (True, False):
+            quarantine = Quarantine()
+            ingest_shards(corpus["shards"], jobs=2, plan=plan,
+                          quarantine=quarantine, columnar=columnar)
+            records.append(quarantine.records)
+        assert records[0]  # the plan actually corrupted rows
+        assert records[0] == records[1]
+
+    def test_worker_crashes_with_journal_and_resume(self, corpus,
+                                                    tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_NO_CPU_CLAMP", "1")
+        reference = serial_chains(corpus["ssl"], corpus["x509"])
+        chaos = FaultPlan(seed="col-crash", worker_crash_rate=0.5)
+        with RunJournal(str(tmp_path / "journal")) as journal:
+            crashed = ingest_shards(
+                corpus["shards"], jobs=2,
+                supervise=SupervisorConfig(plan=chaos, max_task_retries=3,
+                                           journal=journal))
+        assert any(i.incident == "worker_crash"
+                   for i in crashed.supervisor.incidents)
+        assert canon(crashed.chains) == canon(reference)
+        # A resumed run replays the journaled columnar partials and
+        # still reduces to the identical chain map.
+        with RunJournal(str(tmp_path / "journal")) as journal:
+            resumed = ingest_shards(
+                corpus["shards"], jobs=2,
+                supervise=SupervisorConfig(journal=journal, resume=True))
+        assert resumed.supervisor.journal_replayed >= 1
+        assert canon(resumed.chains) == canon(reference)

@@ -74,10 +74,13 @@ class TestIngestTelemetry:
         assert [t.unit for t in sink.records
                 if t.kind == "ingest"] == [0, 1, 2, 3]
         assert sink.summary()["ingest"]["records"] == 4
-        # Every shard body traced at least its outer ingest_shard span.
+        # Every shard body traced at least its outer ingest_shard span;
+        # the columnar default reads through columnar_read spans and
+        # marks each shard's payload size.
         names = {span.name for _, span in sink.spans()}
         assert "ingest_shard" in names
-        assert "zeek_read" in names
+        assert "columnar_read" in names
+        assert "shard_payload" in names
 
     def test_inline_run_collects_identical_record_set(self, corpus):
         ingest_shards(corpus, jobs=1)
